@@ -1,0 +1,170 @@
+// Ablation studies for HybridMR's design choices (DESIGN.md §3):
+//   A. IPS action ladder: which mitigation mechanisms matter
+//   B. DRM control epoch length
+//   C. Speculative execution under injected stragglers
+//   D. Task scheduler policy (FIFO vs Fair) under a multi-job stream
+//   E. Phase I overhead threshold sweep
+#include "common.h"
+
+#include "stats/summary.h"
+
+using namespace hybridmr;
+using namespace hybridmr::bench;
+
+namespace {
+
+// --- A: IPS mechanisms -----------------------------------------------------
+
+double ips_violation_fraction(bool throttle_only, bool allow_requeue,
+                              bool allow_migration) {
+  TestBed bed;
+  std::vector<cluster::VirtualMachine*> app_vms;
+  for (auto* host : bed.add_plain_machines(2)) {
+    app_vms.push_back(bed.add_plain_vm(*host));
+    auto* batch_vm = bed.add_plain_vm(*host);
+    bed.hdfs().add_datanode(*batch_vm);
+    bed.mr().add_tracker(*batch_vm);
+  }
+  bed.add_plain_machines(1);
+
+  core::HybridMROptions options;
+  options.enable_phase1 = false;
+  options.ips.allow_requeue = allow_requeue;
+  options.ips.allow_vm_migration = allow_migration;
+  if (throttle_only) options.ips.max_actions_per_epoch = 1;
+  core::HybridMRScheduler hybrid(bed.sim(), bed.cluster(), bed.hdfs(),
+                                 bed.mr(), options);
+  hybrid.start();
+  auto& rubis = hybrid.deploy_interactive(interactive::rubis_params(), 700,
+                                          app_vms[0]);
+  auto& olio = hybrid.deploy_interactive(interactive::olio_params(), 600,
+                                         app_vms[1]);
+  bed.sim().at(60, [&]() {
+    bed.mr().submit(workload::sort_job().with_input_gb(4));
+    bed.mr().submit(workload::twitter().with_input_gb(3));
+  });
+  bed.run_until(1200);
+  hybrid.stop();
+  const double f =
+      (interactive::SlaMonitor::violation_fraction(rubis, 60, 1200) +
+       interactive::SlaMonitor::violation_fraction(olio, 60, 1200)) /
+      2;
+  rubis.stop();
+  olio.stop();
+  return f;
+}
+
+// --- B: DRM epoch sweep ----------------------------------------------------
+
+double drm_gain(double epoch_s) {
+  auto spec = workload::wcount().with_input_gb(4);
+  TestBed plain;
+  plain.add_virtual_nodes(4, 2);
+  const double base = plain.run_job(spec);
+
+  TestBed managed;
+  managed.add_virtual_nodes(4, 2);
+  core::Estimator estimator;
+  core::DrmOptions options;
+  options.epoch_s = epoch_s;
+  core::DynamicResourceManager drm(managed.sim(), managed.mr(),
+                                   managed.cluster(), estimator, options);
+  drm.start();
+  mapred::Job* job = managed.mr().submit(spec);
+  while (!job->finished()) {
+    managed.sim().run_until(managed.sim().now() + 120);
+  }
+  drm.stop();
+  return (base - job->jct()) / base;
+}
+
+// --- C: speculation under stragglers ---------------------------------------
+
+double straggler_jct(bool speculation) {
+  TestBed::Options o;
+  o.speculative_execution = speculation;
+  TestBed bed(o);
+  bed.add_native_nodes(8);
+  mapred::Job* job = bed.mr().submit(workload::kmeans().with_input_gb(4));
+  // Cripple a node shortly after launch: everything on it crawls.
+  bed.sim().at(20, [&]() {
+    for (auto* a : bed.mr().running_attempts()) {
+      if (a->tracker().site().name() == "native0") {
+        cluster::Resources caps = cluster::Resources::unbounded();
+        caps.cpu = 0.05;
+        caps.disk = 2;
+        a->set_caps(caps);
+      }
+    }
+  });
+  bed.sim().run_until(20000);
+  return job->finished() ? job->jct() : -1;
+}
+
+// --- D: FIFO vs Fair -------------------------------------------------------
+
+struct PolicyOutcome {
+  double mean_jct = 0;
+  double shortest_jct = 0;  // responsiveness for small jobs
+};
+
+PolicyOutcome multi_job_jcts(const std::string& policy) {
+  TestBed::Options o;
+  o.scheduler = policy;
+  TestBed bed(o);
+  bed.add_native_nodes(8);
+  std::vector<mapred::JobSpec> specs;
+  for (const auto& b : workload::all_benchmarks()) {
+    specs.push_back(b.input_gb > 2 ? b.with_input_gb(2) : b);
+  }
+  specs.push_back(workload::dist_grep().with_input_gb(0.25));  // a small job
+  const auto jcts = bed.run_jobs(specs);
+  PolicyOutcome out;
+  out.mean_jct = stats::mean(jcts);
+  out.shortest_jct = jcts.back();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  harness::banner(
+      "Ablation A: IPS aggressiveness (mean SLA-violation fraction; lower "
+      "is better)");
+  Table a({"configuration", "violation fraction"});
+  a.row({"gentle (1 action/epoch, no requeue/migration)",
+         Table::pct(ips_violation_fraction(true, false, false))});
+  a.row({"default escalation, no requeue/migration",
+         Table::pct(ips_violation_fraction(false, false, false))});
+  a.row({"+ requeue", Table::pct(ips_violation_fraction(false, true,
+                                                        false))});
+  a.row({"+ VM migration (full ladder)",
+         Table::pct(ips_violation_fraction(false, true, true))});
+  a.print();
+
+  harness::banner(
+      "Ablation B: DRM control epoch (JCT reduction for Wcount on the "
+      "virtual cluster)");
+  Table b({"epoch (s)", "JCT reduction"});
+  for (double epoch : {2.0, 5.0, 10.0, 30.0, 60.0}) {
+    b.row({Table::num(epoch, 0), Table::pct(drm_gain(epoch))});
+  }
+  b.print();
+
+  harness::banner(
+      "Ablation C: speculative execution with one crippled node (Kmeans)");
+  Table c({"speculation", "JCT (s)"});
+  c.row({"off", Table::num(straggler_jct(false))});
+  c.row({"on", Table::num(straggler_jct(true))});
+  c.print();
+
+  harness::banner(
+      "Ablation D: task scheduler policy, six big jobs plus one small job");
+  Table d({"policy", "mean JCT (s)", "small-job JCT (s)"});
+  const auto fifo = multi_job_jcts("fifo");
+  const auto fair = multi_job_jcts("fair");
+  d.row({"fifo", Table::num(fifo.mean_jct), Table::num(fifo.shortest_jct)});
+  d.row({"fair", Table::num(fair.mean_jct), Table::num(fair.shortest_jct)});
+  d.print();
+  return 0;
+}

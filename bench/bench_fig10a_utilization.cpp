@@ -1,0 +1,116 @@
+// Figure 10(a): cluster resource utilization over time, stock scheduling
+// (Base-line) vs HybridMR. HybridMR's consolidation and dynamic allocation
+// sustain higher CPU / memory / I/O utilization for the same work.
+#include <functional>
+#include <memory>
+
+#include "common.h"
+
+using namespace hybridmr;
+using namespace hybridmr::bench;
+
+namespace {
+
+struct UtilTimeline {
+  std::vector<double> cpu, mem, io;  // sampled per minute
+};
+
+UtilTimeline run(bool with_hybridmr) {
+  // Base-line: the traditional isolated design — 8 native Hadoop nodes
+  // plus 2 dedicated interactive servers. HybridMR: the same workload
+  // consolidated onto 4 native nodes + 6 VMs on 3 PMs (7 PMs total).
+  TestBed bed;
+  std::vector<cluster::ExecutionSite*> app_sites;
+  if (with_hybridmr) {
+    bed.add_native_nodes(4);
+    bed.add_virtual_nodes(3, 2);
+  } else {
+    bed.add_native_nodes(8);
+    for (auto* m : bed.add_plain_machines(2)) app_sites.push_back(m);
+  }
+
+  core::HybridMROptions options;
+  options.enable_phase1 = with_hybridmr;
+  options.enable_drm = with_hybridmr;
+  options.enable_ips = with_hybridmr;
+  options.phase1.training_cluster_sizes = {2};
+  core::HybridMRScheduler hybrid(bed.sim(), bed.cluster(), bed.hdfs(),
+                                 bed.mr(), options);
+  hybrid.start();
+  hybrid.deploy_interactive(interactive::rubis_params(), 300,
+                            app_sites.empty() ? nullptr : app_sites[0]);
+  hybrid.deploy_interactive(interactive::olio_params(), 250,
+                            app_sites.size() > 1 ? app_sites[1] : nullptr);
+
+  // Closed-loop batch streams: each stream resubmits its benchmark as soon
+  // as the previous run finishes, sustaining load for the whole window.
+  const auto benchmarks = workload::all_benchmarks();
+  auto submit_stream = std::make_shared<std::function<void(int)>>();
+  *submit_stream = [&, submit_stream](int stream) {
+    if (bed.sim().now() > 75 * 60) return;
+    auto spec = benchmarks[stream % benchmarks.size()];
+    if (spec.input_gb > 2) spec = spec.with_input_gb(spec.input_gb * 0.2);
+    mapred::Job* job = with_hybridmr ? hybrid.submit(spec)
+                                     : bed.mr().submit(spec);
+    job->on_complete = [&, submit_stream, stream](mapred::Job&) {
+      bed.sim().after(30, [submit_stream, stream]() {
+        (*submit_stream)(stream);
+      });
+    };
+  };
+  for (int stream = 0; stream < 3; ++stream) {
+    bed.sim().at(10.0 + 40.0 * stream,
+                 [submit_stream, stream]() { (*submit_stream)(stream); });
+  }
+
+  UtilTimeline timeline;
+  bed.sim().every(60, [&]() {
+    const double t = bed.sim().now();
+    timeline.cpu.push_back(bed.cluster().mean_utilization(
+        cluster::ResourceKind::kCpu, t - 60, t));
+    timeline.mem.push_back(bed.cluster().mean_utilization(
+        cluster::ResourceKind::kMemory, t - 60, t));
+    timeline.io.push_back(bed.cluster().mean_utilization(
+        cluster::ResourceKind::kDisk, t - 60, t));
+  });
+  bed.run_until(80 * 60);
+  hybrid.stop();
+  return timeline;
+}
+
+double mean_of(const std::vector<double>& v) {
+  double s = 0;
+  for (double x : v) s += x;
+  return v.empty() ? 0 : s / v.size();
+}
+
+}  // namespace
+
+int main() {
+  const auto baseline = run(false);
+  const auto hybridmr = run(true);
+
+  harness::banner(
+      "Figure 10(a): cluster utilization over 80 minutes (5-minute samples); "
+      "Base-line = isolated native deployment (10 PMs), HybridMR = "
+      "consolidated hybrid deployment (7 PMs), same workload");
+  Table table({"minute", "cpu base", "cpu hyb", "mem base", "mem hyb",
+               "io base", "io hyb"});
+  for (std::size_t i = 4; i < baseline.cpu.size() && i < hybridmr.cpu.size();
+       i += 5) {
+    table.row({std::to_string(i + 1), Table::pct(baseline.cpu[i], 0),
+               Table::pct(hybridmr.cpu[i], 0), Table::pct(baseline.mem[i], 0),
+               Table::pct(hybridmr.mem[i], 0), Table::pct(baseline.io[i], 0),
+               Table::pct(hybridmr.io[i], 0)});
+  }
+  table.print();
+  std::printf(
+      "\n  80-minute means — cpu: %.1f%% -> %.1f%%, mem: %.1f%% -> %.1f%%, "
+      "io: %.1f%% -> %.1f%%\n",
+      100 * mean_of(baseline.cpu), 100 * mean_of(hybridmr.cpu),
+      100 * mean_of(baseline.mem), 100 * mean_of(hybridmr.mem),
+      100 * mean_of(baseline.io), 100 * mean_of(hybridmr.io));
+  std::printf("  paper: HybridMR sustains visibly higher utilization on all "
+              "three resources\n");
+  return 0;
+}

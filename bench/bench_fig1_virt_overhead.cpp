@@ -1,0 +1,74 @@
+// Figure 1(a): % increase in JCT of the six benchmarks on a virtual cluster
+// (1, 2, 4 VMs per PM) relative to the equivalent physical cluster.
+// Figure 1(b): absolute Sort JCT at 1 / 8 / 16 GB under the same densities.
+//
+// "Equivalent" means equal physical hardware: k VMs per PM on the same PMs
+// that the native baseline uses, with reduce parallelism pinned.
+#include "common.h"
+
+using namespace hybridmr;
+using namespace hybridmr::bench;
+
+namespace {
+
+// A smaller PM pool keeps the sweep quick; inputs stay at the paper's full
+// sizes so task counts exceed slot counts and waves stay full (the regime
+// the paper measured).
+constexpr int kPms = 12;
+
+double penalty_pct(const mapred::JobSpec& base, int vms_per_pm) {
+  // Reduce parallelism scales with node count, as Hadoop deployments do.
+  const double native = native_jct(base, kPms);
+  const double virt = virtual_jct(base, kPms, vms_per_pm);
+  return 100.0 * (virt - native) / native;
+}
+
+}  // namespace
+
+int main() {
+  harness::banner(
+      "Figure 1(a): % increase in JCT on virtual vs equivalent physical "
+      "cluster (12 PMs, paper-size inputs)");
+  Table fig1a({"benchmark", "class", "1-VM", "2-VM", "4-VM"});
+  for (const auto& base : workload::all_benchmarks()) {
+    std::vector<std::string> row{base.name, to_string(base.job_class)};
+    for (int k : {1, 2, 4}) {
+      row.push_back(Table::num(penalty_pct(base, k)) + "%");
+    }
+    fig1a.row(row);
+  }
+  fig1a.print();
+
+  harness::banner("Figure 1(b): Sort JCT (s) vs data size and VM density");
+  Table fig1b({"config", "Sort-1GB", "Sort-4GB", "Sort-8GB"});
+  for (int k : {1, 2, 4}) {
+    std::vector<std::string> row{std::to_string(k) + "-VM"};
+    for (double gb : {1.0, 4.0, 8.0}) {
+      const auto spec = sized(workload::sort_job(), gb);
+      row.push_back(Table::num(virtual_jct(spec, kPms, k)));
+    }
+    fig1b.row(row);
+  }
+  {
+    std::vector<std::string> row{"native"};
+    for (double gb : {1.0, 4.0, 8.0}) {
+      const auto spec = sized(workload::sort_job(), gb);
+      row.push_back(Table::num(native_jct(spec, kPms)));
+    }
+    fig1b.row(row);
+  }
+  fig1b.print();
+
+  harness::banner(
+      "Figure 1(b) shape check: virtual-vs-native gap vs data size (2-VM)");
+  Table gap({"data (GB)", "native JCT", "virtual JCT", "gap"});
+  for (double gb : {1.0, 4.0, 8.0, 16.0}) {
+    const auto spec = sized(workload::sort_job(), gb);
+    const double n = native_jct(spec, kPms);
+    const double v = virtual_jct(spec, kPms, 2);
+    gap.row({Table::num(gb, 0), Table::num(n), Table::num(v),
+             Table::pct((v - n) / n)});
+  }
+  gap.print();
+  return 0;
+}

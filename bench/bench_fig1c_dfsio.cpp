@@ -1,0 +1,54 @@
+// Figure 1(c): HDFS performance on virtual Hadoop — TestDFSIO read/write
+// average I/O rate and throughput on the virtual cluster, normalized to the
+// equivalent native cluster, versus data size.
+#include "common.h"
+
+#include "storage/dfsio.h"
+
+using namespace hybridmr;
+using namespace hybridmr::bench;
+
+namespace {
+
+struct Rates {
+  double read_io = 0;
+  double write_io = 0;
+  double read_tput = 0;
+  double write_tput = 0;
+};
+
+Rates run_dfsio(bool virtualized, double file_mb) {
+  TestBed bed;
+  std::vector<cluster::ExecutionSite*> sites =
+      virtualized ? bed.add_virtual_nodes(8, 2) : bed.add_native_nodes(8);
+  storage::DfsIoBenchmark dfsio(bed.sim(), bed.hdfs());
+  Rates r;
+  const auto w = dfsio.run_write(sites, file_mb);
+  r.write_io = w.avg_io_rate_mbps;
+  r.write_tput = w.throughput_mbps;
+  const auto rd = dfsio.run_read(sites, file_mb);
+  r.read_io = rd.avg_io_rate_mbps;
+  r.read_tput = rd.throughput_mbps;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  harness::banner(
+      "Figure 1(c): TestDFSIO on the virtual cluster, normalized to native "
+      "(8 PMs native vs 16 VMs on 8 PMs; per-node file of the given size)");
+  Table table({"data (GB)", "R-IO", "W-IO", "R-Tput", "W-Tput"});
+  for (double gb : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    const double file_mb = gb * 1024.0 / 8.0;  // spread across 8 writers
+    const Rates native = run_dfsio(false, file_mb);
+    const Rates virt = run_dfsio(true, file_mb);
+    table.row({Table::num(gb, 0),
+               Table::num(virt.read_io / native.read_io, 2),
+               Table::num(virt.write_io / native.write_io, 2),
+               Table::num(virt.read_tput / native.read_tput, 2),
+               Table::num(virt.write_tput / native.write_tput, 2)});
+  }
+  table.print();
+  return 0;
+}

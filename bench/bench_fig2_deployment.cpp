@@ -1,0 +1,108 @@
+// Figure 2: deployment studies.
+//   (a) Same-Host vs Cross-Host consolidation of a 16-VM Hadoop cluster
+//   (b) CPU-bound Kmeans under V1-1M-1R / V2-2M-4R / V4-4M-6R slot shapes
+//   (c) native vs Dom-0 execution
+//   (d) combined vs split TaskTracker/DataNode architecture
+#include "common.h"
+
+using namespace hybridmr;
+using namespace hybridmr::bench;
+
+namespace {
+
+double consolidation_jct(int hosts, int vms_per_host, double sort_gb) {
+  TestBed bed;
+  // Fixed paper-shape VMs (1 vCPU / 1 GB) regardless of packing density.
+  bed.add_virtual_nodes(hosts, vms_per_host, /*partitioned=*/false);
+  return bed.run_job(workload::sort_job().with_input_gb(sort_gb));
+}
+
+double kmeans_slots_jct(int vms_per_pm, int map_slots, int reduce_slots,
+                        double gb) {
+  TestBed bed;
+  const auto [vcpus, memory] = bed.partitioned_vm_shape(vms_per_pm);
+  auto hosts = bed.add_plain_machines(12);
+  for (auto* host : hosts) {
+    for (int i = 0; i < vms_per_pm; ++i) {
+      auto* vm = bed.cluster().add_vm(*host, "", vcpus, memory);
+      bed.hdfs().add_datanode(*vm);
+      bed.mr().add_tracker(*vm, map_slots, reduce_slots);
+    }
+  }
+  return bed.run_job(workload::kmeans().with_input_gb(gb));
+}
+
+}  // namespace
+
+int main() {
+  harness::banner(
+      "Figure 2(a): Sort JCT (s), 16 VMs consolidated on 2 PMs (Same-Host) "
+      "vs spread over 8 PMs (Cross-Host)");
+  Table fig2a({"data (GB)", "Same-Host", "Cross-Host", "cross/same"});
+  for (double gb : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    const double same = consolidation_jct(2, 8, gb);
+    const double cross = consolidation_jct(8, 2, gb);
+    fig2a.row({Table::num(gb, 0), Table::num(same), Table::num(cross),
+               Table::num(cross / same, 2)});
+  }
+  fig2a.print();
+
+  harness::banner(
+      "Figure 2(b): Kmeans JCT (s) with more VMs and slots per PM "
+      "(12 PMs; V1-1M-1R, V2-2M-4R, V4-4M-6R as per-PM slot totals)");
+  Table fig2b({"config", "Kmeans-1GB", "Kmeans-4GB", "Kmeans-8GB"});
+  struct Shape {
+    const char* name;
+    int vms;
+    int maps_per_vm;
+    int reduces_per_vm;
+  };
+  for (const Shape& s : {Shape{"V1-1M-1R", 1, 1, 1},
+                         Shape{"V2-2M-4R", 2, 1, 2},
+                         Shape{"V4-4M-6R", 4, 1, 2}}) {
+    std::vector<std::string> row{s.name};
+    for (double gb : {1.0, 4.0, 8.0}) {
+      row.push_back(Table::num(
+          kmeans_slots_jct(s.vms, s.maps_per_vm, s.reduces_per_vm, gb)));
+    }
+    fig2b.row(row);
+  }
+  fig2b.print();
+
+  harness::banner("Figure 2(c): native vs Dom-0 JCT (normalized to native)");
+  Table fig2c({"benchmark", "native (s)", "Dom-0 (s)", "Dom-0/native"});
+  for (const auto& base : workload::all_benchmarks()) {
+    TestBed nat;
+    nat.add_native_nodes(8);
+    const double n = nat.run_job(base);
+    TestBed dom0;
+    dom0.add_dom0_nodes(8);
+    const double d = dom0.run_job(base);
+    fig2c.row({base.name, Table::num(n), Table::num(d),
+               Table::num(d / n, 3)});
+  }
+  fig2c.print();
+
+  harness::banner(
+      "Figure 2(d): combined vs split TaskTracker/DataNode architecture "
+      "(8 hosts x 2 compute VMs; normalized to combined)");
+  Table fig2d({"benchmark", "combined (s)", "split (s)", "split/combined"});
+  double gain_sum = 0;
+  int gain_n = 0;
+  for (const auto& base : workload::all_benchmarks()) {
+    TestBed combined;
+    combined.add_virtual_nodes(8, 2);
+    const double c = combined.run_job(base);
+    TestBed split;
+    split.add_split_nodes(8, 2);
+    const double s = split.run_job(base);
+    fig2d.row({base.name, Table::num(c), Table::num(s),
+               Table::num(s / c, 3)});
+    gain_sum += 1.0 - s / c;
+    ++gain_n;
+  }
+  fig2d.print();
+  std::printf("  mean split improvement: %.1f%% (paper: 12.8%%)\n",
+              100.0 * gain_sum / gain_n);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 5: dependence of job completion time on cluster size and data size
+// — the empirical basis of the Phase I profiler's extrapolation rules.
+//   (a) end-to-end JCT vs cluster size (Sort / PiEst / DistGrep, normalized)
+//   (b) map-phase time vs cluster size (Sort, 2-5 GB)
+//   (c) reduce-phase time vs cluster size (Sort, 2-5 GB)
+//   (d) JCT vs data size for virtual clusters C1..C16
+#include "common.h"
+
+using namespace hybridmr;
+using namespace hybridmr::bench;
+
+namespace {
+
+struct PhaseTimes {
+  double jct = 0;
+  double map_s = 0;
+  double reduce_s = 0;
+};
+
+PhaseTimes run_virtual(const mapred::JobSpec& spec, int vms) {
+  TestBed bed;
+  if (vms >= 2) bed.add_virtual_nodes(vms / 2, 2);
+  if (vms % 2 == 1) bed.add_virtual_nodes(1, 1);
+  mapred::Job* job = bed.mr().submit(spec);
+  bed.sim().run();
+  return {job->jct(), job->map_phase_seconds(), job->reduce_phase_seconds()};
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<int> cluster_sizes{2, 4, 8, 16, 24, 32, 40};
+
+  harness::banner(
+      "Figure 5(a): end-to-end JCT vs cluster size (VMs), normalized to the "
+      "smallest cluster");
+  Table fig5a({"VMs", "Sort", "PiEst", "DistGrep"});
+  std::vector<std::vector<double>> jcts(3);
+  for (int vms : cluster_sizes) {
+    jcts[0].push_back(run_virtual(workload::sort_job().with_input_gb(5), vms).jct);
+    jcts[1].push_back(run_virtual(workload::pi_est(), vms).jct);
+    jcts[2].push_back(
+        run_virtual(workload::dist_grep().with_input_gb(5), vms).jct);
+  }
+  for (std::size_t i = 0; i < cluster_sizes.size(); ++i) {
+    fig5a.row({std::to_string(cluster_sizes[i]),
+               Table::num(jcts[0][i] / jcts[0][0], 3),
+               Table::num(jcts[1][i] / jcts[1][0], 3),
+               Table::num(jcts[2][i] / jcts[2][0], 3)});
+  }
+  fig5a.print();
+
+  harness::banner(
+      "Figure 5(b,c): Sort map / reduce phase times (s) vs cluster size");
+  Table fig5bc({"VMs", "map 2GB", "map 3GB", "map 5GB", "reduce 2GB",
+                "reduce 3GB", "reduce 5GB"});
+  for (int vms : {2, 4, 6, 8, 10, 12}) {
+    std::vector<std::string> row{std::to_string(vms)};
+    std::vector<std::string> reduce_cells;
+    for (double gb : {2.0, 3.0, 5.0}) {
+      const auto t = run_virtual(workload::sort_job().with_input_gb(gb), vms);
+      row.push_back(Table::num(t.map_s));
+      reduce_cells.push_back(Table::num(t.reduce_s));
+    }
+    row.insert(row.end(), reduce_cells.begin(), reduce_cells.end());
+    fig5bc.row(row);
+  }
+  fig5bc.print();
+
+  harness::banner(
+      "Figure 5(d): Sort JCT (s) vs data size for virtual clusters C1..C16");
+  Table fig5d({"data (GB)", "C1", "C2", "C4", "C8", "C16"});
+  for (double gb : {2.5, 5.0, 7.5, 10.0, 15.0}) {
+    std::vector<std::string> row{Table::num(gb, 1)};
+    for (int vms : {1, 2, 4, 8, 16}) {
+      row.push_back(
+          Table::num(run_virtual(workload::sort_job().with_input_gb(gb), vms)
+                         .jct));
+    }
+    fig5d.row(row);
+  }
+  fig5d.print();
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Micro-benchmarks (google-benchmark) for the simulator's hot paths: the
+// event queue, the max-min fair allocator, machine recomputation, the
+// regression fits, and an end-to-end small job.
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.h"
+#include "harness/testbed.h"
+#include "sim/event_queue.h"
+#include "sim/simulation.h"
+#include "stats/regression.h"
+#include "workload/benchmarks.h"
+
+namespace {
+
+using namespace hybridmr;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < n; ++i) {
+      q.push(static_cast<double>((i * 7919) % n), [] {});
+    }
+    while (auto e = q.pop()) benchmark::DoNotOptimize(e->time);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1000)->Arg(10000);
+
+void BM_EventCancellation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::vector<sim::EventId> ids;
+    ids.reserve(n);
+    for (int i = 0; i < n; ++i) ids.push_back(q.push(i, [] {}));
+    for (int i = 0; i < n; i += 2) q.cancel(ids[i]);
+    while (auto e = q.pop()) benchmark::DoNotOptimize(e->time);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventCancellation)->Arg(10000);
+
+void BM_Waterfill(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<double> demands(n);
+  for (int i = 0; i < n; ++i) demands[i] = 1.0 + (i % 17);
+  for (auto _ : state) {
+    auto alloc = cluster::waterfill(static_cast<double>(n), demands);
+    benchmark::DoNotOptimize(alloc.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Waterfill)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_MachineRecompute(benchmark::State& state) {
+  const int workloads = static_cast<int>(state.range(0));
+  sim::Simulation sim;
+  cluster::HybridCluster hc(sim);
+  auto* machine = hc.add_machine();
+  auto* vm1 = hc.add_vm(*machine);
+  auto* vm2 = hc.add_vm(*machine);
+  for (int i = 0; i < workloads; ++i) {
+    cluster::Resources d;
+    d.cpu = 0.3;
+    d.disk = 10;
+    d.memory = 100;
+    (i % 2 == 0 ? vm1 : vm2)
+        ->add(std::make_shared<cluster::Workload>(
+            "w" + std::to_string(i), d, cluster::Workload::kService));
+  }
+  for (auto _ : state) {
+    machine->recompute();
+  }
+  state.SetItemsProcessed(state.iterations() * workloads);
+}
+BENCHMARK(BM_MachineRecompute)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_LinearRegressionFit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<double> x(n), y(n);
+  for (int i = 0; i < n; ++i) {
+    x[i] = i;
+    y[i] = 3.0 * i + (i % 5);
+  }
+  for (auto _ : state) {
+    auto fit = stats::LinearRegression::fit(x, y);
+    benchmark::DoNotOptimize(fit->slope());
+  }
+}
+BENCHMARK(BM_LinearRegressionFit)->Arg(32)->Arg(256);
+
+void BM_PiecewiseFit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<double> x(n), y(n);
+  for (int i = 0; i < n; ++i) {
+    x[i] = i;
+    y[i] = i < n / 2 ? 10.0 : 10.0 + 2.0 * (i - n / 2);
+  }
+  for (auto _ : state) {
+    auto fit = stats::PiecewiseLinearRegression::fit(x, y);
+    benchmark::DoNotOptimize(fit->breakpoint());
+  }
+}
+BENCHMARK(BM_PiecewiseFit)->Arg(32)->Arg(128);
+
+void BM_EndToEndSmallJob(benchmark::State& state) {
+  for (auto _ : state) {
+    harness::TestBed bed;
+    bed.add_native_nodes(4);
+    const double jct =
+        bed.run_job(workload::sort_job().with_input_gb(0.5));
+    benchmark::DoNotOptimize(jct);
+  }
+}
+BENCHMARK(BM_EndToEndSmallJob)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

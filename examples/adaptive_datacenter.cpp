@@ -1,0 +1,111 @@
+// Adaptive data center: the paper's closing claim in action — "it is
+// possible to dynamically change the native and virtual cluster
+// configurations to accommodate variations in workload mix".
+//
+// A controller watches the batch backlog and the interactive load, and
+// uses the Reconfigurator to convert idle machines between native-Hadoop
+// duty (batch-heavy phases) and virtualized duty (interactive-heavy
+// phases), on the fly, while jobs keep running.
+//
+//   $ ./adaptive_datacenter
+#include <cstdio>
+
+#include "core/hybridmr.h"
+#include "core/reconfigurator.h"
+#include "harness/table.h"
+#include "harness/testbed.h"
+#include "interactive/presets.h"
+#include "workload/benchmarks.h"
+
+int main() {
+  using namespace hybridmr;
+
+  harness::TestBed bed;
+  auto nodes = bed.add_native_nodes(6);      // everything starts native
+  bed.add_virtual_nodes(2, 2);               // a small virtual seed
+
+  core::HybridMROptions options;
+  options.enable_phase1 = false;  // keep the story focused on reconfig
+  core::HybridMRScheduler hybrid(bed.sim(), bed.cluster(), bed.hdfs(),
+                                 bed.mr(), options);
+  hybrid.start();
+  core::Reconfigurator reconfig(bed.cluster(), bed.hdfs(), bed.mr());
+
+  // Phase 1 (0-15 min): batch-heavy. Phase 2 (15-40 min): an interactive
+  // surge arrives and batch drains. Phase 3 (40+): batch returns.
+  for (double t : {10.0, 60.0, 120.0}) {
+    bed.sim().at(t, [&] {
+      bed.mr().submit(workload::sort_job().with_input_gb(2));
+    });
+  }
+  std::vector<interactive::InteractiveApp*> apps;
+  bed.sim().at(15 * 60, [&] {
+    for (int i = 0; i < 3; ++i) {
+      apps.push_back(&hybrid.deploy_interactive(
+          interactive::rubis_params(), 700));
+    }
+  });
+  bed.sim().at(40 * 60, [&] {
+    for (auto* app : apps) app->set_clients(150);
+    bed.mr().submit(workload::wcount().with_input_gb(3));
+    bed.mr().submit(workload::kmeans().with_input_gb(2));
+  });
+
+  // The adaptation loop: virtualize idle native nodes when interactive
+  // demand outstrips VM supply; nativize empty virtual hosts when batch
+  // backlog dominates.
+  bed.sim().every(60, [&] {
+    int active_clients = 0;
+    for (auto* app : apps) active_clients += app->clients();
+    const int wanted_vm_hosts = active_clients / 700 + 2;
+    int vm_hosts = 0;
+    for (const auto& m : bed.cluster().machines()) {
+      if (!m->vms().empty()) ++vm_hosts;
+    }
+    if (vm_hosts < wanted_vm_hosts) {
+      for (auto* site : nodes) {
+        auto* machine = static_cast<cluster::Machine*>(site);
+        if (machine->vms().empty() && reconfig.idle(*machine) &&
+            !reconfig.virtualize_node(*machine, 2).empty()) {
+          break;  // one conversion per minute
+        }
+      }
+    } else if (vm_hosts > wanted_vm_hosts && bed.mr().active_jobs() > 0) {
+      for (const auto& m : bed.cluster().machines()) {
+        if (!m->vms().empty() && reconfig.idle(*m) &&
+            reconfig.nativize_host(*m)) {
+          break;
+        }
+      }
+    }
+  });
+
+  // Report the cluster shape every 10 minutes.
+  harness::Table table({"minute", "native nodes", "VM nodes", "active jobs",
+                        "conversions"});
+  bed.sim().every(10 * 60, [&] {
+    int native_trackers = 0;
+    int vm_trackers = 0;
+    for (const auto& tr : bed.mr().trackers()) {
+      (tr->site().is_virtual() ? vm_trackers : native_trackers)++;
+    }
+    table.row({harness::Table::num(bed.sim().now() / 60, 0),
+               std::to_string(native_trackers), std::to_string(vm_trackers),
+               std::to_string(bed.mr().active_jobs()),
+               std::to_string(reconfig.stats().virtualized +
+                              reconfig.stats().nativized)});
+  });
+
+  bed.run_until(60 * 60);
+  hybrid.stop();
+
+  harness::banner("Adaptive reconfiguration over a one-hour workload shift");
+  table.print();
+  std::printf(
+      "\nconversions: %d virtualized, %d nativized; re-replicated %.0f MB "
+      "of HDFS data along the way\n",
+      reconfig.stats().virtualized, reconfig.stats().nativized,
+      bed.hdfs().re_replicated_mb());
+  for (auto* app : apps) app->stop();
+  return 0;
+}

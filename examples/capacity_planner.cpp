@@ -1,0 +1,89 @@
+// Capacity planner: given a fixed pool of physical machines, sweep hybrid
+// native/virtual splits of the infrastructure, run the same workload mix on
+// each, and recommend the split with the best Performance/Energy — the
+// paper's Fig. 11 design-trade-off analysis as a tool.
+//
+//   $ ./capacity_planner [total_pms]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/table.h"
+#include "harness/testbed.h"
+#include "workload/benchmarks.h"
+
+namespace {
+
+struct Outcome {
+  int native_pms = 0;
+  int virtual_hosts = 0;
+  int vms = 0;
+  double mean_jct = 0;
+  double energy_wh = 0;
+  double utilization = 0;
+  double perf_per_energy = 0;  // 1 / (mean JCT * energy), scaled
+};
+
+Outcome evaluate(int native_pms, int virtual_hosts) {
+  using namespace hybridmr;
+  harness::TestBed bed;
+  bed.add_native_nodes(native_pms);
+  bed.add_virtual_nodes(virtual_hosts, 2);
+
+  const std::vector<mapred::JobSpec> jobs = {
+      workload::sort_job().with_input_gb(2).with_reducers(4),
+      workload::kmeans().with_input_gb(1).with_reducers(4),
+      workload::wcount().with_input_gb(2).with_reducers(4),
+      workload::dist_grep().with_input_gb(2),
+  };
+  const auto jcts = bed.run_jobs(jobs);
+  const double end = bed.sim().now();
+
+  Outcome o;
+  o.native_pms = native_pms;
+  o.virtual_hosts = virtual_hosts;
+  o.vms = virtual_hosts * 2;
+  for (double jct : jcts) o.mean_jct += jct / jcts.size();
+  o.energy_wh = bed.cluster().energy_joules(0, end) / 3600.0;
+  o.utilization = bed.cluster().mean_utilization(
+      cluster::ResourceKind::kCpu, 0, end);
+  o.perf_per_energy = 1e6 / (o.mean_jct * o.energy_wh);
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int total = argc > 1 ? std::atoi(argv[1]) : 8;
+
+  hybridmr::harness::banner(
+      "Capacity planner: hybrid splits of " + std::to_string(total) +
+      " physical machines (workload: sort+kmeans+wcount+distgrep)");
+  hybridmr::harness::Table table(
+      {"native PMs", "virt hosts", "VMs", "mean JCT (s)", "energy (Wh)",
+       "cpu util", "perf/energy"});
+
+  Outcome best;
+  bool have_best = false;
+  for (int native = 1; native < total; ++native) {
+    const int hosts = total - native;
+    const Outcome o = evaluate(native, hosts);
+    table.row({std::to_string(o.native_pms), std::to_string(o.virtual_hosts),
+               std::to_string(o.vms),
+               hybridmr::harness::Table::num(o.mean_jct),
+               hybridmr::harness::Table::num(o.energy_wh),
+               hybridmr::harness::Table::pct(o.utilization),
+               hybridmr::harness::Table::num(o.perf_per_energy, 3)});
+    if (!have_best || o.perf_per_energy > best.perf_per_energy) {
+      best = o;
+      have_best = true;
+    }
+  }
+  table.print();
+  std::printf(
+      "\nRecommended split: %d native PMs + %d virtualized hosts (%d VMs)"
+      " -> perf/energy %.3f\n",
+      best.native_pms, best.virtual_hosts, best.vms, best.perf_per_energy);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// cluster_sim_cli: run any of the paper's benchmarks on any cluster shape.
+//
+//   $ ./cluster_sim_cli <benchmark> <nodes> <native|virtual|dom0|split> [data_gb]
+//   $ ./cluster_sim_cli sort 8 virtual 4
+//
+// Prints job phase timings, locality and utilization metrics — a handy way
+// to poke at the substrate.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "harness/testbed.h"
+#include "workload/benchmarks.h"
+
+int main(int argc, char** argv) {
+  using namespace hybridmr;
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: %s <twitter|wcount|piest|distgrep|sort|kmeans> "
+                 "<nodes> <native|virtual|dom0|split> [data_gb]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string bench = argv[1];
+  const int nodes = std::atoi(argv[2]);
+  const std::string mode = argv[3];
+
+  mapred::JobSpec spec;
+  try {
+    spec = workload::benchmark(bench);
+  } catch (const std::out_of_range& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  if (argc > 4) spec = spec.with_input_gb(std::atof(argv[4]));
+
+  harness::TestBed bed;
+  if (mode == "native") {
+    bed.add_native_nodes(nodes);
+  } else if (mode == "virtual") {
+    bed.add_virtual_nodes((nodes + 1) / 2, 2);
+  } else if (mode == "dom0") {
+    bed.add_dom0_nodes(nodes);
+  } else if (mode == "split") {
+    bed.add_split_nodes((nodes + 1) / 2, 2);
+  } else {
+    std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());
+    return 2;
+  }
+
+  mapred::Job* job = bed.mr().submit(spec);
+  bed.sim().run();
+  const double end = bed.sim().now();
+
+  std::printf("benchmark      : %s (%s, %.1f GB)\n", spec.name.c_str(),
+              to_string(spec.job_class), spec.input_gb);
+  std::printf("cluster        : %d %s nodes (%zu tasktrackers)\n", nodes,
+              mode.c_str(), bed.mr().trackers().size());
+  std::printf("JCT            : %.1f s  (map %.1f s, reduce %.1f s)\n",
+              job->jct(), job->map_phase_seconds(),
+              job->reduce_phase_seconds());
+  std::printf("tasks          : %zu maps, %zu reduces, %d speculative\n",
+              job->maps().size(), job->reduces().size(),
+              bed.mr().speculative_launched());
+  const double local = bed.hdfs().bytes_read_local_mb();
+  const double remote = bed.hdfs().bytes_read_remote_mb();
+  std::printf("input locality : %.1f%% local (%.0f MB local, %.0f MB remote)\n",
+              local + remote > 0 ? 100.0 * local / (local + remote) : 100.0,
+              local, remote);
+  std::printf("hdfs writes    : %.0f MB (replicated)\n",
+              bed.hdfs().bytes_written_mb());
+  std::printf("cpu util       : %.1f%%  energy: %.1f Wh\n",
+              bed.cluster().mean_utilization(cluster::ResourceKind::kCpu, 0,
+                                             end) *
+                  100,
+              bed.cluster().energy_joules(0, end) / 3600.0);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// SLA guardian: co-locate interactive applications with batch MapReduce on
+// a virtualized cluster and watch HybridMR's IPS keep the interactive SLA
+// (the paper's Fig. 9(a) scenario, narrated).
+//
+//   $ ./sla_guardian
+#include <cstdio>
+
+#include "core/hybridmr.h"
+#include "harness/testbed.h"
+#include "interactive/presets.h"
+#include "sim/log.h"
+#include "workload/benchmarks.h"
+
+int main() {
+  using namespace hybridmr;
+  sim::Log::threshold() = sim::LogLevel::kInfo;  // narrate decisions
+
+  harness::TestBed bed;
+  // Two virtualized hosts: each hosts one interactive VM and one batch VM.
+  auto hosts = bed.add_plain_machines(2);
+  std::vector<cluster::VirtualMachine*> app_vms;
+  for (auto* host : hosts) {
+    app_vms.push_back(bed.add_plain_vm(*host));
+    auto* batch_vm = bed.add_plain_vm(*host);
+    bed.hdfs().add_datanode(*batch_vm);
+    bed.mr().add_tracker(*batch_vm);
+  }
+  // A spare host gives the IPS somewhere to migrate batch VMs.
+  bed.add_plain_machines(1);
+
+  core::HybridMROptions options;
+  options.enable_phase1 = false;  // virtual-only cluster here
+  core::HybridMRScheduler hybrid(bed.sim(), bed.cluster(), bed.hdfs(),
+                                 bed.mr(), options);
+  hybrid.start();
+
+  auto& rubis = hybrid.deploy_interactive(interactive::rubis_params(), 900,
+                                          app_vms[0]);
+  auto& tpcw = hybrid.deploy_interactive(interactive::tpcw_params(), 700,
+                                         app_vms[1]);
+
+  // Batch work arrives a minute in.
+  bed.sim().at(60, [&] {
+    hybrid.submit(workload::sort_job().with_input_gb(4));
+    hybrid.submit(workload::wcount().with_input_gb(2));
+  });
+
+  // Report the interactive latencies every simulated minute.
+  std::printf("\n%8s %14s %14s %10s %10s %10s\n", "t(min)", "rubis(ms)",
+              "tpcw(ms)", "throttle", "pause", "requeue");
+  bed.sim().every(60, [&] {
+    const auto& s = hybrid.ips().stats();
+    std::printf("%8.0f %14.0f %14.0f %10d %10d %10d\n",
+                bed.sim().now() / 60, rubis.response_time_s() * 1000,
+                tpcw.response_time_s() * 1000, s.throttles, s.pauses,
+                s.requeues);
+  });
+
+  bed.run_until(35 * 60);  // the paper's 35-minute window
+  hybrid.stop();
+
+  const double rubis_violations =
+      interactive::SlaMonitor::violation_fraction(rubis, 0, bed.sim().now());
+  const double tpcw_violations =
+      interactive::SlaMonitor::violation_fraction(tpcw, 0, bed.sim().now());
+  std::printf("\nSLA violation fraction: rubis %.1f%%, tpcw %.1f%%\n",
+              rubis_violations * 100, tpcw_violations * 100);
+  std::printf("IPS actions: %d throttles, %d pauses, %d requeues, "
+              "%d VM migrations, %d restores\n",
+              hybrid.ips().stats().throttles, hybrid.ips().stats().pauses,
+              hybrid.ips().stats().requeues,
+              hybrid.ips().stats().vm_migrations,
+              hybrid.ips().stats().restores);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// HybridCluster: the container for a mixed native/virtual testbed.
+//
+// Owns all machines and VMs, provides builder helpers for the paper's
+// topologies (24 PMs, k VMs per PM, Dom-0 nodes, ...) and cluster-wide
+// metric aggregation (energy, utilization, powered server count).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/calibration.h"
+#include "cluster/machine.h"
+#include "cluster/migration.h"
+#include "sim/simulation.h"
+
+namespace hybridmr::cluster {
+
+class HybridCluster {
+ public:
+  explicit HybridCluster(sim::Simulation& sim,
+                         const Calibration& cal = Calibration::standard())
+      : sim_(sim), cal_(cal), migrator_(sim, cal) {}
+
+  HybridCluster(const HybridCluster&) = delete;
+  HybridCluster& operator=(const HybridCluster&) = delete;
+
+  // --- construction ---
+
+  /// Adds one physical machine with the calibrated capacity.
+  Machine* add_machine(const std::string& name = "");
+
+  /// Adds `n` physical machines named <prefix>0..<prefix>n-1.
+  std::vector<Machine*> add_machines(int n, const std::string& prefix = "pm");
+
+  /// Adds a VM on `host` with the calibrated VM shape (or overrides).
+  VirtualMachine* add_vm(Machine& host, const std::string& name = "",
+                         double vcpus = -1, double memory_mb = -1);
+
+  /// Adds `count` VMs to `host`.
+  std::vector<VirtualMachine*> virtualize(Machine& host, int count);
+
+  // --- lookup ---
+  [[nodiscard]] const std::vector<std::unique_ptr<Machine>>& machines() const {
+    return machines_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<VirtualMachine>>& vms()
+      const {
+    return vms_;
+  }
+  [[nodiscard]] Machine* machine(const std::string& name) const;
+  [[nodiscard]] VirtualMachine* vm(const std::string& name) const;
+  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+  [[nodiscard]] const Calibration& calibration() const { return cal_; }
+  [[nodiscard]] Migrator& migrator() { return migrator_; }
+
+  // --- cluster-wide metrics ---
+
+  /// Total energy consumed by powered machines over [t0, t1], joules.
+  [[nodiscard]] double energy_joules(double t0, double t1) const;
+
+  /// Mean utilization of one resource across powered machines in [t0, t1].
+  [[nodiscard]] double mean_utilization(ResourceKind kind, double t0,
+                                        double t1) const;
+
+  [[nodiscard]] int powered_machines() const;
+
+  /// Powers off every machine hosting neither VMs nor workloads.
+  int power_off_idle();
+
+ private:
+  sim::Simulation& sim_;
+  const Calibration& cal_;
+  Migrator migrator_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+  std::vector<std::unique_ptr<VirtualMachine>> vms_;
+};
+
+}  // namespace hybridmr::cluster

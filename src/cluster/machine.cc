@@ -1,0 +1,374 @@
+#include "cluster/machine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace hybridmr::cluster {
+
+std::vector<double> waterfill(double capacity,
+                              std::span<const double> demands) {
+  const std::size_t n = demands.size();
+  std::vector<double> alloc(n, 0.0);
+  if (n == 0 || capacity <= 0) return alloc;
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return demands[a] < demands[b];
+  });
+
+  double remaining = capacity;
+  std::size_t unsatisfied = n;
+  for (std::size_t idx : order) {
+    const double fair = remaining / static_cast<double>(unsatisfied);
+    const double got = std::min(demands[idx], fair);
+    alloc[idx] = got < 0 ? 0 : got;
+    remaining -= alloc[idx];
+    --unsatisfied;
+  }
+  return alloc;
+}
+
+double memory_pressure_factor(double ratio, const Calibration& cal) {
+  if (ratio >= 1.0) return 1.0;
+  if (ratio < 0) ratio = 0;
+  double factor;
+  if (ratio >= cal.mem_soft_knee) {
+    factor = 1.0 - cal.mem_soft_slope * (1.0 - ratio);
+  } else {
+    factor = 1.0 - cal.mem_soft_slope * (1.0 - cal.mem_soft_knee) -
+             cal.mem_hard_slope * (cal.mem_soft_knee - ratio);
+  }
+  return std::max(cal.mem_floor, factor);
+}
+
+namespace {
+
+/// Speed of a workload given its (raw) demand, grant and efficiencies.
+/// Using the raw demand means throttled or under-provisioned workloads run
+/// proportionally slower, which is exactly the cgroup semantics the DRM
+/// relies on.
+double speed_of(const Workload& w, const Resources& alloc, double eff_cpu,
+                double eff_io, const Calibration& cal) {
+  if (w.paused()) return 0;
+  const Resources& d = w.demand();
+  // The I/O virtualization tax bites in proportion to how I/O-dominated
+  // the workload is: a compute-heavy pipeline with a trickle of disk
+  // traffic buffers through the tax, while a bulk stream feels it fully.
+  // One core is weighted as one full disk stream's worth of work.
+  double eff_io_weighted = eff_io;
+  const double io_demand = d.disk + d.net;
+  if (io_demand > 0 && d.cpu > 0) {
+    const double f_io =
+        io_demand / (io_demand + d.cpu * cal.hdfs_stream_disk_mbps);
+    eff_io_weighted = 1.0 - (1.0 - eff_io) * f_io;
+  }
+  double speed = 1.0;
+  if (d.cpu > 0) speed = std::min(speed, alloc.cpu * eff_cpu / d.cpu);
+  if (d.disk > 0) {
+    speed = std::min(speed, alloc.disk * eff_io_weighted / d.disk);
+  }
+  if (d.net > 0) speed = std::min(speed, alloc.net * eff_io_weighted / d.net);
+  if (d.memory > 0) {
+    speed *= memory_pressure_factor(alloc.memory / d.memory, cal);
+  }
+  return speed;
+}
+
+/// Water-fills each resource of `grant` across the effective demands of
+/// `workloads`.
+std::vector<Resources> split_grant(const std::vector<WorkloadPtr>& workloads,
+                                   const Resources& grant) {
+  const std::size_t n = workloads.size();
+  std::vector<Resources> out(n);
+  std::vector<double> demand(n);
+  for (int r = 0; r < kNumResources; ++r) {
+    const auto kind = static_cast<ResourceKind>(r);
+    for (std::size_t i = 0; i < n; ++i) {
+      demand[i] = workloads[i]->effective_demand()[kind];
+    }
+    const auto alloc = waterfill(grant[kind], demand);
+    for (std::size_t i = 0; i < n; ++i) out[i][kind] = alloc[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Site ----
+
+void ExecutionSite::add(WorkloadPtr workload) {
+  assert(workload != nullptr);
+  assert(workload->site_ == nullptr && "workload already attached");
+  workload->site_ = this;
+  const sim::SimTime now = simulation().now();
+  workload->last_settle_ = now;
+  workload->started_at_ = now;
+  workloads_.push_back(std::move(workload));
+  reallocate();
+}
+
+void ExecutionSite::remove(Workload* workload) {
+  auto it = std::find_if(
+      workloads_.begin(), workloads_.end(),
+      [workload](const WorkloadPtr& p) { return p.get() == workload; });
+  if (it == workloads_.end()) return;
+  WorkloadPtr keep = *it;  // keep alive through the tail of this function
+  const sim::SimTime now = simulation().now();
+  keep->settle(now);
+  simulation().cancel(keep->completion_event);
+  keep->completion_event = {};
+  keep->speed_ = 0;
+  keep->allocated_ = {};
+  keep->site_ = nullptr;
+  workloads_.erase(it);
+  reallocate();
+}
+
+void ExecutionSite::reallocate() {
+  Machine* machine = host_machine();
+  if (machine != nullptr) machine->recompute();
+}
+
+Resources ExecutionSite::total_demand() const {
+  Resources sum;
+  for (const auto& w : workloads_) sum += w->effective_demand();
+  return sum;
+}
+
+Resources ExecutionSite::total_allocated() const {
+  Resources sum;
+  for (const auto& w : workloads_) sum += w->allocated();
+  return sum;
+}
+
+// ------------------------------------------------------------------ VM ----
+
+VirtualMachine::VirtualMachine(sim::Simulation& sim, std::string name,
+                               double vcpus, double memory_mb,
+                               const Calibration& cal)
+    : ExecutionSite(std::move(name)),
+      sim_(sim),
+      vcpus_(vcpus),
+      memory_mb_(memory_mb),
+      cal_(cal) {}
+
+Resources VirtualMachine::nominal() const {
+  // Disk/net are shared with the host; the VM's nominal slice is the host
+  // capacity divided by its resident VMs (placement-time estimate only).
+  Resources n{vcpus_, memory_mb_, cal_.pm_disk_mbps, cal_.pm_net_mbps};
+  if (host_ != nullptr && !host_->vms().empty()) {
+    const double k = static_cast<double>(host_->vms().size());
+    n.disk /= k;
+    n.net /= k;
+  }
+  return n.min(caps_);
+}
+
+void VirtualMachine::set_caps(const Resources& caps) {
+  caps_ = caps;
+  reallocate();
+}
+
+void VirtualMachine::set_paused(bool paused) {
+  if (paused_ == paused) return;
+  paused_ = paused;
+  reallocate();
+}
+
+void VirtualMachine::set_migrating(bool migrating) {
+  if (migrating_ == migrating) return;
+  migrating_ = migrating;
+  reallocate();
+}
+
+Resources VirtualMachine::aggregate_demand() const {
+  if (paused_) return {};
+  Resources sum = total_demand();
+  Resources limit = caps_;
+  limit.cpu = std::min(limit.cpu, vcpus_);
+  limit.memory = std::min(limit.memory, memory_mb_);
+  if (!dom0_) limit.net = std::min(limit.net, cal_.vm_net_cap_mbps);
+  return sum.clamped_to(limit);
+}
+
+bool VirtualMachine::doing_io() const {
+  const Resources d = aggregate_demand();
+  return d.disk + d.net > 1.0;  // > 1 MB/s counts as active I/O
+}
+
+double VirtualMachine::cpu_efficiency() const {
+  return 1.0 - (dom0_ ? cal_.dom0_cpu_tax : cal_.cpu_tax);
+}
+
+double VirtualMachine::io_efficiency(int active_io_vms) const {
+  if (dom0_) return 1.0 - cal_.dom0_io_tax;
+  double tax = cal_.io_tax;
+  if (active_io_vms > 1) {
+    tax += cal_.io_contention_tax * static_cast<double>(active_io_vms - 1);
+  }
+  // Buffer-cache model: the page cache is whatever memory the resident
+  // workloads leave free, so combined TaskTracker+DataNode VMs (task heap
+  // squeezing the cache) hit the miss penalty much sooner than a dedicated
+  // storage VM — the split-architecture advantage of Fig. 2(d)/Fig. 3.
+  double used_mb = 0;
+  for (const auto& w : workloads_) used_mb += w->demand().memory;
+  const double free_mb = std::max(64.0, memory_mb_ - used_mb);
+  const double knee = cal_.io_cache_knee_factor * free_mb;
+  if (knee > 0) {
+    tax += cal_.io_cache_tax * std::min(1.0, recent_io_mb_ / knee);
+  }
+  return std::max(0.3, 1.0 - tax);
+}
+
+void VirtualMachine::settle_all(sim::SimTime now) {
+  const double dt = now - last_decay_;
+  if (dt > 0) {
+    recent_io_mb_ *= std::exp2(-dt / cal_.io_cache_halflife_s);
+    last_decay_ = now;
+  }
+  for (const auto& w : workloads_) recent_io_mb_ += w->settle(now);
+}
+
+void VirtualMachine::distribute(sim::SimTime now, const Resources& grant,
+                                int active_io_vms) {
+  const double eff_cpu = cpu_efficiency();
+  const double eff_io = io_efficiency(active_io_vms);
+  const double migration_factor =
+      migrating_ ? 1.0 - cal_.migration_guest_slowdown : 1.0;
+  const auto allocs = split_grant(workloads_, grant);
+  for (std::size_t i = 0; i < workloads_.size(); ++i) {
+    const auto& w = workloads_[i];
+    double speed =
+        paused_ ? 0.0 : speed_of(*w, allocs[i], eff_cpu, eff_io, cal_);
+    speed *= migration_factor;
+    w->apply_allocation(now, allocs[i], speed);
+    if (host_ != nullptr) host_->reschedule(w);
+  }
+}
+
+// -------------------------------------------------------------- Machine ----
+
+Machine::Machine(sim::Simulation& sim, std::string name, Resources capacity,
+                 const Calibration& cal)
+    : ExecutionSite(std::move(name)),
+      sim_(sim),
+      capacity_(capacity),
+      cal_(cal),
+      power_model_{cal.pm_idle_watts, cal.pm_peak_watts} {
+  energy_.record(sim_.now(), power_model_.watts(0));
+}
+
+void Machine::attach_vm(VirtualMachine* vm) {
+  assert(vm != nullptr && vm->host_machine() == nullptr);
+  vm->attach_to(this);
+  vms_.push_back(vm);
+  recompute();
+}
+
+void Machine::detach_vm(VirtualMachine* vm) {
+  auto it = std::find(vms_.begin(), vms_.end(), vm);
+  if (it == vms_.end()) return;
+  // Freeze the VM's workloads: settle, zero speeds, cancel events.
+  vm->settle_all(sim_.now());
+  for (const auto& w : vm->workloads()) {
+    sim_.cancel(w->completion_event);
+    w->completion_event = {};
+    w->apply_allocation(sim_.now(), {}, 0);
+  }
+  vm->attach_to(nullptr);
+  vms_.erase(it);
+  recompute();
+}
+
+void Machine::set_powered(bool on) {
+  if (powered_ == on) return;
+  powered_ = on;
+  recompute();
+}
+
+double Machine::utilization(ResourceKind kind) const {
+  const double cap = capacity_[kind];
+  return cap > 0 ? allocated_total_[kind] / cap : 0;
+}
+
+void Machine::reschedule(const WorkloadPtr& workload) {
+  sim_.cancel(workload->completion_event);
+  workload->completion_event = {};
+  if (!workload->finite() || workload->done() || workload->speed() <= 0) {
+    return;
+  }
+  const double dt = workload->remaining() / workload->speed();
+  std::weak_ptr<Workload> weak = workload;
+  workload->completion_event = sim_.after(dt, [this, weak]() {
+    WorkloadPtr w = weak.lock();
+    if (!w || w->done()) return;
+    w->finish(sim_.now());
+    if (w->site() != nullptr) w->site()->remove(w.get());
+    if (w->on_complete) w->on_complete();
+  });
+}
+
+void Machine::recompute() {
+  const sim::SimTime now = sim_.now();
+
+  // 1. Settle elapsed progress at the old rates.
+  for (const auto& w : workloads_) w->settle(now);
+  for (auto* vm : vms_) vm->settle_all(now);
+
+  // 2. Gather consumer demands: native workloads, then VMs.
+  const std::size_t n_native = workloads_.size();
+  const std::size_t n = n_native + vms_.size();
+  std::vector<Resources> demands(n);
+  for (std::size_t i = 0; i < n_native; ++i) {
+    demands[i] = powered_ ? workloads_[i]->effective_demand() : Resources{};
+  }
+  for (std::size_t j = 0; j < vms_.size(); ++j) {
+    demands[n_native + j] =
+        powered_ ? vms_[j]->aggregate_demand() : Resources{};
+  }
+
+  // 3. Water-fill each physical resource across consumers.
+  std::vector<Resources> grants(n);
+  std::vector<double> d(n);
+  for (int r = 0; r < kNumResources; ++r) {
+    const auto kind = static_cast<ResourceKind>(r);
+    for (std::size_t i = 0; i < n; ++i) d[i] = demands[i][kind];
+    const auto alloc = waterfill(capacity_[kind], d);
+    for (std::size_t i = 0; i < n; ++i) grants[i][kind] = alloc[i];
+  }
+
+  // 4. Apply to native workloads (no virtualization tax).
+  for (std::size_t i = 0; i < n_native; ++i) {
+    const auto& w = workloads_[i];
+    const double speed = speed_of(*w, grants[i], 1.0, 1.0, cal_);
+    w->apply_allocation(now, grants[i], speed);
+    reschedule(w);
+  }
+
+  // 5. Let each VM distribute its grant internally.
+  int active_io_vms = 0;
+  for (auto* vm : vms_) {
+    if (vm->doing_io()) ++active_io_vms;
+  }
+  for (std::size_t j = 0; j < vms_.size(); ++j) {
+    vms_[j]->distribute(now, grants[n_native + j], active_io_vms);
+  }
+
+  // 6. Metrics and power.
+  allocated_total_ = {};
+  for (const auto& g : grants) allocated_total_ += g;
+  for (int r = 0; r < kNumResources; ++r) {
+    const auto kind = static_cast<ResourceKind>(r);
+    util_series_[r].add(now, utilization(kind));
+  }
+  const double blended =
+      0.7 * utilization(ResourceKind::kCpu) +
+      0.3 * std::max(utilization(ResourceKind::kDisk),
+                     utilization(ResourceKind::kNet));
+  energy_.record(now, powered_ ? power_model_.watts(blended) : 0.0);
+}
+
+}  // namespace hybridmr::cluster

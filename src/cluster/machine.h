@@ -1,0 +1,196 @@
+// Physical machines and Xen-style virtual machines.
+//
+// Allocation model (DESIGN.md §3): a physical machine water-fills each
+// resource max-min fairly across its consumers (native workloads and VMs);
+// each VM then water-fills its grant across its own workloads and applies
+// the virtualization taxes. Any membership/demand change triggers
+// reallocation, settling elapsed progress and rescheduling completion events.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/calibration.h"
+#include "cluster/power.h"
+#include "cluster/resources.h"
+#include "cluster/workload.h"
+#include "sim/simulation.h"
+#include "stats/timeseries.h"
+
+namespace hybridmr::cluster {
+
+class Machine;
+
+/// Max-min fair ("water-filling") split of `capacity` across `demands`.
+/// Total allocated never exceeds capacity; no consumer gets more than its
+/// demand; unsatisfied consumers get equal shares.
+std::vector<double> waterfill(double capacity, std::span<const double> demands);
+
+/// Piecewise-linear memory-pressure speed factor for an alloc/demand ratio.
+double memory_pressure_factor(double ratio, const Calibration& cal);
+
+/// Where a workload can run: a physical machine (native) or a VM.
+class ExecutionSite {
+ public:
+  virtual ~ExecutionSite() = default;
+
+  /// Attaches a workload; takes shared ownership until completion/removal.
+  void add(WorkloadPtr workload);
+
+  /// Detaches a workload (does not fire on_complete).
+  void remove(Workload* workload);
+
+  /// Recomputes allocations for the whole physical machine underneath.
+  void reallocate();
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] virtual sim::Simulation& simulation() = 0;
+  [[nodiscard]] virtual bool is_virtual() const = 0;
+  /// The physical machine executing this site.
+  [[nodiscard]] virtual Machine* host_machine() = 0;
+  [[nodiscard]] const Machine* host_machine() const {
+    return const_cast<ExecutionSite*>(this)->host_machine();
+  }
+  /// Nominal capacity of this site (used by placement heuristics).
+  [[nodiscard]] virtual Resources nominal() const = 0;
+
+  [[nodiscard]] const std::vector<WorkloadPtr>& workloads() const {
+    return workloads_;
+  }
+  /// Sum of effective demands of resident workloads.
+  [[nodiscard]] Resources total_demand() const;
+  /// Sum of current allocations of resident workloads.
+  [[nodiscard]] Resources total_allocated() const;
+
+ protected:
+  explicit ExecutionSite(std::string name) : name_(std::move(name)) {}
+  std::vector<WorkloadPtr> workloads_;
+
+ private:
+  std::string name_;
+};
+
+/// Xen-style virtual machine. Owned by HybridCluster; hosted by a Machine.
+class VirtualMachine : public ExecutionSite {
+ public:
+  VirtualMachine(sim::Simulation& sim, std::string name, double vcpus,
+                 double memory_mb, const Calibration& cal);
+
+  [[nodiscard]] sim::Simulation& simulation() override { return sim_; }
+  [[nodiscard]] bool is_virtual() const override { return true; }
+  [[nodiscard]] Machine* host_machine() override { return host_; }
+  [[nodiscard]] Resources nominal() const override;
+
+  [[nodiscard]] double vcpus() const { return vcpus_; }
+  [[nodiscard]] double memory_mb() const { return memory_mb_; }
+
+  /// Dom-0 placement: near-native taxes (paper Fig. 2(c)).
+  void set_dom0(bool dom0) { dom0_ = dom0; }
+  [[nodiscard]] bool dom0() const { return dom0_; }
+
+  /// VM-level throttles (cpu cores / disk / net) set by the DRM.
+  void set_caps(const Resources& caps);
+  [[nodiscard]] const Resources& caps() const { return caps_; }
+
+  /// Pauses/resumes the whole VM (IPS action, or migration downtime).
+  void set_paused(bool paused);
+  [[nodiscard]] bool paused() const { return paused_; }
+
+  /// Pre-copy in progress: guest runs slightly slowed.
+  void set_migrating(bool migrating);
+  [[nodiscard]] bool migrating() const { return migrating_; }
+
+  /// Aggregate demand this VM presents to its host.
+  [[nodiscard]] Resources aggregate_demand() const;
+
+  /// True when the VM is presently generating disk/net demand.
+  [[nodiscard]] bool doing_io() const;
+
+  /// Effective CPU / I/O efficiency given `active_io_vms` co-resident VMs
+  /// currently performing I/O (includes this one).
+  [[nodiscard]] double cpu_efficiency() const;
+  [[nodiscard]] double io_efficiency(int active_io_vms) const;
+
+  // --- internal: called by Machine / HybridCluster ---
+  void attach_to(Machine* host) { host_ = host; }
+  /// Distributes the grant across resident workloads; applies taxes;
+  /// returns I/O MB settled (already folded into the cache counter).
+  void distribute(sim::SimTime now, const Resources& grant, int active_io_vms);
+  /// Settles all resident workloads and decays the recent-I/O counter.
+  void settle_all(sim::SimTime now);
+
+  [[nodiscard]] const Calibration& calibration() const { return cal_; }
+
+ private:
+  sim::Simulation& sim_;
+  Machine* host_ = nullptr;
+  double vcpus_;
+  double memory_mb_;
+  const Calibration& cal_;
+  Resources caps_ = Resources::unbounded();
+  bool dom0_ = false;
+  bool paused_ = false;
+  bool migrating_ = false;
+  // Buffer-cache model: exponentially decayed MB of recent I/O.
+  double recent_io_mb_ = 0;
+  sim::SimTime last_decay_ = 0;
+};
+
+/// A physical server. Root of the allocation hierarchy.
+class Machine : public ExecutionSite {
+ public:
+  Machine(sim::Simulation& sim, std::string name, Resources capacity,
+          const Calibration& cal);
+
+  [[nodiscard]] sim::Simulation& simulation() override { return sim_; }
+  [[nodiscard]] bool is_virtual() const override { return false; }
+  [[nodiscard]] Machine* host_machine() override { return this; }
+  [[nodiscard]] Resources nominal() const override { return capacity_; }
+
+  [[nodiscard]] const Resources& capacity() const { return capacity_; }
+  [[nodiscard]] const Calibration& calibration() const { return cal_; }
+
+  // --- VM hosting (VMs owned by the cluster) ---
+  void attach_vm(VirtualMachine* vm);
+  void detach_vm(VirtualMachine* vm);
+  [[nodiscard]] const std::vector<VirtualMachine*>& vms() const {
+    return vms_;
+  }
+
+  // --- power ---
+  void set_powered(bool on);
+  [[nodiscard]] bool powered() const { return powered_; }
+  [[nodiscard]] EnergyMeter& energy() { return energy_; }
+  [[nodiscard]] const EnergyMeter& energy() const { return energy_; }
+  [[nodiscard]] const PowerModel& power_model() const { return power_model_; }
+
+  // --- metrics ---
+  /// Instantaneous utilization (allocated / capacity) per resource.
+  [[nodiscard]] double utilization(ResourceKind kind) const;
+  [[nodiscard]] const stats::TimeSeries& utilization_series(
+      ResourceKind kind) const {
+    return util_series_[static_cast<int>(kind)];
+  }
+
+  /// Recomputes the whole allocation for this machine (native + VMs).
+  void recompute();
+
+  /// (Re)schedules the completion event of a finite workload hosted
+  /// anywhere on this machine.
+  void reschedule(const WorkloadPtr& workload);
+
+ private:
+  sim::Simulation& sim_;
+  Resources capacity_;
+  const Calibration& cal_;
+  PowerModel power_model_;
+  EnergyMeter energy_;
+  std::vector<VirtualMachine*> vms_;
+  bool powered_ = true;
+  Resources allocated_total_{};
+  stats::TimeSeries util_series_[kNumResources];
+};
+
+}  // namespace hybridmr::cluster

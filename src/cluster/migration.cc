@@ -1,0 +1,110 @@
+#include "cluster/migration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "sim/log.h"
+
+namespace hybridmr::cluster {
+
+MigrationPlan MigrationModel::plan(double memory_mb, double dirty_rate_mbps,
+                                   double bw_mbps) const {
+  MigrationPlan p;
+  if (memory_mb <= 0 || bw_mbps <= 0) return p;
+  double to_send = memory_mb;
+  while (p.rounds < cal_.migration_max_rounds &&
+         to_send > cal_.migration_stop_threshold_mb) {
+    const double t = to_send / bw_mbps;
+    p.precopy_seconds += t;
+    p.transferred_mb += to_send;
+    to_send = dirty_rate_mbps * t;
+    ++p.rounds;
+    // Diverging: dirtying faster than we can send. Give up pre-copying.
+    if (dirty_rate_mbps >= bw_mbps) {
+      p.converged = false;
+      break;
+    }
+  }
+  p.downtime_seconds =
+      to_send / bw_mbps + cal_.migration_downtime_overhead_s;
+  return p;
+}
+
+double MigrationModel::dirty_rate_mbps(const VirtualMachine& vm) const {
+  double active_mb = 0;
+  for (const auto& w : vm.workloads()) {
+    if (w->paused()) continue;
+    active_mb += std::min(w->demand().memory, w->allocated().memory);
+  }
+  return cal_.idle_dirty_rate_mbps + cal_.dirty_rate_per_active_mb * active_mb;
+}
+
+double Migrator::jittered_dirty_rate(const VirtualMachine& vm) {
+  // Page-dirtying is bursty; the paper's Fig. 10(c) shows wide per-VM
+  // downtime variation. Lognormal jitter reproduces that spread.
+  const double base = model_.dirty_rate_mbps(vm);
+  return base * std::exp(sim_.rng().normal(0.0, 0.5));
+}
+
+bool Migrator::migrate(VirtualMachine& vm, Machine& dest, DoneFn done) {
+  Machine* src = vm.host_machine();
+  if (vm.migrating() || src == nullptr || src == &dest) return false;
+
+  const double dirty = jittered_dirty_rate(vm);
+  const MigrationPlan plan =
+      model_.plan(vm.memory_mb(), dirty, cal_.migration_bw_mbps);
+
+  auto record = std::make_shared<MigrationRecord>();
+  record->vm = vm.name();
+  record->from = src->name();
+  record->to = dest.name();
+  record->started_at = sim_.now();
+  record->downtime_seconds = plan.downtime_seconds;
+  record->transferred_mb = plan.transferred_mb;
+  record->rounds = plan.rounds;
+
+  ++in_flight_;
+  vm.set_migrating(true);
+
+  // Pre-copy stream: a network workload on each side sized so that at the
+  // nominal migration bandwidth it finishes in plan.precopy_seconds; under
+  // network contention it stretches, like real pre-copy does.
+  Resources stream_demand;
+  stream_demand.net = cal_.migration_bw_mbps;
+  auto out_stream = std::make_shared<Workload>(
+      "migrate-out:" + vm.name(), stream_demand, plan.precopy_seconds);
+  auto in_stream = std::make_shared<Workload>(
+      "migrate-in:" + vm.name(), stream_demand, plan.precopy_seconds);
+
+  VirtualMachine* vmp = &vm;
+  Machine* destp = &dest;
+  out_stream->on_complete = [this, vmp, destp, in_stream, record,
+                             done = std::move(done)]() {
+    // Pre-copy finished: drop the receive stream, take the downtime.
+    if (in_stream->site() != nullptr) {
+      in_stream->site()->remove(in_stream.get());
+    }
+    record->precopy_seconds = sim_.now() - record->started_at;
+    vmp->set_paused(true);
+    sim_.after(record->downtime_seconds, [this, vmp, destp, record,
+                                          done = std::move(done)]() {
+      Machine* from = vmp->host_machine();
+      if (from != nullptr) from->detach_vm(vmp);
+      destp->attach_vm(vmp);
+      vmp->set_paused(false);
+      vmp->set_migrating(false);
+      --in_flight_;
+      history_.push_back(*record);
+      sim::log_info(sim_.now(), "migrator",
+                    record->vm + ": " + record->from + " -> " + record->to);
+      if (done) done(*record);
+    });
+  };
+
+  src->add(std::move(out_stream));
+  dest.add(std::move(in_stream));
+  return true;
+}
+
+}  // namespace hybridmr::cluster

@@ -1,0 +1,86 @@
+// Live VM migration (Xen-style iterative pre-copy).
+//
+// The model reproduces the dependencies measured in the paper's Fig. 10(b,c):
+// migration time grows with VM memory and with guest write activity (dirty
+// rate), and downtime is small but erratic under load. The pre-copy stream is
+// injected as a real network workload on both hosts, so migrations slow down
+// — and are slowed down by — collocated traffic.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/calibration.h"
+#include "cluster/machine.h"
+#include "sim/simulation.h"
+
+namespace hybridmr::cluster {
+
+struct MigrationPlan {
+  double precopy_seconds = 0;  // at nominal migration bandwidth
+  double downtime_seconds = 0;
+  double transferred_mb = 0;
+  int rounds = 0;
+  bool converged = true;
+};
+
+/// Closed-form pre-copy model.
+class MigrationModel {
+ public:
+  explicit MigrationModel(const Calibration& cal) : cal_(cal) {}
+
+  /// Plans a migration of `memory_mb` of guest memory with the given page
+  /// dirty rate over a link with `bw_mbps` available for migration traffic.
+  [[nodiscard]] MigrationPlan plan(double memory_mb, double dirty_rate_mbps,
+                                   double bw_mbps) const;
+
+  /// Estimated page-dirty rate for a VM from its resident workloads'
+  /// active memory.
+  [[nodiscard]] double dirty_rate_mbps(const VirtualMachine& vm) const;
+
+ private:
+  const Calibration& cal_;
+};
+
+struct MigrationRecord {
+  std::string vm;
+  std::string from;
+  std::string to;
+  double started_at = 0;
+  double precopy_seconds = 0;  // actual, including network contention
+  double downtime_seconds = 0;
+  double transferred_mb = 0;
+  int rounds = 0;
+};
+
+/// Executes live migrations inside the simulation.
+class Migrator {
+ public:
+  using DoneFn = std::function<void(const MigrationRecord&)>;
+
+  Migrator(sim::Simulation& sim, const Calibration& cal)
+      : sim_(sim), cal_(cal), model_(cal) {}
+
+  /// Starts migrating `vm` to `dest`. Returns false (and does nothing) if
+  /// the VM is already migrating, detached, or already on `dest`.
+  bool migrate(VirtualMachine& vm, Machine& dest, DoneFn done = {});
+
+  [[nodiscard]] const std::vector<MigrationRecord>& history() const {
+    return history_;
+  }
+  [[nodiscard]] const MigrationModel& model() const { return model_; }
+  [[nodiscard]] int in_flight() const { return in_flight_; }
+
+ private:
+  /// Dirty rate with bursty (lognormal) jitter applied.
+  double jittered_dirty_rate(const VirtualMachine& vm);
+
+  sim::Simulation& sim_;
+  const Calibration& cal_;
+  MigrationModel model_;
+  std::vector<MigrationRecord> history_;
+  int in_flight_ = 0;
+};
+
+}  // namespace hybridmr::cluster

@@ -1,0 +1,51 @@
+// Server power and energy accounting.
+//
+// Substitute for the paper's Yokogawa WT210 power meter: a standard linear
+// utilization->power model integrated over simulated time.
+#pragma once
+
+#include "sim/event_queue.h"
+#include "stats/timeseries.h"
+
+namespace hybridmr::cluster {
+
+/// P(u) = idle + (peak - idle) * u for a powered-on server; 0 when off.
+struct PowerModel {
+  double idle_watts = 180;
+  double peak_watts = 260;
+
+  /// `utilization` in [0, 1]: blended CPU/I/O activity.
+  [[nodiscard]] double watts(double utilization) const {
+    const double u = utilization < 0 ? 0 : (utilization > 1 ? 1 : utilization);
+    return idle_watts + (peak_watts - idle_watts) * u;
+  }
+};
+
+/// Integrates instantaneous power into energy (joules).
+class EnergyMeter {
+ public:
+  /// Records that the power level changed to `watts` at time `now`.
+  void record(sim::SimTime now, double watts) { series_.add(now, watts); }
+
+  /// Energy in joules consumed over [t0, t1].
+  [[nodiscard]] double joules(sim::SimTime t0, sim::SimTime t1) const {
+    return series_.integrate(t0, t1);
+  }
+
+  /// Energy in watt-hours over [t0, t1].
+  [[nodiscard]] double watt_hours(sim::SimTime t0, sim::SimTime t1) const {
+    return joules(t0, t1) / 3600.0;
+  }
+
+  /// Mean power over [t0, t1] (0 if the window is empty).
+  [[nodiscard]] double mean_watts(sim::SimTime t0, sim::SimTime t1) const {
+    return t1 > t0 ? joules(t0, t1) / (t1 - t0) : 0;
+  }
+
+  [[nodiscard]] const stats::TimeSeries& series() const { return series_; }
+
+ private:
+  stats::TimeSeries series_;
+};
+
+}  // namespace hybridmr::cluster

@@ -1,0 +1,61 @@
+// Multi-resource vectors.
+//
+// CPU is measured in cores, memory in MB (an occupancy, not a rate), disk
+// and network in MB/s. The same struct is used for machine capacities,
+// workload demands, throttle caps and granted allocations.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+namespace hybridmr::cluster {
+
+enum class ResourceKind { kCpu = 0, kMemory = 1, kDisk = 2, kNet = 3 };
+
+inline constexpr int kNumResources = 4;
+
+/// Name for diagnostics ("cpu", "memory", "disk", "net").
+const char* to_string(ResourceKind kind);
+
+struct Resources {
+  double cpu = 0;     // cores
+  double memory = 0;  // MB
+  double disk = 0;    // MB/s
+  double net = 0;     // MB/s
+
+  /// A vector with every component at +infinity (used for "no cap").
+  static Resources unbounded() {
+    const double inf = std::numeric_limits<double>::infinity();
+    return {inf, inf, inf, inf};
+  }
+
+  double& operator[](ResourceKind kind);
+  double operator[](ResourceKind kind) const;
+
+  Resources& operator+=(const Resources& o);
+  Resources& operator-=(const Resources& o);
+  friend Resources operator+(Resources a, const Resources& b) { return a += b; }
+  friend Resources operator-(Resources a, const Resources& b) { return a -= b; }
+  Resources operator*(double k) const;
+
+  /// Component-wise minimum.
+  [[nodiscard]] Resources min(const Resources& o) const;
+
+  /// True when every component of *this is <= the matching one of `o`
+  /// (with a small tolerance).
+  [[nodiscard]] bool fits_in(const Resources& o, double eps = 1e-9) const;
+
+  /// Largest component-wise ratio this/capacity (0 where capacity is 0).
+  /// This is the "dominant share" used by placement heuristics.
+  [[nodiscard]] double dominant_share(const Resources& capacity) const;
+
+  /// Clamps all components into [0, hi component-wise].
+  [[nodiscard]] Resources clamped_to(const Resources& hi) const;
+
+  [[nodiscard]] bool is_zero(double eps = 1e-12) const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace hybridmr::cluster

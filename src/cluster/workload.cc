@@ -1,0 +1,70 @@
+#include "cluster/workload.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "cluster/machine.h"
+
+namespace hybridmr::cluster {
+
+Workload::Workload(std::string name, Resources demand, double work_seconds)
+    : name_(std::move(name)),
+      demand_(demand),
+      total_work_(work_seconds),
+      remaining_(work_seconds < 0 ? kService : work_seconds) {}
+
+void Workload::set_demand(const Resources& demand) {
+  demand_ = demand;
+  if (site_ != nullptr) site_->reallocate();
+}
+
+void Workload::set_caps(const Resources& caps) {
+  caps_ = caps;
+  if (site_ != nullptr) site_->reallocate();
+}
+
+Resources Workload::effective_demand() const {
+  if (paused_ || done_) return {};
+  return demand_.min(caps_);
+}
+
+void Workload::set_paused(bool paused) {
+  if (paused_ == paused) return;
+  paused_ = paused;
+  if (site_ != nullptr) site_->reallocate();
+}
+
+double Workload::progress() const {
+  if (!finite() || total_work_ <= 0) return 0;
+  return std::clamp(1.0 - remaining_ / total_work_, 0.0, 1.0);
+}
+
+double Workload::settle(sim::SimTime now) {
+  const double dt = now - last_settle_;
+  last_settle_ = now;
+  if (dt <= 0 || done_) return 0;
+  if (finite()) {
+    remaining_ = std::max(0.0, remaining_ - dt * speed_);
+  }
+  cpu_seconds_ += allocated_.cpu * dt;
+  const double io = (allocated_.disk + allocated_.net) * dt;
+  io_mb_ += io;
+  return io;
+}
+
+void Workload::apply_allocation(sim::SimTime now, const Resources& alloc,
+                                double speed) {
+  last_settle_ = now;
+  allocated_ = alloc;
+  speed_ = done_ ? 0 : speed;
+}
+
+void Workload::finish(sim::SimTime now) {
+  settle(now);
+  remaining_ = 0;
+  done_ = true;
+  speed_ = 0;
+  allocated_ = {};
+}
+
+}  // namespace hybridmr::cluster

@@ -1,0 +1,113 @@
+// Workload: the unit of resource consumption on a machine or VM.
+//
+// A workload declares a multi-resource demand vector (the rates it wants at
+// full speed) and an amount of work measured in seconds-at-full-speed. The
+// hosting site grants it an allocation; its *speed* is the most-constrained
+// ratio granted/demanded, further scaled by memory pressure and (inside a VM)
+// the virtualization taxes. Service workloads (interactive applications) have
+// no finite work and simply consume resources until removed.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cluster/resources.h"
+#include "sim/event_queue.h"
+
+namespace hybridmr::cluster {
+
+class ExecutionSite;
+
+class Workload {
+ public:
+  /// Sentinel for service (non-terminating) workloads.
+  static constexpr double kService = -1.0;
+
+  /// `work_seconds`: seconds of execution at full speed, or kService.
+  Workload(std::string name, Resources demand, double work_seconds);
+
+  Workload(const Workload&) = delete;
+  Workload& operator=(const Workload&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  // --- demand & throttles ---
+  [[nodiscard]] const Resources& demand() const { return demand_; }
+  /// Changes the demand vector; triggers a reallocation if attached.
+  void set_demand(const Resources& demand);
+  /// cgroup-style caps imposed by the DRM; effective demand is min(demand,
+  /// caps). Triggers a reallocation if attached.
+  [[nodiscard]] const Resources& caps() const { return caps_; }
+  void set_caps(const Resources& caps);
+  /// Demand after caps and pause are applied.
+  [[nodiscard]] Resources effective_demand() const;
+
+  // --- pause (IPS action) ---
+  [[nodiscard]] bool paused() const { return paused_; }
+  void set_paused(bool paused);
+
+  // --- progress ---
+  [[nodiscard]] bool finite() const { return total_work_ >= 0; }
+  [[nodiscard]] double total_work() const { return total_work_; }
+  [[nodiscard]] double remaining() const { return remaining_; }
+  [[nodiscard]] double done() const { return done_; }
+  /// Fraction complete in [0,1]; service workloads report 0.
+  [[nodiscard]] double progress() const;
+  [[nodiscard]] double speed() const { return speed_; }
+  [[nodiscard]] const Resources& allocated() const { return allocated_; }
+
+  // --- cumulative usage (for the LRM resource profiler) ---
+  // Counters are settled lazily: they are current as of the machine's last
+  // reallocation. Call host_machine()->recompute() first for an exact
+  // reading at an arbitrary instant.
+  [[nodiscard]] double cpu_seconds_used() const { return cpu_seconds_; }
+  [[nodiscard]] double io_mb_done() const { return io_mb_; }
+  [[nodiscard]] sim::SimTime started_at() const { return started_at_; }
+
+  /// Invoked (by the hosting machine) when the work completes; the workload
+  /// has already been detached from its site.
+  std::function<void()> on_complete;
+
+  // --- site attachment (managed by ExecutionSite) ---
+  [[nodiscard]] ExecutionSite* site() const { return site_; }
+
+  // === Internal interface used by the allocation engine ===
+
+  /// Accrues progress and usage for the interval since the last settle, at
+  /// the current speed/allocation. Returns MB of I/O performed in the
+  /// interval (for the VM buffer-cache model).
+  double settle(sim::SimTime now);
+
+  /// Installs the new allocation and speed (after settle).
+  void apply_allocation(sim::SimTime now, const Resources& alloc,
+                        double speed);
+
+  /// Marks the workload complete (settles first).
+  void finish(sim::SimTime now);
+
+  /// Completion event handle, owned by the scheduling machine.
+  sim::EventId completion_event;
+
+ private:
+  friend class ExecutionSite;
+
+  std::string name_;
+  Resources demand_;
+  Resources caps_ = Resources::unbounded();
+  double total_work_;
+  double remaining_;
+  bool done_ = false;
+  bool paused_ = false;
+  double speed_ = 0;
+  Resources allocated_{};
+  sim::SimTime last_settle_ = 0;
+  sim::SimTime started_at_ = 0;
+  double cpu_seconds_ = 0;
+  double io_mb_ = 0;
+  ExecutionSite* site_ = nullptr;
+};
+
+using WorkloadPtr = std::shared_ptr<Workload>;
+
+}  // namespace hybridmr::cluster

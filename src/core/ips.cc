@@ -1,0 +1,263 @@
+#include "core/ips.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/log.h"
+
+namespace hybridmr::core {
+
+using cluster::Machine;
+using cluster::Resources;
+using cluster::VirtualMachine;
+using mapred::TaskAttempt;
+
+std::vector<TaskAttempt*> Arbiter::rank_interferers(
+    const Machine& host, const std::vector<TaskAttempt*>& running) const {
+  std::vector<std::pair<double, TaskAttempt*>> scored;
+  for (TaskAttempt* a : running) {
+    if (!a->running()) continue;
+    if (a->site().host_machine() != &host) continue;
+    const TaskModel* model = estimator_->model(a);
+    double score;
+    if (model != nullptr && !model->empty()) {
+      score = model->interference_score(host.capacity());
+    } else {
+      score = a->current_allocation().dominant_share(host.capacity());
+    }
+    scored.emplace_back(score, a);
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& x, const auto& y) {
+    if (x.first != y.first) return x.first > y.first;
+    if (x.second->started_at() != y.second->started_at()) {
+      return x.second->started_at() < y.second->started_at();
+    }
+    return x.second->task().index() < y.second->task().index();
+  });
+  std::vector<TaskAttempt*> out;
+  out.reserve(scored.size());
+  for (auto& [score, a] : scored) out.push_back(a);
+  return out;
+}
+
+Machine* Arbiter::best_fit_host(
+    const cluster::HybridCluster& cluster, const Resources& needed,
+    const std::vector<const Machine*>& excluded) const {
+  Machine* best = nullptr;
+  double best_headroom = std::numeric_limits<double>::infinity();
+  for (const auto& m : cluster.machines()) {
+    if (!m->powered()) continue;
+    if (std::find(excluded.begin(), excluded.end(), m.get()) !=
+        excluded.end()) {
+      continue;
+    }
+    // Spare capacity on the dominant dimensions.
+    const double spare_cpu =
+        m->capacity().cpu * (1.0 - m->utilization(cluster::ResourceKind::kCpu));
+    const double spare_mem =
+        m->capacity().memory *
+        (1.0 - m->utilization(cluster::ResourceKind::kMemory));
+    if (spare_cpu < needed.cpu || spare_mem < needed.memory) continue;
+    // BestFit: tightest host that still fits.
+    const double headroom = spare_cpu / std::max(0.1, needed.cpu) +
+                            spare_mem / std::max(64.0, needed.memory);
+    if (headroom < best_headroom) {
+      best_headroom = headroom;
+      best = m.get();
+    }
+  }
+  return best;
+}
+
+InterferencePreventionSystem::InterferencePreventionSystem(
+    sim::Simulation& sim, mapred::MapReduceEngine& mr,
+    cluster::HybridCluster& cluster, interactive::SlaMonitor& monitor,
+    Estimator& estimator, IpsOptions options)
+    : sim_(sim),
+      mr_(mr),
+      cluster_(cluster),
+      monitor_(monitor),
+      estimator_(estimator),
+      options_(options),
+      arbiter_(estimator) {}
+
+void InterferencePreventionSystem::prune_dead_actions() {
+  std::erase_if(actions_, [](const auto& kv) {
+    return !kv.first->running();
+  });
+}
+
+void InterferencePreventionSystem::escalate(TaskAttempt& attempt) {
+  auto it = actions_.find(&attempt);
+  if (it == actions_.end()) {
+    // Level 1: throttle the task's shares.
+    Resources caps = attempt.current_demand() * options_.throttle_factor;
+    caps.memory = attempt.caps().memory;  // heap cannot shrink in flight
+    attempt.set_caps(caps);
+    actions_[&attempt] = ActionLevel::kThrottled;
+    ++stats_.throttles;
+    sim::log_info(sim_.now(), "ips", "throttle " + attempt.task().job().spec().name);
+    return;
+  }
+  if (it->second == ActionLevel::kThrottled) {
+    attempt.set_paused(true);
+    it->second = ActionLevel::kPaused;
+    ++stats_.pauses;
+    sim::log_info(sim_.now(), "ips", "pause " + attempt.task().job().spec().name);
+    return;
+  }
+  if (options_.allow_requeue) {
+    // Level 3: evict — kill the attempt and let the JobTracker rerun it
+    // elsewhere (the paper: "the VM running the task ... can even be
+    // aborted; correctness is preserved by speculative re-execution").
+    actions_.erase(it);
+    mr_.requeue(attempt, /*ban_tracker=*/true);
+    ++stats_.requeues;
+    sim::log_info(sim_.now(), "ips", "requeue task");
+  }
+}
+
+void InterferencePreventionSystem::migrate_batch_vm(
+    const Machine& violated_host) {
+  if (!options_.allow_vm_migration) return;
+  // A VM on the violated host is a migration candidate when it hosts batch
+  // work but no interactive application (we must not move the app itself).
+  const auto running = mr_.running_attempts();
+  for (auto* vm : violated_host.vms()) {
+    if (vm->migrating()) continue;
+    bool hosts_batch = false;
+    bool hosts_interactive = false;
+    for (const auto& w : vm->workloads()) {
+      if (!w->finite()) hosts_interactive = true;
+    }
+    for (TaskAttempt* a : running) {
+      if (a->running() && &a->site() == vm) hosts_batch = true;
+    }
+    if (!hosts_batch || hosts_interactive) continue;
+
+    std::vector<const Machine*> excluded{&violated_host};
+    // Also exclude any host currently violating an SLA.
+    for (auto* app : monitor_.violators()) {
+      excluded.push_back(app->site().host_machine());
+    }
+    Resources needed;
+    needed.cpu = vm->vcpus() * 0.5;
+    needed.memory = vm->memory_mb();
+    Machine* dest = arbiter_.best_fit_host(cluster_, needed, excluded);
+    if (dest != nullptr &&
+        cluster_.migrator().migrate(*vm, *dest)) {
+      ++stats_.vm_migrations;
+      sim::log_info(sim_.now(), "ips",
+                    "migrate " + vm->name() + " -> " + dest->name());
+      return;  // one migration per epoch
+    }
+  }
+}
+
+void InterferencePreventionSystem::mitigate(interactive::InteractiveApp& app) {
+  Machine* host = app.site().host_machine();
+  if (host == nullptr) return;
+  // Violating again shortly after a restore: require a longer healthy
+  // streak before backing off next time (exponential, capped).
+  auto last = last_restore_.find(host);
+  if (last != last_restore_.end() &&
+      sim_.now() - last->second < 6 * options_.epoch_s) {
+    int& required = required_streak_[host];
+    required = std::min(64, std::max(options_.restore_streak, required) * 2);
+  }
+  const auto running = mr_.running_attempts();
+  const auto ranked = arbiter_.rank_interferers(*host, running);
+
+  int applied = 0;
+  for (TaskAttempt* a : ranked) {
+    if (applied >= options_.max_actions_per_epoch) break;
+    escalate(*a);
+    ++applied;
+  }
+  if (ranked.empty()) {
+    // Interference is coming from a neighbouring VM's batch work that is
+    // not task-addressable from here; fall back to VM migration.
+    migrate_batch_vm(*host);
+  } else if (applied > 0 && ranked.size() > static_cast<std::size_t>(
+                                applied)) {
+    migrate_batch_vm(*host);
+  }
+}
+
+void InterferencePreventionSystem::restore_where_healthy() {
+  // Track per-host healthy streaks: a host is healthy when every resident
+  // app sits below margin * SLA. Actions step down only after
+  // `restore_streak` consecutive healthy epochs (hysteresis), and only
+  // `max_restores_per_epoch` at a time (gradual back-off).
+  std::map<const Machine*, bool> host_healthy;
+  for (auto* app : monitor_.apps()) {
+    if (!app->running()) continue;
+    const Machine* host = app->site().host_machine();
+    const bool ok = app->response_time_s() <=
+                    app->params().sla_s * options_.restore_margin;
+    auto it = host_healthy.find(host);
+    host_healthy[host] = it == host_healthy.end() ? ok : (it->second && ok);
+  }
+  for (const auto& [host, ok] : host_healthy) {
+    if (ok) {
+      ++healthy_streak_[host];
+    } else {
+      healthy_streak_[host] = 0;
+    }
+  }
+
+  int restored = 0;
+  std::vector<TaskAttempt*> to_restore;
+  for (auto& [attempt, level] : actions_) {
+    const Machine* host = attempt->site().host_machine();
+    const bool monitored = host_healthy.contains(host);
+    const int needed =
+        std::max(options_.restore_streak,
+                 monitored && required_streak_.contains(host)
+                     ? required_streak_.at(host)
+                     : 0);
+    const bool eligible = !monitored || healthy_streak_[host] >= needed;
+    if (eligible) to_restore.push_back(attempt);
+  }
+  // Deterministic restore order: oldest attempt first (the action map is
+  // keyed by pointer, whose order is not reproducible).
+  std::sort(to_restore.begin(), to_restore.end(),
+            [](const TaskAttempt* a, const TaskAttempt* b) {
+              if (a->started_at() != b->started_at()) {
+                return a->started_at() < b->started_at();
+              }
+              return a->task().index() < b->task().index();
+            });
+  for (TaskAttempt* a : to_restore) {
+    if (restored >= options_.max_restores_per_epoch) break;
+    auto it = actions_.find(a);
+    if (it->second == ActionLevel::kPaused) {
+      a->set_paused(false);
+      it->second = ActionLevel::kThrottled;
+    } else {
+      a->set_caps(a->base_caps());
+      actions_.erase(it);
+    }
+    ++stats_.restores;
+    ++restored;
+    last_restore_[a->site().host_machine()] = sim_.now();
+  }
+}
+
+void InterferencePreventionSystem::epoch() {
+  prune_dead_actions();
+  const auto violators = monitor_.violators();
+  stats_.violations_seen += static_cast<int>(violators.size());
+  for (auto* app : violators) mitigate(*app);
+  restore_where_healthy();
+}
+
+void InterferencePreventionSystem::start() {
+  if (ticker_.active()) return;
+  ticker_ = sim_.every(options_.epoch_s, [this]() { epoch(); },
+                       options_.epoch_s);
+}
+
+void InterferencePreventionSystem::stop() { ticker_.cancel(); }
+
+}  // namespace hybridmr::core

@@ -1,0 +1,126 @@
+// Interference Prevention System (paper §III-B2, Algorithm 3).
+//
+// The IPS continuously tracks the performance of interactive applications
+// against their SLAs. On a violation its Arbiter identifies the map/reduce
+// tasks interfering with the affected application (via the Estimator's
+// interference scores) and mitigates, escalating per task:
+//   1. throttle  - cut the task's resource caps (cgroup shares),
+//   2. pause     - suspend the task,
+//   3. re-queue  - kill the attempt and reschedule it on another node
+//                  (Hadoop's speculation machinery guarantees correctness),
+// and, independently, live-migrates a purely-batch VM away from the
+// violated host using a BestFit bin-packing choice of destination.
+// When latency falls back below a restore margin, actions are undone in
+// reverse order.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/estimator.h"
+#include "interactive/sla.h"
+#include "mapred/engine.h"
+#include "sim/simulation.h"
+
+namespace hybridmr::core {
+
+struct IpsOptions {
+  double epoch_s = 10.0;
+  /// Resume batch work when latency is below margin * SLA.
+  double restore_margin = 0.7;
+  /// Consecutive healthy epochs required before stepping an action down
+  /// (hysteresis against throttle/restore flapping).
+  int restore_streak = 3;
+  /// Restores applied per epoch (gradual back-off).
+  int max_restores_per_epoch = 1;
+  /// Cap multiplier applied by the throttle action.
+  double throttle_factor = 0.4;
+  /// Actions (escalations) applied per violating app per epoch.
+  int max_actions_per_epoch = 2;
+  bool allow_requeue = true;
+  bool allow_vm_migration = true;
+};
+
+/// Algorithm 3: picks victims and destinations.
+class Arbiter {
+ public:
+  explicit Arbiter(Estimator& estimator) : estimator_(&estimator) {}
+
+  /// Interfering tasks on `host`, most interfering first
+  /// (TaskInterference[] = GetEstimatedInterference()).
+  [[nodiscard]] std::vector<mapred::TaskAttempt*> rank_interferers(
+      const cluster::Machine& host,
+      const std::vector<mapred::TaskAttempt*>& running) const;
+
+  /// BestFit bin-packing: the powered host with the least spare capacity
+  /// that still fits `needed`, excluding hosts in `excluded`.
+  [[nodiscard]] cluster::Machine* best_fit_host(
+      const cluster::HybridCluster& cluster, const cluster::Resources& needed,
+      const std::vector<const cluster::Machine*>& excluded) const;
+
+ private:
+  Estimator* estimator_;
+};
+
+class InterferencePreventionSystem {
+ public:
+  struct Stats {
+    int violations_seen = 0;
+    int throttles = 0;
+    int pauses = 0;
+    int requeues = 0;
+    int vm_migrations = 0;
+    int restores = 0;
+  };
+
+  InterferencePreventionSystem(sim::Simulation& sim,
+                               mapred::MapReduceEngine& mr,
+                               cluster::HybridCluster& cluster,
+                               interactive::SlaMonitor& monitor,
+                               Estimator& estimator, IpsOptions options);
+
+  /// One control round: mitigate violations / restore when healthy.
+  void epoch();
+
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const { return ticker_.active(); }
+
+  /// True when the IPS currently manages this attempt (the DRM must not
+  /// override its throttles/pauses).
+  [[nodiscard]] bool owns(const mapred::TaskAttempt& attempt) const {
+    return actions_.contains(const_cast<mapred::TaskAttempt*>(&attempt));
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const IpsOptions& options() const { return options_; }
+  [[nodiscard]] Arbiter& arbiter() { return arbiter_; }
+
+ private:
+  enum class ActionLevel { kThrottled = 1, kPaused = 2 };
+
+  void mitigate(interactive::InteractiveApp& app);
+  void restore_where_healthy();
+  void escalate(mapred::TaskAttempt& attempt);
+  void migrate_batch_vm(const cluster::Machine& violated_host);
+  void prune_dead_actions();
+
+  sim::Simulation& sim_;
+  mapred::MapReduceEngine& mr_;
+  cluster::HybridCluster& cluster_;
+  interactive::SlaMonitor& monitor_;
+  Estimator& estimator_;
+  IpsOptions options_;
+  Arbiter arbiter_;
+  Stats stats_;
+  sim::PeriodicHandle ticker_;
+  std::map<mapred::TaskAttempt*, ActionLevel> actions_;
+  std::map<const cluster::Machine*, int> healthy_streak_;
+  // Re-offense backoff: hosts that violate soon after a restore need an
+  // exponentially longer healthy streak before the next restore.
+  std::map<const cluster::Machine*, int> required_streak_;
+  std::map<const cluster::Machine*, double> last_restore_;
+};
+
+}  // namespace hybridmr::core

@@ -1,0 +1,49 @@
+#include "core/profile_db.h"
+
+#include <cmath>
+
+namespace hybridmr::core {
+
+std::optional<ProfileEntry> ProfileDatabase::lookup(
+    const std::string& job_name, bool virtual_cluster, int cluster_size,
+    double data_gb) const {
+  for (const auto& e : entries_) {
+    if (e.job_name == job_name && e.virtual_cluster == virtual_cluster &&
+        e.cluster_size == cluster_size && data_close(e.data_gb, data_gb)) {
+      return e;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<ProfileEntry> ProfileDatabase::for_job(
+    const std::string& job_name, bool virtual_cluster) const {
+  std::vector<ProfileEntry> out;
+  for (const auto& e : entries_) {
+    if (e.job_name == job_name && e.virtual_cluster == virtual_cluster) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<ProfileEntry> ProfileDatabase::with_cluster_size(
+    const std::string& job_name, bool virtual_cluster,
+    int cluster_size) const {
+  std::vector<ProfileEntry> out;
+  for (const auto& e : for_job(job_name, virtual_cluster)) {
+    if (e.cluster_size == cluster_size) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<ProfileEntry> ProfileDatabase::with_data_size(
+    const std::string& job_name, bool virtual_cluster, double data_gb) const {
+  std::vector<ProfileEntry> out;
+  for (const auto& e : for_job(job_name, virtual_cluster)) {
+    if (data_close(e.data_gb, data_gb)) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace hybridmr::core

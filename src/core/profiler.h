@@ -1,0 +1,73 @@
+// JobProfiler: Phase I profiling and JCT estimation (Algorithm 1).
+//
+// Training runs execute the job on a small representative cluster (the
+// paper's "training cluster" with both physical and virtual partitions);
+// here each training run is a fresh sub-simulation. Estimation follows
+// Algorithm 1 exactly:
+//   1. exact (cluster size, data size) match -> stored JCT
+//   2. same cluster size, other data sizes   -> linear extrapolation
+//      (Fig. 5(d): JCT is linear in data size)
+//   3. same data size, other cluster sizes   -> per-phase extrapolation:
+//      map time follows an inverse law in cluster size (Fig. 5(b)),
+//      reduce time a piecewise-linear relation (Fig. 5(c))
+//   4. otherwise -> nearest-profile scaling (data ratio x cluster ratio)
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "core/profile_db.h"
+#include "mapred/job_spec.h"
+
+namespace hybridmr::core {
+
+/// Runs one training execution and reports the measured profile.
+using TrainingRunner = std::function<ProfileEntry(
+    const mapred::JobSpec& spec, bool virtual_cluster, int cluster_size,
+    double data_gb)>;
+
+/// The default runner: a fresh sub-simulation with `cluster_size` native
+/// nodes (or VMs packed two per host), stock Hadoop configuration.
+TrainingRunner make_simulated_runner(std::uint64_t seed = 1234);
+
+class JobProfiler {
+ public:
+  struct Estimate {
+    enum class Method {
+      kNone,                 // no profiles at all
+      kExact,                // Algorithm 1 line 3
+      kDataExtrapolation,    // Algorithm 1 line 6
+      kClusterExtrapolation, // Algorithm 1 line 8
+      kScaled,               // nearest-profile fallback
+    };
+    double jct_s = 0;
+    double map_s = 0;
+    double reduce_s = 0;
+    Method method = Method::kNone;
+
+    [[nodiscard]] bool valid() const { return method != Method::kNone; }
+  };
+
+  JobProfiler(ProfileDatabase& db, TrainingRunner runner)
+      : db_(&db), runner_(std::move(runner)) {}
+
+  /// Populates the database: runs the job on each (cluster size, data size)
+  /// combination, averaging over `runs` executions (the paper averages 3).
+  void train(const mapred::JobSpec& spec, bool virtual_cluster,
+             std::span<const int> cluster_sizes,
+             std::span<const double> data_gbs, int runs = 1);
+
+  /// Algorithm 1: estimated JCT of `spec` on `cluster_size` nodes.
+  [[nodiscard]] Estimate estimate(const mapred::JobSpec& spec,
+                                  bool virtual_cluster,
+                                  int cluster_size) const;
+
+  [[nodiscard]] const ProfileDatabase& database() const { return *db_; }
+  [[nodiscard]] ProfileDatabase& database() { return *db_; }
+
+ private:
+  ProfileDatabase* db_;
+  TrainingRunner runner_;
+};
+
+}  // namespace hybridmr::core

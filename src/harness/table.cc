@@ -1,0 +1,84 @@
+#include "harness/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace hybridmr::harness {
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "  ";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << cell << std::string(widths[c] - cell.size() + 2, ' ');
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  std::size_t total = 2;
+  for (auto w : widths) total += w + 2;
+  os << "  " << std::string(total - 2, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+namespace {
+
+void write_csv_cell(std::ostream& os, const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    os << cell;
+    return;
+  }
+  os << '"';
+  for (char ch : cell) {
+    if (ch == '"') os << '"';
+    os << ch;
+  }
+  os << '"';
+}
+
+void write_csv_row(std::ostream& os, const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) os << ',';
+    write_csv_cell(os, row[i]);
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  write_csv_row(os, headers_);
+  for (const auto& row : rows_) write_csv_row(os, row);
+}
+
+std::string Table::csv() const {
+  std::ostringstream out;
+  write_csv(out);
+  return out.str();
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::pct(double fraction, int precision) {
+  return num(fraction * 100.0, precision) + "%";
+}
+
+void banner(const std::string& title, std::ostream& os) {
+  os << "\n=== " << title << " ===\n";
+}
+
+}  // namespace hybridmr::harness

@@ -1,0 +1,120 @@
+#include "interactive/app.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/calibration.h"
+
+namespace hybridmr::interactive {
+
+using cluster::Resources;
+
+InteractiveApp::InteractiveApp(sim::Simulation& sim,
+                               cluster::ExecutionSite& site, AppParams params,
+                               int clients)
+    : sim_(sim), site_(&site), params_(std::move(params)), clients_(clients) {}
+
+InteractiveApp::~InteractiveApp() { stop(); }
+
+Resources InteractiveApp::offered_demand() const {
+  // Peak load the client population could offer if served at the floor
+  // latency, times the over-provisioning headroom.
+  const double lambda_max =
+      clients_ / (params_.think_time_s + params_.min_response_s);
+  Resources d;
+  d.cpu = lambda_max * params_.cpu_s_per_req * params_.overprovision_factor;
+  d.disk = lambda_max * params_.io_mb_per_req * params_.overprovision_factor;
+  d.memory = params_.memory_mb;
+  return d;
+}
+
+void InteractiveApp::start() {
+  if (service_) return;
+  service_ = std::make_shared<cluster::Workload>(
+      params_.name + ":service", offered_demand(),
+      cluster::Workload::kService);
+  site_->add(service_);
+  refresh();
+  ticker_ = sim_.every(params_.update_period_s, [this]() { refresh(); });
+}
+
+void InteractiveApp::stop() {
+  ticker_.cancel();
+  if (service_ && service_->site() != nullptr) {
+    service_->site()->remove(service_.get());
+  }
+  service_.reset();
+}
+
+void InteractiveApp::set_clients(int clients) {
+  clients_ = clients;
+  if (service_) {
+    service_->set_demand(offered_demand());
+    refresh();
+  }
+}
+
+void InteractiveApp::refresh() {
+  if (!service_) return;
+  if (clients_ <= 0) {
+    response_s_ = params_.min_response_s;
+    throughput_rps_ = 0;
+    response_series_.add(sim_.now(), response_s_);
+    return;
+  }
+  const Resources alloc = service_->allocated();
+  const double N = clients_;
+  const double Z = params_.think_time_s;
+
+  // Queueing congestion at the shared physical resources: utilization by
+  // *other* consumers on the host (collocated VMs, batch tasks) lengthens
+  // every request's CPU slice and disk access.
+  const cluster::Machine* host = site_->host_machine();
+  auto other_util = [&](cluster::ResourceKind kind, double own) {
+    if (host == nullptr) return 0.0;
+    const double cap = host->capacity()[kind];
+    if (cap <= 0) return 0.0;
+    const double others =
+        host->utilization(kind) - own / cap;
+    return std::clamp(others, 0.0, 0.98);
+  };
+
+  // Effective service capacity from the granted share, degraded by the
+  // contention the host is experiencing.
+  double mu = std::numeric_limits<double>::infinity();
+  if (params_.cpu_s_per_req > 0) {
+    const double usable =
+        std::max(1e-9, alloc.cpu) *
+        (1.0 - other_util(cluster::ResourceKind::kCpu, alloc.cpu));
+    mu = std::min(mu, usable / params_.cpu_s_per_req);
+  }
+  if (params_.io_mb_per_req > 0) {
+    const double usable =
+        std::max(1e-9, alloc.disk) *
+        (1.0 - other_util(cluster::ResourceKind::kDisk, alloc.disk));
+    mu = std::min(mu, usable / params_.io_mb_per_req);
+  }
+  double s = std::isinf(mu) ? 1e-3 : 1.0 / std::max(mu, 1e-6);
+  // Memory pressure inflates service time (paging).
+  if (params_.memory_mb > 0) {
+    const double ratio = alloc.memory / params_.memory_mb;
+    s /= cluster::memory_pressure_factor(
+        ratio, cluster::Calibration::standard());
+  }
+
+  // Closed PS station with N clients, think Z:  R^2 + R(Z - s(N+1)) - sZ = 0.
+  const double b = Z - s * (N + 1);
+  double r = (-b + std::sqrt(b * b + 4.0 * s * Z)) / 2.0;
+  r = std::max(r, params_.min_response_s);
+
+  // Lognormal jitter makes timelines realistic without changing the mean.
+  const double jitter =
+      params_.noise_sd > 0
+          ? std::exp(sim_.rng().normal(0.0, params_.noise_sd))
+          : 1.0;
+  response_s_ = r * jitter;
+  throughput_rps_ = N / (response_s_ + Z);
+  response_series_.add(sim_.now(), response_s_);
+}
+
+}  // namespace hybridmr::interactive

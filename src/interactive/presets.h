@@ -1,0 +1,55 @@
+// Presets for the paper's three transactional benchmarks (§IV):
+// RUBiS (online auction), TPC-W (3-tier book store), Olio (Web 2.0 social).
+// Parameter mixes reflect their published profiles: RUBiS is CPU-lean,
+// TPC-W adds database I/O, Olio is the most I/O-heavy.
+#pragma once
+
+#include <memory>
+
+#include "interactive/app.h"
+
+namespace hybridmr::interactive {
+
+inline AppParams rubis_params() {
+  AppParams p;
+  p.name = "rubis";
+  p.cpu_s_per_req = 0.0035;
+  p.io_mb_per_req = 0.010;
+  p.memory_mb = 560;
+  return p;
+}
+
+inline AppParams tpcw_params() {
+  AppParams p;
+  p.name = "tpcw";
+  p.cpu_s_per_req = 0.0042;
+  p.io_mb_per_req = 0.030;
+  p.memory_mb = 640;
+  return p;
+}
+
+inline AppParams olio_params() {
+  AppParams p;
+  p.name = "olio";
+  p.cpu_s_per_req = 0.0030;
+  p.io_mb_per_req = 0.050;
+  p.memory_mb = 600;
+  return p;
+}
+
+inline std::unique_ptr<InteractiveApp> make_rubis(
+    sim::Simulation& sim, cluster::ExecutionSite& site, int clients) {
+  return std::make_unique<InteractiveApp>(sim, site, rubis_params(), clients);
+}
+
+inline std::unique_ptr<InteractiveApp> make_tpcw(
+    sim::Simulation& sim, cluster::ExecutionSite& site, int clients) {
+  return std::make_unique<InteractiveApp>(sim, site, tpcw_params(), clients);
+}
+
+inline std::unique_ptr<InteractiveApp> make_olio(
+    sim::Simulation& sim, cluster::ExecutionSite& site, int clients) {
+  return std::make_unique<InteractiveApp>(sim, site, olio_params(), clients);
+}
+
+}  // namespace hybridmr::interactive

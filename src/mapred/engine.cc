@@ -1,0 +1,302 @@
+#include "mapred/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "sim/log.h"
+
+namespace hybridmr::mapred {
+
+MapReduceEngine::MapReduceEngine(sim::Simulation& sim, storage::Hdfs& hdfs,
+                                 const cluster::Calibration& cal,
+                                 std::unique_ptr<TaskScheduler> scheduler,
+                                 Options options)
+    : sim_(sim),
+      hdfs_(hdfs),
+      cal_(cal),
+      scheduler_(scheduler ? std::move(scheduler)
+                           : std::make_unique<FifoScheduler>()),
+      options_(options) {}
+
+TaskTracker* MapReduceEngine::add_tracker(cluster::ExecutionSite& site,
+                                          int map_slots, int reduce_slots) {
+  trackers_.push_back(std::make_unique<TaskTracker>(
+      *this, site, map_slots >= 0 ? map_slots : cal_.map_slots_per_node,
+      reduce_slots >= 0 ? reduce_slots : cal_.reduce_slots_per_node));
+  return trackers_.back().get();
+}
+
+TaskTracker* MapReduceEngine::tracker_on(
+    const cluster::ExecutionSite& site) const {
+  for (const auto& tr : trackers_) {
+    if (&tr->site() == &site) return tr.get();
+  }
+  return nullptr;
+}
+
+bool MapReduceEngine::remove_tracker(cluster::ExecutionSite& site) {
+  auto it = std::find_if(trackers_.begin(), trackers_.end(),
+                         [&](const auto& tr) { return &tr->site() == &site; });
+  if (it == trackers_.end()) return false;
+  if (!(*it)->running().empty()) return false;  // drain first
+  // Scrub stale references: banned-tracker sets may point at this tracker.
+  for (const auto& job : jobs_) {
+    for (const auto& t : job->maps()) t->banned_trackers.erase(it->get());
+    for (const auto& t : job->reduces()) t->banned_trackers.erase(it->get());
+  }
+  trackers_.erase(it);
+  return true;
+}
+
+int MapReduceEngine::reducers_for(const JobSpec& spec) const {
+  if (spec.num_reducers > 0) return spec.num_reducers;
+  // Hadoop's rule of thumb: 0.95 x total reduce slots.
+  int slots = 0;
+  for (const auto& tr : trackers_) slots += tr->reduce_slots();
+  return std::max(1, static_cast<int>(0.95 * slots));
+}
+
+Job* MapReduceEngine::submit(const JobSpec& spec, PlacementPool pool) {
+  const auto input = hdfs_.stage_file(
+      spec.name + "-input-" + std::to_string(jobs_.size()), spec.input_mb(),
+      spec.split_mb);
+  return submit(spec, input, pool);
+}
+
+Job* MapReduceEngine::submit(const JobSpec& spec, storage::Hdfs::FileId input,
+                             PlacementPool pool) {
+  assert(!trackers_.empty() && "submit needs at least one TaskTracker");
+  const int id = static_cast<int>(jobs_.size());
+  jobs_.push_back(std::make_unique<Job>(id, spec));
+  Job* job = jobs_.back().get();
+  job->input_file_ = input;
+  job->submit_time_ = sim_.now();
+  job->state_ = JobState::kMapping;
+  job->pool_ = pool;
+
+  const int n_maps = hdfs_.num_blocks(input);
+  job->maps_.reserve(static_cast<std::size_t>(n_maps));
+  for (int i = 0; i < n_maps; ++i) {
+    job->maps_.push_back(std::make_unique<Task>(*job, TaskType::kMap, i));
+  }
+  const int n_reduces = reducers_for(spec);
+  job->reduces_.reserve(static_cast<std::size_t>(n_reduces));
+  for (int i = 0; i < n_reduces; ++i) {
+    job->reduces_.push_back(
+        std::make_unique<Task>(*job, TaskType::kReduce, i));
+  }
+
+  ++active_jobs_;
+  sim::log_info(sim_.now(), "jobtracker",
+                "submit " + spec.name + " (" + std::to_string(n_maps) +
+                    " maps, " + std::to_string(n_reduces) + " reduces)");
+  maybe_start_speculation_monitor();
+  dispatch();
+  return job;
+}
+
+std::vector<TaskAttempt*> MapReduceEngine::running_attempts() const {
+  std::vector<TaskAttempt*> out;
+  for (const auto& tr : trackers_) {
+    out.insert(out.end(), tr->running().begin(), tr->running().end());
+  }
+  return out;
+}
+
+void MapReduceEngine::dispatch() {
+  if (dispatching_) return;
+  dispatching_ = true;
+  std::vector<Job*> jobs;
+  jobs.reserve(jobs_.size());
+  for (const auto& j : jobs_) jobs.push_back(j.get());
+
+  // Round-robin one slot per tracker per pass (mirrors heartbeat
+  // interleaving), locality round first (Hadoop's delay scheduling). A
+  // per-host concurrency cap of 2 tasks per core acts like slots sized to
+  // the hardware: it stops a host that frees a slot first from vacuuming
+  // the job's tail while other hosts still have capacity — deferred tasks
+  // are picked up on a later completion by a less-loaded host.
+  auto host_gated = [this](const TaskTracker& tr) {
+    const cluster::Machine* host = tr.site().host_machine();
+    if (host == nullptr) return false;
+    int running = 0;
+    for (const auto& other : trackers_) {
+      if (other->site().host_machine() == host) {
+        running += static_cast<int>(other->running().size());
+      }
+    }
+    return running >= static_cast<int>(2 * host->capacity().cpu);
+  };
+  for (bool locality_only : {true, false}) {
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (const auto& tr : trackers_) {
+        if (host_gated(*tr)) continue;
+        for (TaskType type : {TaskType::kMap, TaskType::kReduce}) {
+          if (tr->free_slots(type) <= 0) continue;
+          Task* task =
+              scheduler_->pick(*tr, type, jobs, hdfs_, locality_only);
+          if (task == nullptr) continue;
+          tr->launch(*task);
+          progressed = true;
+        }
+      }
+    }
+  }
+  dispatching_ = false;
+}
+
+void MapReduceEngine::requeue(TaskAttempt& attempt, bool ban_tracker) {
+  if (!attempt.running()) return;
+  Task& task = attempt.task();
+  if (ban_tracker) task.banned_trackers.insert(&attempt.tracker());
+  attempt.kill();
+  ++requeue_count_;
+  // If every tracker is now banned, forgive the bans so the task can still
+  // finish somewhere.
+  if (task.banned_trackers.size() >= trackers_.size()) {
+    task.banned_trackers.clear();
+  }
+  dispatch();
+}
+
+void MapReduceEngine::attempt_finished(TaskAttempt& attempt) {
+  Task& task = attempt.task();
+  if (task.completed_) return;  // a sibling already won (defensive)
+  task.completed_ = true;
+  task.duration_ = attempt.elapsed();
+  task.output_site_ = &attempt.site();
+  for (const auto& other : task.attempts_) {
+    if (other.get() != &attempt && other->running()) other->kill();
+  }
+
+  Job& job = task.job();
+  if (task.type() == TaskType::kMap) {
+    ++job.maps_done_;
+    if (job.maps_done_ == static_cast<int>(job.maps_.size())) {
+      job.map_phase_end_ = sim_.now();
+      job.state_ = JobState::kReducing;
+      sim::log_debug(sim_.now(), "jobtracker",
+                     job.spec().name + ": map phase done");
+    }
+  } else {
+    ++job.reduces_done_;
+    if (job.reduces_done_ == static_cast<int>(job.reduces_.size())) {
+      job.finish_time_ = sim_.now();
+      job.state_ = JobState::kDone;
+      --active_jobs_;
+      sim::log_info(
+          sim_.now(), "jobtracker",
+          job.spec().name + ": finished, jct=" + std::to_string(job.jct()));
+      if (job.on_complete) job.on_complete(job);
+    }
+  }
+  dispatch();
+}
+
+TaskTracker* MapReduceEngine::tracker_with_free_slot(
+    TaskType type, const TaskTracker* exclude, const Task& task) const {
+  // Prefer the tracker on the least-loaded physical host: a speculative
+  // copy is pointless on a machine as contended as the straggler's.
+  TaskTracker* best = nullptr;
+  double best_load = 1e300;
+  for (const auto& tr : trackers_) {
+    if (tr.get() == exclude) continue;
+    if (task.banned_trackers.contains(tr.get())) continue;
+    if (!task.job().pool_allows(tr->site().is_virtual())) continue;
+    if (tr->free_slots(type) <= 0) continue;
+    const cluster::Machine* host = tr->site().host_machine();
+    double load = static_cast<double>(tr->running().size());
+    if (host != nullptr) {
+      load += 4.0 * host->utilization(cluster::ResourceKind::kCpu) +
+              2.0 * host->utilization(cluster::ResourceKind::kDisk);
+    }
+    if (load < best_load) {
+      best_load = load;
+      best = tr.get();
+    }
+  }
+  return best;
+}
+
+void MapReduceEngine::maybe_start_speculation_monitor() {
+  if (!options_.speculative_execution || speculation_monitor_running_) return;
+  speculation_monitor_running_ = true;
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, tick]() {
+    if (active_jobs_ == 0) {
+      speculation_monitor_running_ = false;
+      return;
+    }
+    speculation_scan();
+    sim_.after(options_.speculation_interval_s, [tick]() { (*tick)(); });
+  };
+  sim_.after(options_.speculation_interval_s, [tick]() { (*tick)(); });
+}
+
+void MapReduceEngine::speculation_scan() {
+  for (const auto& job : jobs_) {
+    if (job->state() != JobState::kMapping &&
+        job->state() != JobState::kReducing) {
+      continue;
+    }
+    for (TaskType type : {TaskType::kMap, TaskType::kReduce}) {
+      const auto& tasks =
+          type == TaskType::kMap ? job->maps() : job->reduces();
+      // Mean progress rate over mature running attempts plus completed
+      // tasks (whose rate is 1/duration) of this (job, type).
+      double sum_rate = 0;
+      int n = 0;
+      for (const auto& t : tasks) {
+        if (t->completed() && t->duration() > 0) {
+          sum_rate += 1.0 / t->duration();
+          ++n;
+          continue;
+        }
+        TaskAttempt* a = t->running_attempt();
+        if (a == nullptr || a->elapsed() < options_.speculation_min_elapsed_s) {
+          continue;
+        }
+        sum_rate += a->progress_rate();
+        ++n;
+      }
+      if (n < 2) continue;
+      const double mean_rate = sum_rate / n;
+      // Hadoop's speculative cap: at most ~10% of a job's tasks may have
+      // live speculative copies at once.
+      int live_copies = 0;
+      for (const auto& t : tasks) {
+        if (!t->completed() && t->running_count() > 1) ++live_copies;
+      }
+      const int copy_budget =
+          std::max(1, static_cast<int>(tasks.size()) / 10) - live_copies;
+      int copies_left = std::max(0, copy_budget);
+      for (const auto& t : tasks) {
+        if (copies_left <= 0) break;
+        if (t->completed() || t->speculative_launched) continue;
+        TaskAttempt* a = t->running_attempt();
+        if (a == nullptr || a->elapsed() < options_.speculation_min_elapsed_s) {
+          continue;
+        }
+        if (a->progress() > 0.9) continue;
+        if (a->progress_rate() <
+            (1.0 - cal_.speculative_slowdown_threshold) * mean_rate) {
+          TaskTracker* target =
+              tracker_with_free_slot(type, &a->tracker(), *t);
+          if (target == nullptr) continue;
+          t->speculative_launched = true;
+          ++speculative_count_;
+          --copies_left;
+          sim::log_debug(sim_.now(), "speculation",
+                         "copy of " + job->spec().name + " task " +
+                             std::to_string(t->index()));
+          target->launch(*t);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace hybridmr::mapred

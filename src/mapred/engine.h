@@ -1,0 +1,122 @@
+// MapReduceEngine: the JobTracker. Owns jobs and trackers, drives task
+// dispatch, phase transitions and speculative execution.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/calibration.h"
+#include "mapred/job.h"
+#include "mapred/scheduler.h"
+#include "mapred/task.h"
+#include "mapred/tracker.h"
+#include "sim/simulation.h"
+#include "storage/hdfs.h"
+
+namespace hybridmr::mapred {
+
+class MapReduceEngine {
+ public:
+  struct Options {
+    bool speculative_execution = true;
+    double speculation_interval_s = 5.0;
+    /// Minimum runtime before an attempt can be judged a straggler.
+    double speculation_min_elapsed_s = 30.0;
+    /// Stock Hadoop-1 behaviour: every slot gets a rigid share of the
+    /// node's resources (fixed JVM heap, unmanaged I/O). HybridMR's DRM
+    /// replaces these static caps with demand-driven allocations.
+    bool static_slot_shares = true;
+  };
+
+  MapReduceEngine(sim::Simulation& sim, storage::Hdfs& hdfs,
+                  const cluster::Calibration& cal,
+                  std::unique_ptr<TaskScheduler> scheduler, Options options);
+
+  MapReduceEngine(sim::Simulation& sim, storage::Hdfs& hdfs,
+                  const cluster::Calibration& cal,
+                  std::unique_ptr<TaskScheduler> scheduler = nullptr)
+      : MapReduceEngine(sim, hdfs, cal, std::move(scheduler), Options{}) {}
+
+  MapReduceEngine(const MapReduceEngine&) = delete;
+  MapReduceEngine& operator=(const MapReduceEngine&) = delete;
+
+  /// Registers a TaskTracker on `site`. Slot counts default to the
+  /// calibrated Hadoop configuration (2 map + 2 reduce).
+  TaskTracker* add_tracker(cluster::ExecutionSite& site, int map_slots = -1,
+                           int reduce_slots = -1);
+
+  /// Decommissions the TaskTracker on `site`. Fails (returns false) when
+  /// the tracker still runs attempts; drain it first (IPS requeue or wait).
+  bool remove_tracker(cluster::ExecutionSite& site);
+
+  /// The tracker registered on `site`, or nullptr.
+  [[nodiscard]] TaskTracker* tracker_on(const cluster::ExecutionSite& site)
+      const;
+
+  [[nodiscard]] const std::vector<std::unique_ptr<TaskTracker>>& trackers()
+      const {
+    return trackers_;
+  }
+
+  /// Submits a job; stages its input file across the datanodes first.
+  Job* submit(const JobSpec& spec,
+              PlacementPool pool = PlacementPool::kAny);
+  /// Submits a job over an already staged input file.
+  Job* submit(const JobSpec& spec, storage::Hdfs::FileId input,
+              PlacementPool pool = PlacementPool::kAny);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Job>>& jobs() const {
+    return jobs_;
+  }
+  [[nodiscard]] int active_jobs() const { return active_jobs_; }
+
+  /// All currently running attempts across all trackers (DRM's view).
+  [[nodiscard]] std::vector<TaskAttempt*> running_attempts() const;
+
+  /// Fills every free slot it can. Called internally on submit/completion;
+  /// safe to call at any time.
+  void dispatch();
+
+  /// Kills a running attempt and re-queues its task, optionally banning the
+  /// tracker it ran on (IPS migration/abort action). The MapReduce master
+  /// treats it like a failed speculative copy: correctness is unaffected.
+  void requeue(TaskAttempt& attempt, bool ban_tracker);
+
+  // --- internals used by TaskAttempt / TaskTracker ---
+  void attempt_finished(TaskAttempt& attempt);
+  [[nodiscard]] sim::Simulation& sim() { return sim_; }
+  [[nodiscard]] storage::Hdfs& hdfs() { return hdfs_; }
+  [[nodiscard]] const cluster::Calibration& calibration() const {
+    return cal_;
+  }
+  [[nodiscard]] int reducers_for(const JobSpec& spec) const;
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  // --- stats ---
+  [[nodiscard]] int speculative_launched() const { return speculative_count_; }
+  [[nodiscard]] int requeued() const { return requeue_count_; }
+  [[nodiscard]] const TaskScheduler& scheduler() const { return *scheduler_; }
+
+ private:
+  void maybe_start_speculation_monitor();
+  void speculation_scan();
+  TaskTracker* tracker_with_free_slot(TaskType type,
+                                      const TaskTracker* exclude,
+                                      const Task& task) const;
+
+  sim::Simulation& sim_;
+  storage::Hdfs& hdfs_;
+  const cluster::Calibration& cal_;
+  std::unique_ptr<TaskScheduler> scheduler_;
+  Options options_;
+  std::vector<std::unique_ptr<TaskTracker>> trackers_;
+  std::vector<std::unique_ptr<Job>> jobs_;
+  int active_jobs_ = 0;
+  bool speculation_monitor_running_ = false;
+  int speculative_count_ = 0;
+  int requeue_count_ = 0;
+  bool dispatching_ = false;
+};
+
+}  // namespace hybridmr::mapred

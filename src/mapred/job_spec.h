@@ -1,0 +1,82 @@
+// Job specifications: the static description of a MapReduce job's resource
+// behaviour, from which map/reduce task workloads are derived.
+#pragma once
+
+#include <string>
+
+namespace hybridmr::mapred {
+
+/// Coarse resource class, as the paper categorizes its benchmarks (§IV).
+enum class JobClass { kCpuBound, kIoBound, kMemoryIoBound };
+
+const char* to_string(JobClass c);
+
+struct JobSpec {
+  std::string name;
+  JobClass job_class = JobClass::kIoBound;
+
+  double input_gb = 1.0;
+
+  // Compute factors (cpu-seconds per MB processed).
+  double map_cpu_s_per_mb = 0.01;
+  double reduce_cpu_s_per_mb = 0.01;
+  // Extra merge-sort cost per spill pass in the reduce (drives the
+  // piecewise-nonlinear reduce-phase behaviour of Fig. 5(c)).
+  double sort_cpu_s_per_mb = 0.004;
+
+  // Data-flow shape.
+  double map_selectivity = 1.0;     // intermediate bytes / input bytes
+  double reduce_output_ratio = 1.0; // output bytes / intermediate bytes
+
+  // Memory footprint of one running task (JVM heap + buffers).
+  double task_memory_mb = 300;
+
+  // Number of reduce tasks; 0 = one per TaskTracker.
+  int num_reducers = 0;
+
+  // Replication factor for job output (0 = the cluster default). Sort
+  // benchmarks conventionally write with replication 1 (terasort).
+  int output_replicas = 0;
+
+  // Input split size override in MB (0 = the cluster's HDFS block size).
+  // Compute-shaped jobs like PiEst use tiny splits over tiny inputs.
+  double split_mb = 0;
+
+  // Completion-time SLO used by the Phase I placement (0 = best effort).
+  double desired_jct_s = 0;
+
+  /// Same job, different input size (paper scales Sort from 1 to 20 GB).
+  [[nodiscard]] JobSpec with_input_gb(double gb) const {
+    JobSpec s = *this;
+    s.input_gb = gb;
+    return s;
+  }
+
+  [[nodiscard]] JobSpec with_reducers(int n) const {
+    JobSpec s = *this;
+    s.num_reducers = n;
+    return s;
+  }
+
+  [[nodiscard]] JobSpec with_desired_jct(double seconds) const {
+    JobSpec s = *this;
+    s.desired_jct_s = seconds;
+    return s;
+  }
+
+  [[nodiscard]] double input_mb() const { return input_gb * 1024.0; }
+};
+
+inline const char* to_string(JobClass c) {
+  switch (c) {
+    case JobClass::kCpuBound:
+      return "cpu-bound";
+    case JobClass::kIoBound:
+      return "io-bound";
+    case JobClass::kMemoryIoBound:
+      return "mem+io-bound";
+  }
+  return "?";
+}
+
+}  // namespace hybridmr::mapred

@@ -1,0 +1,78 @@
+#include "mapred/scheduler.h"
+
+#include <algorithm>
+
+namespace hybridmr::mapred {
+
+bool TaskScheduler::eligible(const Job& job, TaskType type) {
+  if (type == TaskType::kMap) return job.state() == JobState::kMapping;
+  return job.state() == JobState::kReducing;
+}
+
+Task* TaskScheduler::pick_from_job(Job& job, TaskType type,
+                                   TaskTracker& tracker,
+                                   const storage::Hdfs& hdfs,
+                                   bool locality_only) {
+  const auto& tasks = type == TaskType::kMap ? job.maps() : job.reduces();
+  Task* host_local = nullptr;
+  Task* fallback = nullptr;
+  for (const auto& t : tasks) {
+    if (!t->pending()) continue;
+    if (t->banned_trackers.contains(&tracker)) continue;
+    if (type == TaskType::kMap) {
+      const auto loc =
+          hdfs.locality_of(job.input_file(), t->index(), &tracker.site());
+      if (loc == storage::Locality::kNodeLocal) return t.get();
+      if (loc == storage::Locality::kHostLocal && host_local == nullptr) {
+        host_local = t.get();
+      }
+    }
+    if (fallback == nullptr) fallback = t.get();
+    if (type == TaskType::kReduce) break;  // reduces have no locality
+  }
+  if (host_local != nullptr) return host_local;
+  if (locality_only && type == TaskType::kMap) return nullptr;
+  return fallback;
+}
+
+Task* FifoScheduler::pick(TaskTracker& tracker, TaskType type,
+                          const std::vector<Job*>& jobs,
+                          const storage::Hdfs& hdfs, bool locality_only) {
+  for (Job* job : jobs) {
+    if (!eligible(*job, type)) continue;
+    if (!job->pool_allows(tracker.site().is_virtual())) continue;
+    if (Task* t = pick_from_job(*job, type, tracker, hdfs, locality_only)) {
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+Task* FairScheduler::pick(TaskTracker& tracker, TaskType type,
+                          const std::vector<Job*>& jobs,
+                          const storage::Hdfs& hdfs, bool locality_only) {
+  // Most-starved first: fewest running tasks, ties broken by submit order.
+  std::vector<Job*> eligible_jobs;
+  for (Job* job : jobs) {
+    if (!eligible(*job, type)) continue;
+    if (!job->pool_allows(tracker.site().is_virtual())) continue;
+    eligible_jobs.push_back(job);
+  }
+  std::stable_sort(eligible_jobs.begin(), eligible_jobs.end(),
+                   [](const Job* a, const Job* b) {
+                     return a->running_tasks() < b->running_tasks();
+                   });
+  for (Job* job : eligible_jobs) {
+    if (Task* t = pick_from_job(*job, type, tracker, hdfs, locality_only)) {
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+std::unique_ptr<TaskScheduler> make_scheduler(const std::string& name) {
+  if (name == "fair") return std::make_unique<FairScheduler>();
+  return std::make_unique<FifoScheduler>();
+}
+
+}  // namespace hybridmr::mapred

@@ -1,0 +1,63 @@
+// Pluggable task schedulers (the JobTracker's scheduling policy).
+//
+// FIFO is Hadoop's default; FairScheduler matches the paper's testbed
+// configuration (§IV). Both prefer data-local map tasks, mirroring the
+// delay-free locality preference of Hadoop 1.x.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mapred/job.h"
+#include "mapred/tracker.h"
+#include "storage/hdfs.h"
+
+namespace hybridmr::mapred {
+
+class TaskScheduler {
+ public:
+  virtual ~TaskScheduler() = default;
+
+  /// Chooses the next task to run on a free slot of `type` at `tracker`,
+  /// or nullptr when nothing is eligible. With `locality_only`, map slots
+  /// only accept node/host-local tasks (delay-scheduling pass); the
+  /// dispatcher relaxes the constraint in a second round.
+  virtual Task* pick(TaskTracker& tracker, TaskType type,
+                     const std::vector<Job*>& jobs, const storage::Hdfs& hdfs,
+                     bool locality_only) = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+ protected:
+  /// True if `job` has work of `type` ready to schedule.
+  static bool eligible(const Job& job, TaskType type);
+
+  /// Picks a pending task of `type` from `job`, preferring map tasks whose
+  /// input block has a replica on (or host-local to) the tracker's site.
+  /// With `locality_only`, non-local map tasks are not offered at all.
+  static Task* pick_from_job(Job& job, TaskType type, TaskTracker& tracker,
+                             const storage::Hdfs& hdfs, bool locality_only);
+};
+
+/// Jobs served strictly in submission order.
+class FifoScheduler : public TaskScheduler {
+ public:
+  Task* pick(TaskTracker& tracker, TaskType type,
+             const std::vector<Job*>& jobs, const storage::Hdfs& hdfs,
+             bool locality_only) override;
+  [[nodiscard]] const char* name() const override { return "fifo"; }
+};
+
+/// Hadoop FairScheduler: the eligible job with the fewest running tasks
+/// gets the slot (equal-share, single pool, no preemption).
+class FairScheduler : public TaskScheduler {
+ public:
+  Task* pick(TaskTracker& tracker, TaskType type,
+             const std::vector<Job*>& jobs, const storage::Hdfs& hdfs,
+             bool locality_only) override;
+  [[nodiscard]] const char* name() const override { return "fair"; }
+};
+
+std::unique_ptr<TaskScheduler> make_scheduler(const std::string& name);
+
+}  // namespace hybridmr::mapred

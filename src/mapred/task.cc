@@ -1,0 +1,348 @@
+#include "mapred/task.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "mapred/engine.h"
+#include "mapred/job.h"
+#include "mapred/tracker.h"
+
+namespace hybridmr::mapred {
+
+using cluster::Resources;
+using cluster::Workload;
+
+namespace {
+/// Hadoop's mapreduce.reduce.shuffle.parallelcopies default-ish bound.
+constexpr int kShuffleParallelism = 4;
+}  // namespace
+
+TaskAttempt* Task::running_attempt() const {
+  for (const auto& a : attempts_) {
+    if (a->running()) return a.get();
+  }
+  return nullptr;
+}
+
+int Task::running_count() const {
+  int n = 0;
+  for (const auto& a : attempts_) {
+    if (a->running()) ++n;
+  }
+  return n;
+}
+
+// ------------------------------------------------------------- attempt ----
+
+TaskAttempt::TaskAttempt(Task& task, TaskTracker& tracker,
+                         MapReduceEngine& engine)
+    : task_(&task), tracker_(&tracker), engine_(&engine) {}
+
+TaskAttempt::~TaskAttempt() { teardown(); }
+
+cluster::ExecutionSite& TaskAttempt::site() const { return tracker_->site(); }
+
+std::string TaskAttempt::label() const {
+  const Job& job = task_->job();
+  return job.spec().name + "-j" + std::to_string(job.id()) +
+         (task_->type() == TaskType::kMap ? "-m" : "-r") +
+         std::to_string(task_->index());
+}
+
+void TaskAttempt::start() {
+  started_ = true;
+  started_at_ = engine_->sim().now();
+  build_phases();
+  next_phase();
+}
+
+void TaskAttempt::build_phases() {
+  const JobSpec& spec = task_->job().spec();
+  const auto& cal = engine_->calibration();
+  phases_.clear();
+  if (task_->type() == TaskType::kMap) {
+    const double mb = engine_->hdfs().block_size_mb(
+        task_->job().input_file(), task_->index());
+    // Fetch the first split buffer through HDFS (captures locality), then
+    // stream the rest pipelined with record processing, like a real map.
+    const double head_mb = 0.15 * mb;
+    const double body_mb = mb - head_mb;
+    phases_.push_back({Phase::Kind::kRead, head_mb, {}});
+    const double cpu_s = mb * spec.map_cpu_s_per_mb;
+    const double stream_s =
+        std::max({0.05, cpu_s, body_mb / cal.hdfs_stream_disk_mbps});
+    Phase stream{Phase::Kind::kStream, stream_s, {}};
+    stream.demand.cpu = std::min(1.0, cpu_s / stream_s);
+    stream.demand.disk = body_mb / stream_s;
+    stream.demand.memory = spec.task_memory_mb;
+    phases_.push_back(stream);
+    const double out = mb * spec.map_selectivity;
+    if (out > 0.01) phases_.push_back({Phase::Kind::kLocalWrite, out, {}});
+  } else {
+    const double mb = task_->job().shuffle_mb_per_reducer();
+    if (mb > 0.01) phases_.push_back({Phase::Kind::kShuffle, mb, {}});
+    // Merge-sort passes grow with the spill count: the reduce-phase
+    // nonlinearity of Fig. 5(c).
+    const double spills =
+        std::max(1.0, std::log2(1.0 + mb / std::max(1.0, spec.task_memory_mb)));
+    const double cpu =
+        mb * (spec.reduce_cpu_s_per_mb + spec.sort_cpu_s_per_mb * spills);
+    phases_.push_back({Phase::Kind::kCompute, std::max(0.05, cpu), {}});
+    const double out = mb * spec.reduce_output_ratio;
+    if (out > 0.01) phases_.push_back({Phase::Kind::kWrite, out, {}});
+  }
+
+  // Phase weights = estimated duration shares (used only for progress).
+  weights_.clear();
+  double total = 0;
+  for (const auto& p : phases_) {
+    double est = 0;
+    switch (p.kind) {
+      case Phase::Kind::kRead:
+      case Phase::Kind::kLocalWrite:
+        est = p.amount / cal.hdfs_stream_disk_mbps;
+        break;
+      case Phase::Kind::kCompute:
+      case Phase::Kind::kStream:
+        est = p.amount;
+        break;
+      case Phase::Kind::kShuffle:
+        est = p.amount / cal.hdfs_stream_net_mbps;
+        break;
+      case Phase::Kind::kWrite:
+        est = 2 * p.amount / cal.hdfs_stream_disk_mbps;  // replication
+        break;
+    }
+    weights_.push_back(est);
+    total += est;
+  }
+  for (auto& w : weights_) {
+    w = total > 0 ? w / total : 1.0 / static_cast<double>(phases_.size());
+  }
+}
+
+void TaskAttempt::next_phase() {
+  ++phase_idx_;
+  flows_.clear();
+  flow_done_mb_ = 0;
+  phase_flow_total_ = 0;
+  if (phase_idx_ >= static_cast<int>(phases_.size())) {
+    finished_ = true;
+    tracker_->release(this);
+    engine_->attempt_finished(*this);
+    return;
+  }
+
+  const Phase& phase = phases_[static_cast<std::size_t>(phase_idx_)];
+  const JobSpec& spec = task_->job().spec();
+  const auto& cal = engine_->calibration();
+
+  switch (phase.kind) {
+    case Phase::Kind::kRead: {
+      phase_flow_total_ = phase.amount;
+      const double block_mb = engine_->hdfs().block_size_mb(
+          task_->job().input_file(), task_->index());
+      auto handle = engine_->hdfs().read_block(
+          task_->job().input_file(), task_->index(), site(),
+          [this, mb = phase.amount]() { flow_completed(mb); },
+          block_mb > 0 ? phase.amount / block_mb : 1.0);
+      if (paused_) handle.set_paused(true);
+      handle.set_caps(caps_);
+      flows_.push_back({handle, phase.amount});
+      break;
+    }
+    case Phase::Kind::kStream:
+    case Phase::Kind::kCompute: {
+      Resources d = phase.demand;
+      if (phase.kind == Phase::Kind::kCompute) {
+        d.cpu = 1.0;
+        d.memory = spec.task_memory_mb;
+      }
+      workload_ =
+          std::make_shared<Workload>(label() + ":compute", d, phase.amount);
+      workload_->set_caps(caps_);
+      workload_->set_paused(paused_);
+      workload_->on_complete = [this]() {
+        workload_.reset();
+        phase_finished();
+      };
+      site().add(workload_);
+      break;
+    }
+    case Phase::Kind::kLocalWrite: {
+      Resources d;
+      d.disk = cal.hdfs_stream_disk_mbps;
+      workload_ = std::make_shared<Workload>(
+          label() + ":spill", d, phase.amount / cal.hdfs_stream_disk_mbps);
+      workload_->set_caps(caps_);
+      workload_->set_paused(paused_);
+      workload_->on_complete = [this]() {
+        workload_.reset();
+        phase_finished();
+      };
+      site().add(workload_);
+      break;
+    }
+    case Phase::Kind::kShuffle:
+      begin_shuffle(phase.amount);
+      break;
+    case Phase::Kind::kWrite: {
+      phase_flow_total_ = phase.amount;
+      auto handle = engine_->hdfs().write(
+          site(), phase.amount,
+          [this, mb = phase.amount]() { flow_completed(mb); },
+          spec.output_replicas);
+      if (paused_) handle.set_paused(true);
+      handle.set_caps(caps_);
+      flows_.push_back({handle, phase.amount});
+      break;
+    }
+  }
+}
+
+void TaskAttempt::begin_shuffle(double total_mb) {
+  phase_flow_total_ = total_mb;
+  shuffle_queue_.clear();
+  shuffle_next_ = 0;
+
+  // Group this reducer's share of each map output by source site, in
+  // first-map order (pointer-keyed ordering would be nondeterministic).
+  const auto& maps = task_->job().maps();
+  const double per_map =
+      maps.empty() ? 0 : total_mb / static_cast<double>(maps.size());
+  for (const auto& m : maps) {
+    cluster::ExecutionSite* src = m->output_site();
+    if (src == nullptr) src = &site();  // defensive: treat as local
+    auto it = std::find_if(shuffle_queue_.begin(), shuffle_queue_.end(),
+                           [src](const auto& e) { return e.first == src; });
+    if (it == shuffle_queue_.end()) {
+      shuffle_queue_.emplace_back(src, per_map);
+    } else {
+      it->second += per_map;
+    }
+  }
+  if (shuffle_queue_.empty()) {
+    phase_finished();
+    return;
+  }
+  pump_shuffle();
+}
+
+void TaskAttempt::pump_shuffle() {
+  while (static_cast<int>(flows_.size()) < kShuffleParallelism &&
+         shuffle_next_ < shuffle_queue_.size()) {
+    auto [src, mb] = shuffle_queue_[shuffle_next_++];
+    auto handle = engine_->hdfs().transfer(
+        *src, site(), mb, [this, mb]() { flow_completed(mb); });
+    if (paused_) handle.set_paused(true);
+    handle.set_caps(caps_);
+    flows_.push_back({handle, mb});
+  }
+}
+
+void TaskAttempt::flow_completed(double mb) {
+  flow_done_mb_ += mb;
+  // Drop completed handles.
+  flows_.erase(std::remove_if(flows_.begin(), flows_.end(),
+                              [](const ActiveFlow& f) {
+                                return !f.handle.active();
+                              }),
+               flows_.end());
+  if (shuffle_next_ < shuffle_queue_.size()) pump_shuffle();
+  if (flows_.empty() && shuffle_next_ >= shuffle_queue_.size()) {
+    phase_finished();
+  }
+}
+
+void TaskAttempt::phase_finished() {
+  if (killed_ || finished_) return;
+  completed_weight_ += weights_[static_cast<std::size_t>(phase_idx_)];
+  next_phase();
+}
+
+double TaskAttempt::progress() const {
+  if (finished_) return 1.0;
+  if (!started_ || phase_idx_ < 0 ||
+      phase_idx_ >= static_cast<int>(phases_.size())) {
+    return completed_weight_;
+  }
+  double in_phase = 0;
+  if (workload_) {
+    in_phase = workload_->progress();
+  } else if (phase_flow_total_ > 0) {
+    double moving = 0;
+    for (const auto& f : flows_) moving += f.handle.progress() * f.amount_mb;
+    in_phase = (flow_done_mb_ + moving) / phase_flow_total_;
+  }
+  in_phase = std::clamp(in_phase, 0.0, 1.0);
+  return std::clamp(
+      completed_weight_ +
+          in_phase * weights_[static_cast<std::size_t>(phase_idx_)],
+      0.0, 1.0);
+}
+
+double TaskAttempt::elapsed() const {
+  return started_ ? engine_->sim().now() - started_at_ : 0;
+}
+
+double TaskAttempt::progress_rate() const {
+  const double t = elapsed();
+  return t > 0 ? progress() / t : 0;
+}
+
+void TaskAttempt::set_caps(const Resources& caps) {
+  caps_ = caps;
+  if (workload_) workload_->set_caps(caps);
+  for (auto& f : flows_) f.handle.set_caps(caps);
+}
+
+void TaskAttempt::set_paused(bool paused) {
+  if (paused_ == paused) return;
+  paused_ = paused;
+  if (workload_) workload_->set_paused(paused);
+  for (auto& f : flows_) f.handle.set_paused(paused);
+}
+
+Resources TaskAttempt::current_allocation() const {
+  if (workload_) return workload_->allocated();
+  Resources sum;
+  for (const auto& f : flows_) {
+    const cluster::Workload* p = f.handle.primary();
+    // Flow primaries may run on another site (host-local serves); those do
+    // not count against this tracker's node.
+    if (p != nullptr && p->site() == &site()) sum += p->allocated();
+  }
+  return sum;
+}
+
+Resources TaskAttempt::current_demand() const {
+  if (workload_) return workload_->effective_demand();
+  Resources sum;
+  for (const auto& f : flows_) {
+    const cluster::Workload* p = f.handle.primary();
+    if (p != nullptr && p->site() == &site()) sum += p->effective_demand();
+  }
+  return sum;
+}
+
+void TaskAttempt::teardown() {
+  for (auto& f : flows_) f.handle.cancel();
+  flows_.clear();
+  if (workload_) {
+    workload_->on_complete = nullptr;
+    if (workload_->site() != nullptr) {
+      workload_->site()->remove(workload_.get());
+    }
+    workload_.reset();
+  }
+}
+
+void TaskAttempt::kill() {
+  if (!running()) return;
+  killed_ = true;
+  teardown();
+  tracker_->release(this);
+}
+
+}  // namespace hybridmr::mapred

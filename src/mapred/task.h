@@ -1,0 +1,181 @@
+// Tasks and task attempts.
+//
+// A Task is a logical unit of job work (one map split or one reduce
+// partition); a TaskAttempt is one execution of it on a TaskTracker. Tasks
+// can have multiple attempts (speculative execution, IPS re-queues); the
+// first attempt to finish wins and the rest are killed, exactly as in
+// Hadoop 1.x.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "cluster/machine.h"
+#include "storage/hdfs.h"
+
+namespace hybridmr::mapred {
+
+class Job;
+class TaskTracker;
+class MapReduceEngine;
+class TaskAttempt;
+
+enum class TaskType { kMap, kReduce };
+
+class Task {
+ public:
+  Task(Job& job, TaskType type, int index)
+      : job_(&job), type_(type), index_(index) {}
+
+  [[nodiscard]] Job& job() const { return *job_; }
+  [[nodiscard]] TaskType type() const { return type_; }
+  [[nodiscard]] int index() const { return index_; }
+
+  [[nodiscard]] bool completed() const { return completed_; }
+  /// Seconds the winning attempt ran (valid once completed).
+  [[nodiscard]] double duration() const { return duration_; }
+  /// Where the winning attempt ran (shuffle sources read map output here).
+  [[nodiscard]] cluster::ExecutionSite* output_site() const {
+    return output_site_;
+  }
+
+  [[nodiscard]] const std::vector<std::unique_ptr<TaskAttempt>>& attempts()
+      const {
+    return attempts_;
+  }
+  [[nodiscard]] TaskAttempt* running_attempt() const;
+  [[nodiscard]] int running_count() const;
+  /// Pending: not completed and nothing running (never launched, or the
+  /// previous attempt was killed).
+  [[nodiscard]] bool pending() const {
+    return !completed_ && running_count() == 0;
+  }
+
+  /// One speculative copy per task, like Hadoop.
+  bool speculative_launched = false;
+
+  /// Trackers this task must not run on again (IPS re-queue exclusions).
+  std::set<const TaskTracker*> banned_trackers;
+
+ private:
+  friend class MapReduceEngine;
+  friend class TaskTracker;
+  Job* job_;
+  TaskType type_;
+  int index_;
+  bool completed_ = false;
+  double duration_ = -1;
+  cluster::ExecutionSite* output_site_ = nullptr;
+  std::vector<std::unique_ptr<TaskAttempt>> attempts_;
+};
+
+/// One execution of a task: a small state machine chaining HDFS flows and
+/// compute workloads on the tracker's execution site.
+class TaskAttempt {
+ public:
+  TaskAttempt(Task& task, TaskTracker& tracker, MapReduceEngine& engine);
+  ~TaskAttempt();
+
+  TaskAttempt(const TaskAttempt&) = delete;
+  TaskAttempt& operator=(const TaskAttempt&) = delete;
+
+  /// Begins execution (phases are derived from the job spec here).
+  void start();
+
+  /// Cancels the attempt without completing its task. Frees the slot.
+  void kill();
+
+  [[nodiscard]] bool running() const {
+    return started_ && !finished_ && !killed_;
+  }
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] bool killed() const { return killed_; }
+
+  [[nodiscard]] Task& task() const { return *task_; }
+  [[nodiscard]] TaskTracker& tracker() const { return *tracker_; }
+  [[nodiscard]] cluster::ExecutionSite& site() const;
+
+  /// Overall fraction complete in [0, 1] (phase-weighted).
+  [[nodiscard]] double progress() const;
+  [[nodiscard]] double elapsed() const;
+  /// Progress per second since launch (straggler detection).
+  [[nodiscard]] double progress_rate() const;
+  [[nodiscard]] double started_at() const { return started_at_; }
+
+  // --- DRM / IPS control surface ---
+
+  /// cgroup-style caps applied to this attempt's current and future
+  /// workloads.
+  void set_caps(const cluster::Resources& caps);
+  [[nodiscard]] const cluster::Resources& caps() const { return caps_; }
+  void set_paused(bool paused);
+  [[nodiscard]] bool paused() const { return paused_; }
+
+  /// The static slot share this attempt started with (stock Hadoop's rigid
+  /// partitioning); the DRM uses it as the baseline when relaxing caps.
+  [[nodiscard]] const cluster::Resources& base_caps() const {
+    return base_caps_;
+  }
+  void set_base_caps(const cluster::Resources& caps) {
+    base_caps_ = caps;
+    set_caps(caps);
+  }
+
+  /// Resources the attempt is currently granted / asking for (zero between
+  /// phases and for flows running on other sites).
+  [[nodiscard]] cluster::Resources current_allocation() const;
+  [[nodiscard]] cluster::Resources current_demand() const;
+
+ private:
+  struct Phase {
+    enum class Kind { kRead, kStream, kCompute, kLocalWrite, kShuffle,
+                      kWrite };
+    Kind kind;
+    double amount;  // MB for I/O phases, seconds for compute/stream
+    // kStream only: the pipelined record-processing demand (cpu + disk),
+    // sized so the phase finishes in `amount` seconds at full speed.
+    cluster::Resources demand;
+  };
+
+  void build_phases();
+  void next_phase();
+  void begin_shuffle(double total_mb);
+  void pump_shuffle();
+  void flow_completed(double mb);
+  void phase_finished();
+  void teardown();
+  [[nodiscard]] std::string label() const;
+
+  Task* task_;
+  TaskTracker* tracker_;
+  MapReduceEngine* engine_;
+
+  std::vector<Phase> phases_;
+  std::vector<double> weights_;  // estimated duration share per phase
+  int phase_idx_ = -1;
+  double completed_weight_ = 0;
+
+  cluster::WorkloadPtr workload_;  // compute / local-write phases
+  struct ActiveFlow {
+    storage::FlowHandle handle;
+    double amount_mb = 0;
+  };
+  std::vector<ActiveFlow> flows_;  // in-flight HDFS flows of this phase
+  // Shuffle fetch queue, drained with bounded parallelism (Hadoop's
+  // parallel-copies setting).
+  std::vector<std::pair<cluster::ExecutionSite*, double>> shuffle_queue_;
+  std::size_t shuffle_next_ = 0;
+  double flow_done_mb_ = 0;
+  double phase_flow_total_ = 0;
+
+  bool started_ = false;
+  bool finished_ = false;
+  bool killed_ = false;
+  bool paused_ = false;
+  cluster::Resources caps_ = cluster::Resources::unbounded();
+  cluster::Resources base_caps_ = cluster::Resources::unbounded();
+  double started_at_ = -1;
+};
+
+}  // namespace hybridmr::mapred

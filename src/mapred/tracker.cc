@@ -1,0 +1,58 @@
+#include "mapred/tracker.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "mapred/engine.h"
+#include "mapred/job.h"
+
+namespace hybridmr::mapred {
+
+cluster::Resources TaskTracker::static_slot_share(TaskType /*type*/) const {
+  // Stock Hadoop-1 rigidity: a fixed per-JVM heap (mapred.child.java.opts:
+  // node memory / per-type slot count) and conservative fixed per-stream
+  // I/O throttles. CPU is left work-conserving (Linux CFS). HybridMR's DRM
+  // replaces these with demand-driven allocations.
+  const auto& cal = engine_->calibration();
+  cluster::Resources caps = cluster::Resources::unbounded();
+  // Two concurrently active slots saturate a native node's disk exactly;
+  // the rigidity shows up whenever fewer streams than slots are active.
+  caps.disk = cal.pm_disk_mbps / 2;
+  caps.net = cal.pm_net_mbps / 2;
+  // Every task JVM runs with the stock fixed heap (mapred.child.java.opts)
+  // no matter how much memory the node actually has — the rigidity
+  // MROrchestrator reclaims.
+  caps.memory = cal.hadoop_child_heap_mb;
+  return caps;
+}
+
+TaskAttempt* TaskTracker::launch(Task& task) {
+  assert(free_slots(task.type()) > 0 && "no free slot");
+  auto attempt = std::make_unique<TaskAttempt>(task, *this, *engine_);
+  TaskAttempt* raw = attempt.get();
+  task.attempts_.push_back(std::move(attempt));
+  if (task.type() == TaskType::kMap) {
+    ++running_maps_;
+  } else {
+    ++running_reduces_;
+  }
+  running_.push_back(raw);
+  if (engine_->options().static_slot_shares) {
+    raw->set_base_caps(static_slot_share(task.type()));
+  }
+  raw->start();
+  return raw;
+}
+
+void TaskTracker::release(TaskAttempt* attempt) {
+  auto it = std::find(running_.begin(), running_.end(), attempt);
+  if (it == running_.end()) return;  // already released
+  running_.erase(it);
+  if (attempt->task().type() == TaskType::kMap) {
+    --running_maps_;
+  } else {
+    --running_reduces_;
+  }
+}
+
+}  // namespace hybridmr::mapred

@@ -1,0 +1,53 @@
+// TaskTracker: per-node slot manager (Hadoop 1.x model).
+#pragma once
+
+#include <vector>
+
+#include "cluster/machine.h"
+#include "mapred/task.h"
+
+namespace hybridmr::mapred {
+
+class TaskTracker {
+ public:
+  TaskTracker(MapReduceEngine& engine, cluster::ExecutionSite& site,
+              int map_slots, int reduce_slots)
+      : engine_(&engine),
+        site_(&site),
+        map_slots_(map_slots),
+        reduce_slots_(reduce_slots) {}
+
+  [[nodiscard]] cluster::ExecutionSite& site() const { return *site_; }
+  [[nodiscard]] int map_slots() const { return map_slots_; }
+  [[nodiscard]] int reduce_slots() const { return reduce_slots_; }
+
+  [[nodiscard]] int free_slots(TaskType type) const {
+    return type == TaskType::kMap ? map_slots_ - running_maps_
+                                  : reduce_slots_ - running_reduces_;
+  }
+
+  [[nodiscard]] const std::vector<TaskAttempt*>& running() const {
+    return running_;
+  }
+
+  /// Creates, registers and starts a new attempt of `task` here.
+  TaskAttempt* launch(Task& task);
+
+  /// The rigid per-slot resource share of stock Hadoop-1 (fixed JVM heap,
+  /// partitioned I/O); applied to attempts when static_slot_shares is on.
+  [[nodiscard]] cluster::Resources static_slot_share(TaskType type) const;
+
+  /// Bookkeeping when an attempt finishes or is killed.
+  void release(TaskAttempt* attempt);
+
+ private:
+  MapReduceEngine* engine_;
+  cluster::ExecutionSite* site_;
+  int map_slots_;
+  int reduce_slots_;
+  int running_maps_ = 0;
+  int running_reduces_ = 0;
+  std::vector<TaskAttempt*> running_;
+};
+
+}  // namespace hybridmr::mapred

@@ -1,0 +1,42 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace hybridmr::sim {
+
+EventId EventQueue::push(SimTime time, std::function<void()> fn) {
+  const std::uint64_t id = next_id_++;
+  heap_.push(HeapItem{time, next_seq_++, id});
+  handlers_.emplace(id, std::move(fn));
+  return EventId{id};
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (!id.valid()) return false;
+  return handlers_.erase(id.value) > 0;
+}
+
+void EventQueue::skim() {
+  while (!heap_.empty() && !handlers_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+std::optional<SimTime> EventQueue::next_time() {
+  skim();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top().time;
+}
+
+std::optional<EventQueue::Entry> EventQueue::pop() {
+  skim();
+  if (heap_.empty()) return std::nullopt;
+  const HeapItem item = heap_.top();
+  heap_.pop();
+  auto it = handlers_.find(item.id);
+  Entry entry{item.time, EventId{item.id}, std::move(it->second)};
+  handlers_.erase(it);
+  return entry;
+}
+
+}  // namespace hybridmr::sim

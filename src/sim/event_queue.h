@@ -1,0 +1,82 @@
+// Cancellable discrete-event queue.
+//
+// Events are (time, callback) pairs ordered by time with FIFO tie-breaking.
+// Every scheduled event gets a stable EventId that can later be cancelled in
+// O(1); cancelled events are dropped lazily when they reach the head of the
+// heap, so cancellation never restructures the heap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace hybridmr::sim {
+
+/// Simulated time, in seconds since the start of the simulation.
+using SimTime = double;
+
+/// Opaque handle for a scheduled event. Default-constructed ids are invalid.
+struct EventId {
+  std::uint64_t value = 0;
+
+  [[nodiscard]] bool valid() const { return value != 0; }
+  friend bool operator==(EventId a, EventId b) { return a.value == b.value; }
+};
+
+/// Min-heap of timed callbacks with O(1) cancellation.
+///
+/// Not thread-safe: the simulation is single-threaded by design (determinism
+/// is a feature; see DESIGN.md).
+class EventQueue {
+ public:
+  struct Entry {
+    SimTime time = 0;
+    EventId id;
+    std::function<void()> fn;
+  };
+
+  /// Schedules `fn` at absolute time `time`. Returns a cancellation handle.
+  EventId push(SimTime time, std::function<void()> fn);
+
+  /// Cancels a pending event. Returns false if the event already fired,
+  /// was already cancelled, or the id is invalid.
+  bool cancel(EventId id);
+
+  /// True when no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const { return handlers_.empty(); }
+
+  /// Number of live events.
+  [[nodiscard]] std::size_t size() const { return handlers_.size(); }
+
+  /// Time of the earliest live event. Empty queue -> nullopt.
+  [[nodiscard]] std::optional<SimTime> next_time();
+
+  /// Removes and returns the earliest live event. Empty queue -> nullopt.
+  std::optional<Entry> pop();
+
+ private:
+  struct HeapItem {
+    SimTime time;
+    std::uint64_t seq;  // insertion order, for FIFO tie-breaking
+    std::uint64_t id;
+  };
+  struct Later {
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Drops cancelled items from the heap head.
+  void skim();
+
+  std::priority_queue<HeapItem, std::vector<HeapItem>, Later> heap_;
+  std::unordered_map<std::uint64_t, std::function<void()>> handlers_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace hybridmr::sim

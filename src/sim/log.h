@@ -1,0 +1,50 @@
+// Minimal leveled logger stamped with simulated time.
+//
+// Logging is off by default (benchmarks and tests run silently); examples
+// turn it on to narrate scheduler decisions.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "sim/event_queue.h"
+
+namespace hybridmr::sim {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kOff = 3 };
+
+/// Process-wide log configuration (single-threaded simulator, so a plain
+/// global is fine and keeps call sites trivial).
+class Log {
+ public:
+  static LogLevel& threshold() {
+    static LogLevel level = LogLevel::kOff;
+    return level;
+  }
+
+  static bool enabled(LogLevel level) {
+    return static_cast<int>(level) >= static_cast<int>(threshold());
+  }
+
+  /// Writes "[ 123.456s] tag: message" to stdout if `level` passes.
+  static void write(LogLevel level, SimTime now, const std::string& tag,
+                    const std::string& message) {
+    if (!enabled(level)) return;
+    std::printf("[%9.3fs] %-12s %s\n", now, tag.c_str(), message.c_str());
+  }
+};
+
+inline void log_debug(SimTime now, const std::string& tag,
+                      const std::string& msg) {
+  Log::write(LogLevel::kDebug, now, tag, msg);
+}
+inline void log_info(SimTime now, const std::string& tag,
+                     const std::string& msg) {
+  Log::write(LogLevel::kInfo, now, tag, msg);
+}
+inline void log_warn(SimTime now, const std::string& tag,
+                     const std::string& msg) {
+  Log::write(LogLevel::kWarn, now, tag, msg);
+}
+
+}  // namespace hybridmr::sim

@@ -1,0 +1,58 @@
+#include "sim/simulation.h"
+
+#include <limits>
+#include <utility>
+
+namespace hybridmr::sim {
+
+PeriodicHandle Simulation::every(SimTime period, std::function<void()> fn,
+                                 SimTime initial_delay) {
+  assert(period > 0 && "period must be positive");
+  auto alive = std::make_shared<bool>(true);
+  // The ticker owns its state; each firing reschedules the next unless the
+  // handle was cancelled.
+  auto tick = std::make_shared<std::function<void()>>();
+  auto shared_fn = std::make_shared<std::function<void()>>(std::move(fn));
+  *tick = [this, period, alive, tick, shared_fn]() {
+    if (!*alive) return;
+    (*shared_fn)();
+    if (*alive) after(period, [tick]() { (*tick)(); });
+  };
+  after(initial_delay >= 0 ? initial_delay : period, [tick]() { (*tick)(); });
+  return PeriodicHandle(alive);
+}
+
+bool Simulation::dispatch_one() {
+  auto entry = queue_.pop();
+  if (!entry) return false;
+  now_ = entry->time;
+  entry->fn();
+  ++processed_;
+  return true;
+}
+
+std::size_t Simulation::run() {
+  const std::size_t before = processed_;
+  running_ = true;
+  stop_requested_ = false;
+  while (!stop_requested_ && dispatch_one()) {
+  }
+  running_ = false;
+  return processed_ - before;
+}
+
+std::size_t Simulation::run_until(SimTime t) {
+  const std::size_t before = processed_;
+  running_ = true;
+  stop_requested_ = false;
+  while (!stop_requested_) {
+    auto next = queue_.next_time();
+    if (!next || *next > t) break;
+    dispatch_one();
+  }
+  if (now_ < t && t < std::numeric_limits<double>::infinity()) now_ = t;
+  running_ = false;
+  return processed_ - before;
+}
+
+}  // namespace hybridmr::sim

@@ -1,0 +1,98 @@
+// The simulation kernel: a virtual clock plus an event queue.
+//
+// All substrate components (machines, tasks, schedulers, monitors) hold a
+// reference to one Simulation and express the passage of time exclusively
+// through it. Runs are deterministic for a fixed seed.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+
+namespace hybridmr::sim {
+
+/// Handle for a periodic task registered with Simulation::every().
+class PeriodicHandle {
+ public:
+  PeriodicHandle() = default;
+
+  /// Stops future firings. Safe to call repeatedly or on a default handle.
+  void cancel() {
+    if (alive_) *alive_ = false;
+  }
+
+  [[nodiscard]] bool active() const { return alive_ && *alive_; }
+
+ private:
+  friend class Simulation;
+  explicit PeriodicHandle(std::shared_ptr<bool> alive)
+      : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+/// Single-threaded discrete-event simulation.
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 42) : rng_(seed) {}
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time in seconds.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute simulated time `t` (must be >= now()).
+  EventId at(SimTime t, std::function<void()> fn) {
+    assert(t >= now_ && "cannot schedule an event in the past");
+    return queue_.push(t < now_ ? now_ : t, std::move(fn));
+  }
+
+  /// Schedules `fn` after `delay` seconds (must be >= 0).
+  EventId after(SimTime delay, std::function<void()> fn) {
+    assert(delay >= 0 && "negative delay");
+    return at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Cancels a pending event. Returns false if it already fired.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Registers `fn` to run every `period` seconds, first firing after
+  /// `initial_delay` (defaults to one period). Cancel via the handle.
+  PeriodicHandle every(SimTime period, std::function<void()> fn,
+                       SimTime initial_delay = -1);
+
+  /// Runs until the event queue drains. Returns events processed.
+  std::size_t run();
+
+  /// Runs until simulated time reaches `t` (clock ends exactly at `t` if
+  /// events remain) or the queue drains. Returns events processed.
+  std::size_t run_until(SimTime t);
+
+  /// Requests that run()/run_until() return after the current event.
+  void stop() { stop_requested_ = true; }
+
+  /// Total events processed since construction.
+  [[nodiscard]] std::size_t events_processed() const { return processed_; }
+
+  /// True while inside run()/run_until().
+  [[nodiscard]] bool running() const { return running_; }
+
+  Rng& rng() { return rng_; }
+
+ private:
+  bool dispatch_one();
+
+  EventQueue queue_;
+  Rng rng_;
+  SimTime now_ = 0;
+  std::size_t processed_ = 0;
+  bool stop_requested_ = false;
+  bool running_ = false;
+};
+
+}  // namespace hybridmr::sim

@@ -1,0 +1,62 @@
+#include "stats/timeseries.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hybridmr::stats {
+
+void TimeSeries::add(double time, double value) {
+  assert(samples_.empty() || time >= samples_.back().time);
+  samples_.push_back({time, value});
+}
+
+double TimeSeries::mean_in(double t0, double t1) const {
+  double sum = 0;
+  std::size_t n = 0;
+  for (const auto& s : samples_) {
+    if (s.time >= t0 && s.time <= t1) {
+      sum += s.value;
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<double>(n) : 0;
+}
+
+double TimeSeries::value_at(double t) const {
+  double v = 0;
+  for (const auto& s : samples_) {
+    if (s.time > t) break;
+    v = s.value;
+  }
+  return v;
+}
+
+double TimeSeries::integrate(double t0, double t1) const {
+  if (samples_.empty() || t1 <= t0) return 0;
+  double total = 0;
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const double seg_start = std::max(samples_[i].time, t0);
+    const double seg_end =
+        std::min(i + 1 < samples_.size() ? samples_[i + 1].time : t1, t1);
+    if (seg_end > seg_start) total += samples_[i].value * (seg_end - seg_start);
+  }
+  return total;
+}
+
+std::vector<double> TimeSeries::values() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) out.push_back(s.value);
+  return out;
+}
+
+void TimeSeries::trim_before(double t) {
+  auto it = std::lower_bound(
+      samples_.begin(), samples_.end(), t,
+      [](const Sample& s, double v) { return s.time < v; });
+  if (it == samples_.begin()) return;
+  --it;  // keep one sample at/before t
+  samples_.erase(samples_.begin(), it);
+}
+
+}  // namespace hybridmr::stats

@@ -1,0 +1,47 @@
+// Time-stamped sample series, used by resource profilers, SLA monitors and
+// the energy meter.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hybridmr::stats {
+
+/// Append-only series of (time, value) samples with monotone timestamps.
+class TimeSeries {
+ public:
+  struct Sample {
+    double time;
+    double value;
+  };
+
+  void add(double time, double value);
+
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+  [[nodiscard]] const Sample& back() const { return samples_.back(); }
+
+  /// Mean of values with time in [t0, t1]; 0 if no samples in range.
+  [[nodiscard]] double mean_in(double t0, double t1) const;
+
+  /// Latest value at or before `t` (0 before the first sample).
+  [[nodiscard]] double value_at(double t) const;
+
+  /// Time integral of the step function defined by the samples over
+  /// [t0, t1] (each sample holds its value until the next sample).
+  [[nodiscard]] double integrate(double t0, double t1) const;
+
+  /// Values only (e.g. for Summary::of).
+  [[nodiscard]] std::vector<double> values() const;
+
+  /// Drops samples older than `t`, keeping the most recent older sample so
+  /// value_at() stays correct at the boundary.
+  void trim_before(double t);
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace hybridmr::stats

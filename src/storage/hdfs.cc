@@ -1,0 +1,380 @@
+#include "storage/hdfs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hybridmr::storage {
+
+using cluster::ExecutionSite;
+using cluster::Resources;
+using cluster::Workload;
+using cluster::WorkloadPtr;
+
+bool same_host(const ExecutionSite& a, const ExecutionSite& b) {
+  return a.host_machine() != nullptr &&
+         a.host_machine() == b.host_machine();
+}
+
+DataNode* Hdfs::add_datanode(ExecutionSite& site) {
+  datanodes_.push_back(std::make_unique<DataNode>(site));
+  return datanodes_.back().get();
+}
+
+DataNode* Hdfs::datanode_on(const ExecutionSite* site) const {
+  for (const auto& dn : datanodes_) {
+    if (dn->site() == site) return dn.get();
+  }
+  return nullptr;
+}
+
+bool Hdfs::remove_datanode(ExecutionSite& site) {
+  auto it = std::find_if(datanodes_.begin(), datanodes_.end(),
+                         [&](const auto& dn) { return dn->site() == &site; });
+  if (it == datanodes_.end() || datanodes_.size() <= 1) return false;
+  DataNode* leaving = it->get();
+
+  for (auto& file : files_) {
+    for (std::size_t b = 0; b < file.block_replicas.size(); ++b) {
+      auto& reps = file.block_replicas[b];
+      auto pos = std::find(reps.begin(), reps.end(), leaving);
+      if (pos == reps.end()) continue;
+      const double mb = block_mb_of(file.size_mb, static_cast<int>(b),
+                                    static_cast<int>(file.block_replicas.size()),
+                                    file.block_mb);
+      // Pick a surviving target not already holding the block.
+      DataNode* target = nullptr;
+      std::size_t probe = sim_.rng().index(datanodes_.size());
+      for (std::size_t k = 0; k < datanodes_.size(); ++k) {
+        DataNode* candidate = datanodes_[(probe + k) % datanodes_.size()].get();
+        if (candidate == leaving) continue;
+        if (std::find(reps.begin(), reps.end(), candidate) != reps.end()) {
+          continue;
+        }
+        target = candidate;
+        break;
+      }
+      if (target == nullptr) {
+        // Every survivor already holds it; just drop the leaving copy.
+        reps.erase(pos);
+        continue;
+      }
+      // Copy from a surviving replica when one exists, else from the
+      // leaving node itself (it drains before shutdown).
+      ExecutionSite* source = &site;
+      for (DataNode* dn : reps) {
+        if (dn != leaving) {
+          source = dn->site();
+          break;
+        }
+      }
+      *pos = target;
+      target->add_stored(mb);
+      re_replicated_mb_ += mb;
+      transfer(*source, *target->site(), mb, nullptr);
+    }
+  }
+  datanodes_.erase(it);
+  return true;
+}
+
+Hdfs::FileId Hdfs::stage_file(const std::string& name, double size_mb,
+                              double block_mb) {
+  assert(!datanodes_.empty() && "stage_file needs at least one datanode");
+  File file;
+  file.name = name;
+  file.size_mb = size_mb;
+  file.block_mb = block_mb > 0 ? block_mb : cal_.hdfs_block_mb;
+  const int blocks = std::max(
+      1, static_cast<int>(std::ceil(size_mb / file.block_mb)));
+  file.block_replicas.reserve(static_cast<std::size_t>(blocks));
+  for (int b = 0; b < blocks; ++b) {
+    // Random primary with a rotating offset: spreads blocks evenly like
+    // HDFS's random placement without correlating consecutive blocks with
+    // adjacent (possibly same-host) datanodes.
+    const std::size_t start =
+        (placement_cursor_ + sim_.rng().index(datanodes_.size()) *
+                                 2654435761u) %
+        datanodes_.size();
+    ++placement_cursor_;
+    DataNode* primary = datanodes_[start].get();
+    std::vector<DataNode*> reps{primary};
+    const int want = std::min<int>(cal_.hdfs_replicas,
+                                   static_cast<int>(datanodes_.size()));
+    std::size_t probe = start + 1 + sim_.rng().index(datanodes_.size());
+    while (static_cast<int>(reps.size()) < want) {
+      DataNode* candidate = datanodes_[probe++ % datanodes_.size()].get();
+      if (std::find(reps.begin(), reps.end(), candidate) == reps.end()) {
+        reps.push_back(candidate);
+      }
+    }
+    const double mb = block_mb_of(size_mb, b, blocks, file.block_mb);
+    for (DataNode* dn : reps) dn->add_stored(mb);
+    file.block_replicas.push_back(std::move(reps));
+  }
+  files_.push_back(std::move(file));
+  return files_.size() - 1;
+}
+
+int Hdfs::num_blocks(FileId file) const {
+  return static_cast<int>(files_[file].block_replicas.size());
+}
+
+double Hdfs::block_mb_of(double size_mb, int block, int blocks,
+                         double block_size) {
+  if (block + 1 < blocks) return block_size;
+  const double tail = size_mb - block_size * (blocks - 1);
+  return tail > 0 ? tail : size_mb;
+}
+
+double Hdfs::block_size_mb(FileId file, int block) const {
+  const File& f = files_[file];
+  return block_mb_of(f.size_mb, block,
+                     static_cast<int>(f.block_replicas.size()), f.block_mb);
+}
+
+const std::vector<DataNode*>& Hdfs::replicas(FileId file, int block) const {
+  return files_[file].block_replicas[static_cast<std::size_t>(block)];
+}
+
+Locality Hdfs::locality_of(FileId file, int block,
+                           const ExecutionSite* site) const {
+  Locality best = Locality::kRemote;
+  for (const DataNode* dn : replicas(file, block)) {
+    if (dn->site() == site) return Locality::kNodeLocal;
+    if (site != nullptr && same_host(*dn->site(), *site)) {
+      best = Locality::kHostLocal;
+    }
+  }
+  return best;
+}
+
+void FlowHandle::cancel() {
+  if (!state_ || state_->finished) return;
+  state_->finished = true;
+  if (state_->primary && state_->primary->site() != nullptr) {
+    state_->primary->on_complete = nullptr;
+    state_->primary->site()->remove(state_->primary.get());
+  }
+  for (auto& [site, w] : state_->secondaries) {
+    if (w->site() != nullptr) site->remove(w.get());
+  }
+}
+
+double FlowHandle::progress() const {
+  if (!state_ || state_->finished || !state_->primary) return 1.0;
+  return state_->primary->progress();
+}
+
+bool FlowHandle::active() const { return state_ && !state_->finished; }
+
+void FlowHandle::set_paused(bool paused) {
+  if (!state_ || state_->finished) return;
+  if (state_->primary) state_->primary->set_paused(paused);
+  for (auto& [site, w] : state_->secondaries) w->set_paused(paused);
+}
+
+void FlowHandle::set_caps(const cluster::Resources& caps) {
+  if (!state_ || state_->finished) return;
+  if (state_->primary) state_->primary->set_caps(caps);
+}
+
+FlowHandle Hdfs::run_flow(ExecutionSite& primary_site, WorkloadPtr primary,
+                          std::vector<std::pair<ExecutionSite*, WorkloadPtr>>
+                              secondaries,
+                          DoneFn done) {
+  auto state = std::make_shared<FlowHandle::State>();
+  state->primary = primary;
+  state->secondaries = std::move(secondaries);
+  primary->on_complete = [state, done = std::move(done)]() {
+    if (state->finished) return;
+    state->finished = true;
+    for (auto& [site, w] : state->secondaries) {
+      if (w->site() != nullptr) site->remove(w.get());
+    }
+    if (done) done();
+  };
+  for (auto& [site, w] : state->secondaries) site->add(w);
+  primary_site.add(std::move(primary));
+  return FlowHandle(state);
+}
+
+FlowHandle Hdfs::read_block(FileId file, int block, ExecutionSite& reader,
+                            DoneFn done, double fraction) {
+  const double mb = block_size_mb(file, block) * fraction;
+  const auto& reps = replicas(file, block);
+  assert(!reps.empty());
+
+  // Closest replica: node-local, then host-local, then any.
+  DataNode* chosen = nullptr;
+  Locality locality = Locality::kRemote;
+  for (DataNode* dn : reps) {
+    if (dn->site() == &reader) {
+      chosen = dn;
+      locality = Locality::kNodeLocal;
+      break;
+    }
+    if (locality == Locality::kRemote && same_host(*dn->site(), reader)) {
+      chosen = dn;
+      locality = Locality::kHostLocal;
+    }
+  }
+  if (chosen == nullptr) {
+    chosen = reps[sim_.rng().index(reps.size())];
+  }
+
+  const double disk_rate = cal_.hdfs_stream_disk_mbps;
+  const double net_rate = cal_.hdfs_stream_net_mbps;
+
+  switch (locality) {
+    case Locality::kNodeLocal: {
+      read_local_mb_ += mb;
+      Resources d;
+      d.disk = disk_rate;
+      d.cpu = cal_.hdfs_serve_cpu_per_stream;
+      return run_flow(
+          reader, std::make_shared<Workload>("hdfs-read", d, mb / disk_rate),
+          {}, std::move(done));
+    }
+    case Locality::kHostLocal: {
+      // Served by a sibling VM over the Xen loopback: disk on the serving
+      // datanode paces the flow; no physical NIC usage.
+      read_local_mb_ += mb;
+      Resources d;
+      d.disk = disk_rate;
+      d.cpu = cal_.hdfs_serve_cpu_per_stream;
+      return run_flow(
+          *chosen->site(),
+          std::make_shared<Workload>("hdfs-serve", d, mb / disk_rate), {},
+          std::move(done));
+    }
+    case Locality::kRemote: {
+      read_remote_mb_ += mb;
+      Resources reader_d;
+      reader_d.net = net_rate;
+      reader_d.cpu = cal_.hdfs_read_cpu_per_stream;
+      Resources server_d;
+      server_d.disk = net_rate;  // disk paced by the network stream
+      server_d.net = net_rate;
+      server_d.cpu = cal_.hdfs_serve_cpu_per_stream;
+      auto primary =
+          std::make_shared<Workload>("hdfs-read-remote", reader_d,
+                                     mb / net_rate);
+      std::vector<std::pair<ExecutionSite*, WorkloadPtr>> secs;
+      secs.emplace_back(chosen->site(),
+                        std::make_shared<Workload>("hdfs-serve-remote",
+                                                   server_d, Workload::kService));
+      return run_flow(reader, std::move(primary), std::move(secs),
+                      std::move(done));
+    }
+  }
+  return {};
+}
+
+std::vector<DataNode*> Hdfs::pick_replicas(const ExecutionSite* origin,
+                                           int count) {
+  std::vector<DataNode*> out;
+  DataNode* local = datanode_on(origin);
+  if (local == nullptr && origin != nullptr) {
+    // Split architecture: no datanode on the writer VM itself — prefer the
+    // storage VM on the same physical host (loopback, no NIC traffic).
+    for (const auto& dn : datanodes_) {
+      if (same_host(*dn->site(), *origin)) {
+        local = dn.get();
+        break;
+      }
+    }
+  }
+  if (local != nullptr) out.push_back(local);
+  std::size_t probe = sim_.rng().index(std::max<std::size_t>(
+      1, datanodes_.size()));
+  while (static_cast<int>(out.size()) < count &&
+         out.size() < datanodes_.size()) {
+    DataNode* candidate = datanodes_[probe++ % datanodes_.size()].get();
+    if (std::find(out.begin(), out.end(), candidate) == out.end()) {
+      out.push_back(candidate);
+    }
+  }
+  return out;
+}
+
+FlowHandle Hdfs::write(ExecutionSite& writer, double mb, DoneFn done,
+                       int replicas) {
+  const int want =
+      std::min<int>(replicas > 0 ? replicas : cal_.hdfs_replicas,
+                    std::max<int>(1, datanodes_.size()));
+  const auto reps = pick_replicas(&writer, want);
+  const double disk_rate = cal_.hdfs_stream_disk_mbps;
+  const double net_rate = cal_.hdfs_stream_net_mbps;
+  written_mb_ += mb;
+  for (DataNode* dn : reps) dn->add_stored(mb);
+
+  // The pipeline is paced by its slowest stage; each replica is charged
+  // its own disk (plus network for remote hops). The writer itself only
+  // touches disk when it hosts the first replica — a split-architecture
+  // TaskTracker VM just pushes the stream to its sibling storage VM.
+  Resources writer_d;
+  writer_d.disk = !reps.empty() && reps[0]->site() == &writer ? disk_rate : 0;
+  writer_d.cpu = cal_.hdfs_serve_cpu_per_stream;
+  bool writer_has_remote_hop = false;
+  std::vector<std::pair<ExecutionSite*, WorkloadPtr>> secs;
+  for (DataNode* dn : reps) {
+    if (dn->site() == &writer) continue;
+    Resources rep_d;
+    rep_d.disk = disk_rate;
+    rep_d.cpu = cal_.hdfs_serve_cpu_per_stream;
+    if (!same_host(*dn->site(), writer)) {
+      rep_d.net = net_rate;
+      writer_has_remote_hop = true;
+    }
+    secs.emplace_back(dn->site(),
+                      std::make_shared<Workload>("hdfs-replica", rep_d,
+                                                 Workload::kService));
+  }
+  if (writer_has_remote_hop) writer_d.net = net_rate;
+  const double rate = writer_has_remote_hop ? std::min(disk_rate, net_rate)
+                                            : disk_rate;
+  return run_flow(
+      writer, std::make_shared<Workload>("hdfs-write", writer_d, mb / rate),
+      std::move(secs), std::move(done));
+}
+
+FlowHandle Hdfs::transfer(ExecutionSite& src, ExecutionSite& dst, double mb,
+                    DoneFn done) {
+  const double disk_rate = cal_.hdfs_stream_disk_mbps;
+  const double net_rate = cal_.hdfs_stream_net_mbps;
+  if (&src == &dst) {
+    // Local fetch: just the disk read.
+    Resources d;
+    d.disk = disk_rate;
+    d.cpu = cal_.hdfs_read_cpu_per_stream;
+    return run_flow(
+        dst, std::make_shared<Workload>("fetch-local", d, mb / disk_rate), {},
+        std::move(done));
+  }
+  if (same_host(src, dst)) {
+    // Loopback: disk at the source paces it, capped by the loopback rate.
+    const double rate = std::min(disk_rate, cal_.loopback_mbps);
+    Resources d;
+    d.disk = disk_rate;
+    d.cpu = cal_.hdfs_serve_cpu_per_stream;
+    return run_flow(
+        src, std::make_shared<Workload>("fetch-loopback", d, mb / rate), {},
+        std::move(done));
+  }
+  Resources dst_d;
+  dst_d.net = net_rate;
+  dst_d.cpu = cal_.hdfs_read_cpu_per_stream;
+  Resources src_d;
+  src_d.disk = net_rate;
+  src_d.net = net_rate;
+  src_d.cpu = cal_.hdfs_serve_cpu_per_stream;
+  std::vector<std::pair<ExecutionSite*, WorkloadPtr>> secs;
+  secs.emplace_back(&src, std::make_shared<Workload>("fetch-serve", src_d,
+                                                     Workload::kService));
+  return run_flow(
+      dst, std::make_shared<Workload>("fetch-remote", dst_d, mb / net_rate),
+      std::move(secs), std::move(done));
+}
+
+}  // namespace hybridmr::storage

@@ -1,0 +1,193 @@
+// HDFS-like replicated block store.
+//
+// The NameNode role (block -> replica map, placement policy) is explicit;
+// DataNodes are bound to execution sites (native machines or VMs) and their
+// I/O is injected as real disk/network workloads, so storage traffic contends
+// with everything else on the cluster. Locality is modelled at three levels:
+// node-local (disk only), host-local (disk on the serving VM, loopback
+// transfer — the "split architecture" fast path), and remote (disk + network
+// on both ends).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/calibration.h"
+#include "cluster/machine.h"
+#include "sim/simulation.h"
+
+namespace hybridmr::storage {
+
+/// A storage daemon living on one execution site.
+class DataNode {
+ public:
+  explicit DataNode(cluster::ExecutionSite& site) : site_(&site) {}
+
+  [[nodiscard]] cluster::ExecutionSite* site() const { return site_; }
+  [[nodiscard]] double stored_mb() const { return stored_mb_; }
+  void add_stored(double mb) { stored_mb_ += mb; }
+
+ private:
+  cluster::ExecutionSite* site_;
+  double stored_mb_ = 0;
+};
+
+/// Locality of one read, for metrics and placement decisions.
+enum class Locality { kNodeLocal, kHostLocal, kRemote };
+
+/// Handle to an in-flight data flow (read / write / transfer).
+///
+/// Flows can be cancelled (speculative-execution losers, IPS aborts) and
+/// report transfer progress for straggler detection.
+class FlowHandle {
+ public:
+  FlowHandle() = default;
+
+  /// Tears the flow down without firing its completion callback.
+  void cancel();
+
+  /// Fraction transferred, in [0, 1]. Completed or empty flows report 1.
+  [[nodiscard]] double progress() const;
+
+  [[nodiscard]] bool active() const;
+
+  /// Pauses/resumes every workload in the flow (IPS pause action).
+  void set_paused(bool paused);
+
+  /// Applies cgroup-style caps to the pacing workload (I/O throttling).
+  void set_caps(const cluster::Resources& caps);
+
+  /// The pacing workload (nullptr once finished); for resource profiling.
+  [[nodiscard]] const cluster::Workload* primary() const {
+    return state_ && !state_->finished ? state_->primary.get() : nullptr;
+  }
+
+ private:
+  friend class Hdfs;
+  struct State {
+    cluster::WorkloadPtr primary;
+    std::vector<std::pair<cluster::ExecutionSite*, cluster::WorkloadPtr>>
+        secondaries;
+    bool finished = false;
+  };
+  explicit FlowHandle(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+/// The distributed file system (NameNode + DataNodes).
+class Hdfs {
+ public:
+  using FileId = std::size_t;
+  using DoneFn = std::function<void()>;
+
+  Hdfs(sim::Simulation& sim, const cluster::Calibration& cal)
+      : sim_(sim), cal_(cal) {}
+
+  Hdfs(const Hdfs&) = delete;
+  Hdfs& operator=(const Hdfs&) = delete;
+
+  // --- topology ---
+  DataNode* add_datanode(cluster::ExecutionSite& site);
+
+  /// Decommissions the DataNode on `site`: every block replica it held is
+  /// re-replicated onto a surviving datanode, with the copy traffic
+  /// injected as real transfer flows from another replica (or from this
+  /// node itself while it drains). Returns false when `site` hosts no
+  /// datanode or it is the last one.
+  bool remove_datanode(cluster::ExecutionSite& site);
+
+  /// MB of re-replication traffic caused by decommissions.
+  [[nodiscard]] double re_replicated_mb() const { return re_replicated_mb_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<DataNode>>& datanodes()
+      const {
+    return datanodes_;
+  }
+  /// DataNode resident on `site`, or nullptr.
+  [[nodiscard]] DataNode* datanode_on(const cluster::ExecutionSite* site) const;
+
+  // --- namespace ---
+
+  /// Registers a pre-loaded input file: blocks are placed randomly with
+  /// `replicas` copies each (no simulated I/O; the data is already there,
+  /// like a staged benchmark input). `block_mb` overrides the cluster
+  /// block size when positive.
+  FileId stage_file(const std::string& name, double size_mb,
+                    double block_mb = 0);
+
+  [[nodiscard]] int num_blocks(FileId file) const;
+  [[nodiscard]] double block_size_mb(FileId file, int block) const;
+  [[nodiscard]] const std::vector<DataNode*>& replicas(FileId file,
+                                                       int block) const;
+  /// Best achievable locality when `site` reads this block.
+  [[nodiscard]] Locality locality_of(FileId file, int block,
+                                     const cluster::ExecutionSite* site) const;
+
+  // --- asynchronous I/O (all costs are real workloads) ---
+
+  /// Reads `fraction` of one block at `reader`; serves from the closest
+  /// replica.
+  FlowHandle read_block(FileId file, int block,
+                        cluster::ExecutionSite& reader, DoneFn done,
+                        double fraction = 1.0);
+
+  /// Writes `mb` with the replication pipeline (local first, then remote
+  /// replicas), charging disk at every replica and network for remote
+  /// hops. `replicas` overrides the cluster default when positive.
+  FlowHandle write(cluster::ExecutionSite& writer, double mb, DoneFn done,
+                   int replicas = 0);
+
+  /// Raw transfer of `mb` from `src` to `dst` (shuffle traffic): disk read
+  /// at src plus network unless the sites share a physical host.
+  FlowHandle transfer(cluster::ExecutionSite& src,
+                      cluster::ExecutionSite& dst, double mb, DoneFn done);
+
+  // --- metrics ---
+  [[nodiscard]] double bytes_read_local_mb() const { return read_local_mb_; }
+  [[nodiscard]] double bytes_read_remote_mb() const { return read_remote_mb_; }
+  [[nodiscard]] double bytes_written_mb() const { return written_mb_; }
+
+ private:
+  struct File {
+    std::string name;
+    double size_mb;
+    double block_mb;
+    std::vector<std::vector<DataNode*>> block_replicas;
+  };
+
+  /// Runs a flow: `primary` paces the transfer; `secondaries` model the load
+  /// on other participants and are detached when the primary completes.
+  FlowHandle run_flow(cluster::ExecutionSite& primary_site,
+                      cluster::WorkloadPtr primary,
+                      std::vector<std::pair<cluster::ExecutionSite*,
+                                            cluster::WorkloadPtr>> secondaries,
+                      DoneFn done);
+
+  /// Picks `count` distinct replica targets, preferring one local to
+  /// `origin` (standard HDFS placement policy).
+  std::vector<DataNode*> pick_replicas(const cluster::ExecutionSite* origin,
+                                       int count);
+
+  /// Size of block `block` of a file of `size_mb` split into `blocks`
+  /// blocks of nominal size `block_size`.
+  [[nodiscard]] static double block_mb_of(double size_mb, int block,
+                                          int blocks, double block_size);
+
+  sim::Simulation& sim_;
+  const cluster::Calibration& cal_;
+  std::vector<std::unique_ptr<DataNode>> datanodes_;
+  std::vector<File> files_;
+  std::size_t placement_cursor_ = 0;
+  double read_local_mb_ = 0;
+  double read_remote_mb_ = 0;
+  double written_mb_ = 0;
+  double re_replicated_mb_ = 0;
+};
+
+/// True when the two sites run on the same physical machine.
+bool same_host(const cluster::ExecutionSite& a, const cluster::ExecutionSite& b);
+
+}  // namespace hybridmr::storage

@@ -1,0 +1,61 @@
+#include "workload/mix.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "workload/benchmarks.h"
+
+namespace hybridmr::workload {
+
+std::vector<MixEntry> make_mix(sim::Rng& rng, const MixOptions& options) {
+  const auto jobs = all_benchmarks();
+  const std::vector<interactive::AppParams> apps = {
+      interactive::rubis_params(), interactive::tpcw_params(),
+      interactive::olio_params()};
+
+  const int n_interactive = static_cast<int>(
+      options.total_entries * options.interactive_fraction + 0.5);
+
+  std::vector<MixEntry> out;
+  out.reserve(static_cast<std::size_t>(options.total_entries));
+  std::size_t job_cursor = 0;
+  std::size_t app_cursor = 0;
+  for (int i = 0; i < options.total_entries; ++i) {
+    MixEntry e;
+    e.arrival_s = rng.uniform(0, options.horizon_s);
+    e.is_batch = i >= n_interactive;
+    if (e.is_batch) {
+      e.job = jobs[job_cursor++ % jobs.size()];
+      e.job.input_gb *= options.batch_input_scale;
+    } else {
+      e.app = apps[app_cursor++ % apps.size()];
+      e.clients = rng.uniform_int(options.clients_min, options.clients_max);
+    }
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MixEntry& a, const MixEntry& b) {
+              return a.arrival_s < b.arrival_s;
+            });
+  return out;
+}
+
+MixOptions wmix_options(int which) {
+  MixOptions o;
+  switch (which) {
+    case 1:
+      o.interactive_fraction = 0.5;
+      break;
+    case 2:
+      o.interactive_fraction = 0.2;
+      break;
+    case 3:
+      o.interactive_fraction = 0.8;
+      break;
+    default:
+      throw std::out_of_range("wmix must be 1, 2 or 3");
+  }
+  return o;
+}
+
+}  // namespace hybridmr::workload

@@ -1,0 +1,39 @@
+// Workload mixes: the paper's wmix-1/2/3 (50/50, 20/80, 80/20 interactive
+// vs batch) plus a general generator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "interactive/presets.h"
+#include "mapred/job_spec.h"
+#include "sim/rng.h"
+
+namespace hybridmr::workload {
+
+struct MixEntry {
+  double arrival_s = 0;
+  bool is_batch = true;
+  mapred::JobSpec job;          // valid when is_batch
+  interactive::AppParams app;   // valid when !is_batch
+  int clients = 0;              // valid when !is_batch
+};
+
+struct MixOptions {
+  int total_entries = 12;
+  double interactive_fraction = 0.5;
+  double horizon_s = 300;       // arrivals spread uniformly over [0, horizon)
+  double batch_input_scale = 1.0;  // shrink inputs for quick experiments
+  int clients_min = 400;
+  int clients_max = 1200;
+};
+
+/// Deterministically (given the Rng) generates a mixed stream of batch jobs
+/// (cycling through the six benchmarks) and interactive apps (cycling
+/// through RUBiS / TPC-W / Olio), sorted by arrival time.
+std::vector<MixEntry> make_mix(sim::Rng& rng, const MixOptions& options);
+
+/// The paper's named mixes: 1 -> 50% interactive, 2 -> 20%, 3 -> 80%.
+MixOptions wmix_options(int which);
+
+}  // namespace hybridmr::workload

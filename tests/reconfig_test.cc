@@ -1,0 +1,142 @@
+// Tests for dynamic cluster reconfiguration (decommissioning + the
+// Reconfigurator) — the paper's "flexibly adjust native and virtual
+// cluster configurations" capability.
+#include <gtest/gtest.h>
+
+#include "core/reconfigurator.h"
+#include "harness/testbed.h"
+#include "workload/benchmarks.h"
+
+namespace hybridmr::core {
+namespace {
+
+using harness::TestBed;
+
+TEST(Decommission, RemoveTrackerRefusesWhileBusy) {
+  TestBed bed;
+  auto nodes = bed.add_native_nodes(4);
+  bed.mr().submit(workload::sort_job().with_input_gb(1));
+  bed.sim().run_until(5);
+  // Tasks are running everywhere: decommission must refuse.
+  EXPECT_FALSE(bed.mr().remove_tracker(*nodes[0]));
+  bed.sim().run();
+  // Idle now: decommission succeeds exactly once.
+  EXPECT_TRUE(bed.mr().remove_tracker(*nodes[0]));
+  EXPECT_FALSE(bed.mr().remove_tracker(*nodes[0]));
+  EXPECT_EQ(bed.mr().trackers().size(), 3u);
+}
+
+TEST(Decommission, RemoveDatanodeReReplicatesBlocks) {
+  TestBed bed;
+  auto nodes = bed.add_native_nodes(4);
+  const auto file = bed.hdfs().stage_file("data", 1024);  // 8 blocks x 2
+  EXPECT_TRUE(bed.hdfs().remove_datanode(*nodes[0]));
+  bed.sim().run();  // drain the re-replication transfers
+  EXPECT_EQ(bed.hdfs().datanodes().size(), 3u);
+  // Every block still has its full replica set, none on the gone node.
+  for (int b = 0; b < bed.hdfs().num_blocks(file); ++b) {
+    const auto& reps = bed.hdfs().replicas(file, b);
+    EXPECT_EQ(reps.size(), 2u);
+    for (const auto* dn : reps) {
+      EXPECT_NE(dn->site(), nodes[0]);
+    }
+  }
+  // A file of 1 GB x 2 replicas over 4 nodes: the leaving node held about
+  // half a GB; that much re-replication traffic was charged.
+  EXPECT_GT(bed.hdfs().re_replicated_mb(), 128);
+}
+
+TEST(Decommission, LastDatanodeIsProtected) {
+  TestBed bed;
+  auto nodes = bed.add_native_nodes(1);
+  bed.hdfs().stage_file("data", 128);
+  EXPECT_FALSE(bed.hdfs().remove_datanode(*nodes[0]));
+}
+
+TEST(Decommission, JobsStillRunAfterDatanodeRemoval) {
+  TestBed bed;
+  auto nodes = bed.add_native_nodes(4);
+  // Remove one datanode (but keep its tracker), then run a job: reads of
+  // re-homed blocks must still succeed.
+  bed.hdfs().stage_file("warmup", 512);
+  ASSERT_TRUE(bed.hdfs().remove_datanode(*nodes[3]));
+  const double jct = bed.run_job(workload::sort_job().with_input_gb(1));
+  EXPECT_GT(jct, 0);
+}
+
+TEST(Reconfigurator, VirtualizeIdleNode) {
+  TestBed bed;
+  auto nodes = bed.add_native_nodes(4);
+  bed.hdfs().stage_file("data", 512);
+  Reconfigurator reconfig(bed.cluster(), bed.hdfs(), bed.mr());
+
+  auto* machine = static_cast<cluster::Machine*>(nodes[0]);
+  ASSERT_TRUE(reconfig.idle(*machine));
+  const auto vms = reconfig.virtualize_node(*machine, 2);
+  ASSERT_EQ(vms.size(), 2u);
+  EXPECT_EQ(machine->vms().size(), 2u);
+  // The tracker/datanode roles moved from the PM to the VMs.
+  EXPECT_EQ(bed.mr().tracker_on(*machine), nullptr);
+  EXPECT_EQ(bed.hdfs().datanode_on(machine), nullptr);
+  EXPECT_NE(bed.mr().tracker_on(*vms[0]), nullptr);
+  EXPECT_NE(bed.hdfs().datanode_on(vms[0]), nullptr);
+  EXPECT_EQ(reconfig.stats().virtualized, 1);
+  bed.sim().run();
+
+  // And the hybrid cluster still runs jobs end to end.
+  const double jct = bed.run_job(workload::kmeans().with_input_gb(1));
+  EXPECT_GT(jct, 0);
+}
+
+TEST(Reconfigurator, NativizeVirtualHost) {
+  TestBed bed;
+  bed.add_native_nodes(2);
+  bed.add_virtual_nodes(1, 2);
+  bed.hdfs().stage_file("data", 512);
+  Reconfigurator reconfig(bed.cluster(), bed.hdfs(), bed.mr());
+
+  cluster::Machine* vhost = bed.cluster().machine("vhost0");
+  ASSERT_NE(vhost, nullptr);
+  ASSERT_TRUE(reconfig.nativize_host(*vhost));
+  EXPECT_TRUE(vhost->vms().empty());
+  EXPECT_NE(bed.mr().tracker_on(*vhost), nullptr);
+  EXPECT_NE(bed.hdfs().datanode_on(vhost), nullptr);
+  EXPECT_EQ(reconfig.stats().nativized, 1);
+  bed.sim().run();
+
+  const double jct = bed.run_job(workload::sort_job().with_input_gb(1));
+  EXPECT_GT(jct, 0);
+}
+
+TEST(Reconfigurator, RefusesBusyMachines) {
+  TestBed bed;
+  auto nodes = bed.add_native_nodes(2);
+  Reconfigurator reconfig(bed.cluster(), bed.hdfs(), bed.mr());
+  bed.mr().submit(workload::sort_job().with_input_gb(1));
+  bed.sim().run_until(5);
+  auto* machine = static_cast<cluster::Machine*>(nodes[0]);
+  EXPECT_FALSE(reconfig.idle(*machine));
+  EXPECT_TRUE(reconfig.virtualize_node(*machine, 2).empty());
+  bed.sim().run();
+  EXPECT_TRUE(reconfig.idle(*machine));
+}
+
+TEST(Reconfigurator, RoundTripPreservesCapacity) {
+  TestBed bed;
+  auto nodes = bed.add_native_nodes(3);
+  bed.hdfs().stage_file("data", 256);
+  Reconfigurator reconfig(bed.cluster(), bed.hdfs(), bed.mr());
+  auto* machine = static_cast<cluster::Machine*>(nodes[2]);
+
+  ASSERT_FALSE(reconfig.virtualize_node(*machine, 2).empty());
+  bed.sim().run();
+  ASSERT_TRUE(reconfig.nativize_host(*machine));
+  bed.sim().run();
+  EXPECT_EQ(bed.mr().trackers().size(), 3u);
+  EXPECT_EQ(bed.hdfs().datanodes().size(), 3u);
+  const double jct = bed.run_job(workload::wcount().with_input_gb(1));
+  EXPECT_GT(jct, 0);
+}
+
+}  // namespace
+}  // namespace hybridmr::core

@@ -1,0 +1,192 @@
+// Unit tests for the statistics library (regressions, summaries, series).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/regression.h"
+#include "stats/summary.h"
+#include "stats/timeseries.h"
+
+namespace hybridmr::stats {
+namespace {
+
+TEST(LinearRegression, RecoversExactLine) {
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y{3, 5, 7, 9};  // y = 1 + 2x
+  auto fit = LinearRegression::fit(x, y);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->slope(), 2.0, 1e-9);
+  EXPECT_NEAR(fit->intercept(), 1.0, 1e-9);
+  EXPECT_NEAR(fit->r_squared(), 1.0, 1e-9);
+  EXPECT_NEAR(fit->predict(10), 21.0, 1e-9);
+}
+
+TEST(LinearRegression, RejectsDegenerateInput) {
+  std::vector<double> x{2, 2, 2};
+  std::vector<double> y{1, 2, 3};
+  EXPECT_FALSE(LinearRegression::fit(x, y).has_value());
+  EXPECT_FALSE(LinearRegression::fit(std::vector<double>{1},
+                                     std::vector<double>{1})
+                   .has_value());
+}
+
+TEST(LinearRegression, NoisyFitHasReasonableR2) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(2.0 * i + ((i % 2 == 0) ? 0.5 : -0.5));
+  }
+  auto fit = LinearRegression::fit(x, y);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->slope(), 2.0, 0.01);
+  EXPECT_GT(fit->r_squared(), 0.99);
+}
+
+TEST(PiecewiseLinearRegression, FindsKnee) {
+  // Flat at 10 until x=5, then slope 3.
+  std::vector<double> x, y;
+  for (int i = 0; i <= 10; ++i) {
+    x.push_back(i);
+    y.push_back(i <= 5 ? 10.0 : 10.0 + 3.0 * (i - 5));
+  }
+  auto fit = PiecewiseLinearRegression::fit(x, y);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_TRUE(fit->has_break());
+  EXPECT_GT(fit->breakpoint(), 3.0);
+  EXPECT_LT(fit->breakpoint(), 7.0);
+  EXPECT_NEAR(fit->predict(2), 10.0, 0.8);
+  EXPECT_NEAR(fit->predict(9), 22.0, 1.5);
+}
+
+TEST(PiecewiseLinearRegression, FallsBackToSingleSegment) {
+  std::vector<double> x{0, 1, 2, 3, 4, 5};
+  std::vector<double> y{0, 2, 4, 6, 8, 10};
+  auto fit = PiecewiseLinearRegression::fit(x, y);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_FALSE(fit->has_break());
+  EXPECT_NEAR(fit->predict(2.5), 5.0, 1e-9);
+}
+
+TEST(ExponentialRegression, RecoversExponential) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 10; ++i) {
+    x.push_back(i);
+    y.push_back(2.0 * std::exp(0.3 * i));
+  }
+  auto fit = ExponentialRegression::fit(x, y);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->a(), 2.0, 1e-6);
+  EXPECT_NEAR(fit->b(), 0.3, 1e-9);
+  EXPECT_NEAR(fit->predict(12), 2.0 * std::exp(3.6), 1e-3);
+}
+
+TEST(ExponentialRegression, RejectsNonPositive) {
+  std::vector<double> x{1, 2, 3};
+  std::vector<double> y{1, 0, 2};
+  EXPECT_FALSE(ExponentialRegression::fit(x, y).has_value());
+}
+
+TEST(InverseRegression, RecoversInverseLaw) {
+  // y = 5 + 100/x (JCT vs cluster size shape).
+  std::vector<double> x{1, 2, 4, 8, 16};
+  std::vector<double> y;
+  for (double v : x) y.push_back(5 + 100 / v);
+  auto fit = InverseRegression::fit(x, y);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->a(), 5.0, 1e-9);
+  EXPECT_NEAR(fit->b(), 100.0, 1e-9);
+  EXPECT_NEAR(fit->predict(32), 5 + 100.0 / 32, 1e-9);
+}
+
+TEST(Interpolate, MidpointAndExtrapolation) {
+  std::vector<double> xs{1, 2, 4};
+  std::vector<double> ys{10, 20, 40};
+  EXPECT_NEAR(interpolate(xs, ys, 1.5), 15.0, 1e-9);
+  EXPECT_NEAR(interpolate(xs, ys, 3.0), 30.0, 1e-9);
+  EXPECT_NEAR(interpolate(xs, ys, 8.0), 80.0, 1e-9);  // extrapolates
+  EXPECT_NEAR(interpolate(xs, ys, 0.5), 5.0, 1e-9);
+}
+
+TEST(Accumulator, WelfordMatchesDefinition) {
+  Accumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_NEAR(acc.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_NEAR(percentile(v, 0), 10, 1e-9);
+  EXPECT_NEAR(percentile(v, 50), 25, 1e-9);
+  EXPECT_NEAR(percentile(v, 100), 40, 1e-9);
+  EXPECT_NEAR(percentile(v, 25), 17.5, 1e-9);
+}
+
+TEST(Summary, OfValues) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  const Summary s = Summary::of(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_NEAR(s.mean, 3.0, 1e-12);
+  EXPECT_NEAR(s.p50, 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 5);
+}
+
+TEST(Ewma, ConvergesTowardInput) {
+  Ewma e(0.5);
+  e.update(10);
+  EXPECT_DOUBLE_EQ(e.value(), 10);  // seeded with first sample
+  e.update(0);
+  EXPECT_DOUBLE_EQ(e.value(), 5);
+  e.update(0);
+  EXPECT_DOUBLE_EQ(e.value(), 2.5);
+}
+
+TEST(TimeSeries, ValueAtStepFunction) {
+  TimeSeries ts;
+  ts.add(0, 1);
+  ts.add(10, 2);
+  ts.add(20, 3);
+  EXPECT_DOUBLE_EQ(ts.value_at(-1), 0);
+  EXPECT_DOUBLE_EQ(ts.value_at(0), 1);
+  EXPECT_DOUBLE_EQ(ts.value_at(9.9), 1);
+  EXPECT_DOUBLE_EQ(ts.value_at(10), 2);
+  EXPECT_DOUBLE_EQ(ts.value_at(100), 3);
+}
+
+TEST(TimeSeries, IntegrateStepFunction) {
+  TimeSeries ts;
+  ts.add(0, 100);   // 100 until t=10
+  ts.add(10, 200);  // 200 afterwards
+  EXPECT_NEAR(ts.integrate(0, 10), 1000, 1e-9);
+  EXPECT_NEAR(ts.integrate(0, 20), 3000, 1e-9);
+  EXPECT_NEAR(ts.integrate(5, 15), 500 + 1000, 1e-9);
+  EXPECT_DOUBLE_EQ(ts.integrate(5, 5), 0);
+}
+
+TEST(TimeSeries, MeanInWindow) {
+  TimeSeries ts;
+  ts.add(0, 10);
+  ts.add(1, 20);
+  ts.add(2, 30);
+  EXPECT_NEAR(ts.mean_in(0.5, 2.5), 25, 1e-12);
+  EXPECT_DOUBLE_EQ(ts.mean_in(5, 6), 0);
+}
+
+TEST(TimeSeries, TrimKeepsBoundarySample) {
+  TimeSeries ts;
+  ts.add(0, 1);
+  ts.add(10, 2);
+  ts.add(20, 3);
+  ts.trim_before(15);
+  EXPECT_DOUBLE_EQ(ts.value_at(15), 2);  // sample at 10 retained
+  EXPECT_EQ(ts.size(), 2u);
+}
+
+}  // namespace
+}  // namespace hybridmr::stats
