@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10a_utilization.cpp" "bench/CMakeFiles/bench_fig10a_utilization.dir/bench_fig10a_utilization.cpp.o" "gcc" "bench/CMakeFiles/bench_fig10a_utilization.dir/bench_fig10a_utilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hybridmr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/hybridmr_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hybridmr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapred/CMakeFiles/hybridmr_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hybridmr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/interactive/CMakeFiles/hybridmr_interactive.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hybridmr_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hybridmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hybridmr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

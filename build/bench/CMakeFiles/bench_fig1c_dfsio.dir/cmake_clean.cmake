@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1c_dfsio.dir/bench_fig1c_dfsio.cpp.o"
+  "CMakeFiles/bench_fig1c_dfsio.dir/bench_fig1c_dfsio.cpp.o.d"
+  "bench_fig1c_dfsio"
+  "bench_fig1c_dfsio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1c_dfsio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9bc_crossplatform.dir/bench_fig9bc_crossplatform.cpp.o"
+  "CMakeFiles/bench_fig9bc_crossplatform.dir/bench_fig9bc_crossplatform.cpp.o.d"
+  "bench_fig9bc_crossplatform"
+  "bench_fig9bc_crossplatform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9bc_crossplatform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

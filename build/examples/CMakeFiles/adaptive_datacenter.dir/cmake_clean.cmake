@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_datacenter.dir/adaptive_datacenter.cpp.o"
+  "CMakeFiles/adaptive_datacenter.dir/adaptive_datacenter.cpp.o.d"
+  "adaptive_datacenter"
+  "adaptive_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

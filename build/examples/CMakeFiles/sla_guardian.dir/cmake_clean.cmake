@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sla_guardian.dir/sla_guardian.cpp.o"
+  "CMakeFiles/sla_guardian.dir/sla_guardian.cpp.o.d"
+  "sla_guardian"
+  "sla_guardian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sla_guardian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cc" "src/cluster/CMakeFiles/hybridmr_cluster.dir/cluster.cc.o" "gcc" "src/cluster/CMakeFiles/hybridmr_cluster.dir/cluster.cc.o.d"
+  "/root/repo/src/cluster/machine.cc" "src/cluster/CMakeFiles/hybridmr_cluster.dir/machine.cc.o" "gcc" "src/cluster/CMakeFiles/hybridmr_cluster.dir/machine.cc.o.d"
+  "/root/repo/src/cluster/migration.cc" "src/cluster/CMakeFiles/hybridmr_cluster.dir/migration.cc.o" "gcc" "src/cluster/CMakeFiles/hybridmr_cluster.dir/migration.cc.o.d"
+  "/root/repo/src/cluster/resources.cc" "src/cluster/CMakeFiles/hybridmr_cluster.dir/resources.cc.o" "gcc" "src/cluster/CMakeFiles/hybridmr_cluster.dir/resources.cc.o.d"
+  "/root/repo/src/cluster/workload.cc" "src/cluster/CMakeFiles/hybridmr_cluster.dir/workload.cc.o" "gcc" "src/cluster/CMakeFiles/hybridmr_cluster.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hybridmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hybridmr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridmr_cluster.dir/cluster.cc.o"
+  "CMakeFiles/hybridmr_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/hybridmr_cluster.dir/machine.cc.o"
+  "CMakeFiles/hybridmr_cluster.dir/machine.cc.o.d"
+  "CMakeFiles/hybridmr_cluster.dir/migration.cc.o"
+  "CMakeFiles/hybridmr_cluster.dir/migration.cc.o.d"
+  "CMakeFiles/hybridmr_cluster.dir/resources.cc.o"
+  "CMakeFiles/hybridmr_cluster.dir/resources.cc.o.d"
+  "CMakeFiles/hybridmr_cluster.dir/workload.cc.o"
+  "CMakeFiles/hybridmr_cluster.dir/workload.cc.o.d"
+  "libhybridmr_cluster.a"
+  "libhybridmr_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridmr_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/drm.cc" "src/core/CMakeFiles/hybridmr_core.dir/drm.cc.o" "gcc" "src/core/CMakeFiles/hybridmr_core.dir/drm.cc.o.d"
+  "/root/repo/src/core/estimator.cc" "src/core/CMakeFiles/hybridmr_core.dir/estimator.cc.o" "gcc" "src/core/CMakeFiles/hybridmr_core.dir/estimator.cc.o.d"
+  "/root/repo/src/core/hybridmr.cc" "src/core/CMakeFiles/hybridmr_core.dir/hybridmr.cc.o" "gcc" "src/core/CMakeFiles/hybridmr_core.dir/hybridmr.cc.o.d"
+  "/root/repo/src/core/ips.cc" "src/core/CMakeFiles/hybridmr_core.dir/ips.cc.o" "gcc" "src/core/CMakeFiles/hybridmr_core.dir/ips.cc.o.d"
+  "/root/repo/src/core/phase1.cc" "src/core/CMakeFiles/hybridmr_core.dir/phase1.cc.o" "gcc" "src/core/CMakeFiles/hybridmr_core.dir/phase1.cc.o.d"
+  "/root/repo/src/core/profile_db.cc" "src/core/CMakeFiles/hybridmr_core.dir/profile_db.cc.o" "gcc" "src/core/CMakeFiles/hybridmr_core.dir/profile_db.cc.o.d"
+  "/root/repo/src/core/profiler.cc" "src/core/CMakeFiles/hybridmr_core.dir/profiler.cc.o" "gcc" "src/core/CMakeFiles/hybridmr_core.dir/profiler.cc.o.d"
+  "/root/repo/src/core/reconfigurator.cc" "src/core/CMakeFiles/hybridmr_core.dir/reconfigurator.cc.o" "gcc" "src/core/CMakeFiles/hybridmr_core.dir/reconfigurator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapred/CMakeFiles/hybridmr_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/interactive/CMakeFiles/hybridmr_interactive.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hybridmr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hybridmr_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hybridmr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hybridmr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

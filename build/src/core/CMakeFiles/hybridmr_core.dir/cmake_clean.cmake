@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridmr_core.dir/drm.cc.o"
+  "CMakeFiles/hybridmr_core.dir/drm.cc.o.d"
+  "CMakeFiles/hybridmr_core.dir/estimator.cc.o"
+  "CMakeFiles/hybridmr_core.dir/estimator.cc.o.d"
+  "CMakeFiles/hybridmr_core.dir/hybridmr.cc.o"
+  "CMakeFiles/hybridmr_core.dir/hybridmr.cc.o.d"
+  "CMakeFiles/hybridmr_core.dir/ips.cc.o"
+  "CMakeFiles/hybridmr_core.dir/ips.cc.o.d"
+  "CMakeFiles/hybridmr_core.dir/phase1.cc.o"
+  "CMakeFiles/hybridmr_core.dir/phase1.cc.o.d"
+  "CMakeFiles/hybridmr_core.dir/profile_db.cc.o"
+  "CMakeFiles/hybridmr_core.dir/profile_db.cc.o.d"
+  "CMakeFiles/hybridmr_core.dir/profiler.cc.o"
+  "CMakeFiles/hybridmr_core.dir/profiler.cc.o.d"
+  "CMakeFiles/hybridmr_core.dir/reconfigurator.cc.o"
+  "CMakeFiles/hybridmr_core.dir/reconfigurator.cc.o.d"
+  "libhybridmr_core.a"
+  "libhybridmr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridmr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

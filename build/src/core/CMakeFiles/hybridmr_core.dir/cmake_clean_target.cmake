@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhybridmr_core.a"
+)

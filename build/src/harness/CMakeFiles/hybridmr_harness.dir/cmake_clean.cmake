@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridmr_harness.dir/table.cc.o"
+  "CMakeFiles/hybridmr_harness.dir/table.cc.o.d"
+  "CMakeFiles/hybridmr_harness.dir/testbed.cc.o"
+  "CMakeFiles/hybridmr_harness.dir/testbed.cc.o.d"
+  "libhybridmr_harness.a"
+  "libhybridmr_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridmr_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hybridmr_harness.
+# This may be replaced when dependencies are built.

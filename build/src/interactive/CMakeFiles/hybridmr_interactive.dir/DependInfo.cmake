@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interactive/app.cc" "src/interactive/CMakeFiles/hybridmr_interactive.dir/app.cc.o" "gcc" "src/interactive/CMakeFiles/hybridmr_interactive.dir/app.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/hybridmr_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hybridmr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hybridmr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridmr_interactive.dir/app.cc.o"
+  "CMakeFiles/hybridmr_interactive.dir/app.cc.o.d"
+  "libhybridmr_interactive.a"
+  "libhybridmr_interactive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridmr_interactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapred/engine.cc" "src/mapred/CMakeFiles/hybridmr_mapred.dir/engine.cc.o" "gcc" "src/mapred/CMakeFiles/hybridmr_mapred.dir/engine.cc.o.d"
+  "/root/repo/src/mapred/scheduler.cc" "src/mapred/CMakeFiles/hybridmr_mapred.dir/scheduler.cc.o" "gcc" "src/mapred/CMakeFiles/hybridmr_mapred.dir/scheduler.cc.o.d"
+  "/root/repo/src/mapred/task.cc" "src/mapred/CMakeFiles/hybridmr_mapred.dir/task.cc.o" "gcc" "src/mapred/CMakeFiles/hybridmr_mapred.dir/task.cc.o.d"
+  "/root/repo/src/mapred/tracker.cc" "src/mapred/CMakeFiles/hybridmr_mapred.dir/tracker.cc.o" "gcc" "src/mapred/CMakeFiles/hybridmr_mapred.dir/tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/hybridmr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hybridmr_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hybridmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hybridmr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

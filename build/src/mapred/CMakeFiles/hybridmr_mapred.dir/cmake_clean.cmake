@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridmr_mapred.dir/engine.cc.o"
+  "CMakeFiles/hybridmr_mapred.dir/engine.cc.o.d"
+  "CMakeFiles/hybridmr_mapred.dir/scheduler.cc.o"
+  "CMakeFiles/hybridmr_mapred.dir/scheduler.cc.o.d"
+  "CMakeFiles/hybridmr_mapred.dir/task.cc.o"
+  "CMakeFiles/hybridmr_mapred.dir/task.cc.o.d"
+  "CMakeFiles/hybridmr_mapred.dir/tracker.cc.o"
+  "CMakeFiles/hybridmr_mapred.dir/tracker.cc.o.d"
+  "libhybridmr_mapred.a"
+  "libhybridmr_mapred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridmr_mapred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

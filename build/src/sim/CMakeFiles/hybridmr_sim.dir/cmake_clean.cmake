@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridmr_sim.dir/event_queue.cc.o"
+  "CMakeFiles/hybridmr_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/hybridmr_sim.dir/simulation.cc.o"
+  "CMakeFiles/hybridmr_sim.dir/simulation.cc.o.d"
+  "libhybridmr_sim.a"
+  "libhybridmr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridmr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

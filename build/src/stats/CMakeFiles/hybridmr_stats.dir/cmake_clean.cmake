@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridmr_stats.dir/regression.cc.o"
+  "CMakeFiles/hybridmr_stats.dir/regression.cc.o.d"
+  "CMakeFiles/hybridmr_stats.dir/summary.cc.o"
+  "CMakeFiles/hybridmr_stats.dir/summary.cc.o.d"
+  "CMakeFiles/hybridmr_stats.dir/timeseries.cc.o"
+  "CMakeFiles/hybridmr_stats.dir/timeseries.cc.o.d"
+  "libhybridmr_stats.a"
+  "libhybridmr_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridmr_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridmr_storage.dir/dfsio.cc.o"
+  "CMakeFiles/hybridmr_storage.dir/dfsio.cc.o.d"
+  "CMakeFiles/hybridmr_storage.dir/hdfs.cc.o"
+  "CMakeFiles/hybridmr_storage.dir/hdfs.cc.o.d"
+  "libhybridmr_storage.a"
+  "libhybridmr_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridmr_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridmr_workload.dir/benchmarks.cc.o"
+  "CMakeFiles/hybridmr_workload.dir/benchmarks.cc.o.d"
+  "CMakeFiles/hybridmr_workload.dir/mix.cc.o"
+  "CMakeFiles/hybridmr_workload.dir/mix.cc.o.d"
+  "libhybridmr_workload.a"
+  "libhybridmr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridmr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

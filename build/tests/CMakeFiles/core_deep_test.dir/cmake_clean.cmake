@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_deep_test.dir/core_deep_test.cc.o"
+  "CMakeFiles/core_deep_test.dir/core_deep_test.cc.o.d"
+  "core_deep_test"
+  "core_deep_test.pdb"
+  "core_deep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_deep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
