@@ -63,18 +63,21 @@ UtilTimeline run(bool with_hybridmr) {
                  [submit_stream, stream]() { (*submit_stream)(stream); });
   }
 
+  bed.run_until(80 * 60);
+  hybrid.stop();
+
+  // The machines record full utilization histories (the same series the
+  // telemetry RunReport exports), so the per-minute timeline is a post-run
+  // query — no live sampling callbacks needed.
   UtilTimeline timeline;
-  bed.sim().every(60, [&]() {
-    const double t = bed.sim().now();
+  for (double t = 60; t <= bed.sim().now(); t += 60) {
     timeline.cpu.push_back(bed.cluster().mean_utilization(
         cluster::ResourceKind::kCpu, t - 60, t));
     timeline.mem.push_back(bed.cluster().mean_utilization(
         cluster::ResourceKind::kMemory, t - 60, t));
     timeline.io.push_back(bed.cluster().mean_utilization(
         cluster::ResourceKind::kDisk, t - 60, t));
-  });
-  bed.run_until(80 * 60);
-  hybrid.stop();
+  }
   return timeline;
 }
 

@@ -2,8 +2,14 @@
 // batch of MapReduce jobs and watch Phase I steer them between the native
 // and virtual partitions.
 //
+// When the build has telemetry compiled in (the default), the run also
+// dumps quickstart_trace.json (load it in chrome://tracing or Perfetto),
+// quickstart_report.json and quickstart_report.csv into the working
+// directory.
+//
 //   $ ./quickstart
 #include <cstdio>
+#include <fstream>
 
 #include "core/hybridmr.h"
 #include "harness/table.h"
@@ -24,6 +30,7 @@ int main() {
   options.phase1.training_cluster_sizes = {2};
   core::HybridMRScheduler hybrid(bed.sim(), bed.cluster(), bed.hdfs(),
                                  bed.mr(), options);
+  hybrid.set_telemetry(bed.telemetry());
   hybrid.start();
 
   // An interactive tenant occupies part of the virtual cluster.
@@ -75,5 +82,23 @@ int main() {
               rubis.params().sla_s * 1000);
   std::printf("Simulated time: %.0f s, events processed: %zu\n",
               bed.sim().now(), bed.sim().events_processed());
+
+  // Telemetry artifacts: a Chrome/Perfetto trace plus the run report.
+  if (bed.telemetry() != nullptr) {
+    std::vector<const interactive::InteractiveApp*> apps;
+    for (const auto& app : hybrid.apps()) apps.push_back(app.get());
+    const telemetry::RunReport report = bed.report(apps);
+
+    std::ofstream trace("quickstart_trace.json");
+    bed.telemetry()->trace.to_chrome(trace);
+    std::ofstream json("quickstart_report.json");
+    report.to_json(json);
+    std::ofstream csv("quickstart_report.csv");
+    report.to_csv(csv);
+    std::printf(
+        "Telemetry: %zu trace events -> quickstart_trace.json "
+        "(chrome://tracing), report -> quickstart_report.{json,csv}\n",
+        bed.telemetry()->trace.size());
+  }
   return 0;
 }

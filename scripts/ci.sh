@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI entry point: build and test the Release configuration, then an
+# ASan/UBSan configuration (HYBRIDMR_SANITIZE) so hot-path telemetry and
+# scheduler code stay sanitizer-clean.
+#
+#   $ scripts/ci.sh [build-root]        # default build root: ./build-ci
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+root="${1:-$repo/build-ci}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_variant() {
+  local name="$1"
+  shift
+  local dir="$root/$name"
+  echo "=== [$name] configure + build ==="
+  cmake -S "$repo" -B "$dir" -DCMAKE_BUILD_TYPE=Release "$@"
+  cmake --build "$dir" -j "$jobs"
+  echo "=== [$name] ctest ==="
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+run_variant release
+# Leak checking stays off for now: the simulation substrate has known
+# shared_ptr lifetime cycles (HDFS flows / workload callbacks held by the
+# event queue at teardown) that predate the sanitizer CI. ASan still traps
+# use-after-free/overflows and UBSan all undefined behavior.
+export ASAN_OPTIONS="detect_leaks=0"
+run_variant sanitize -DHYBRIDMR_SANITIZE=address,undefined
+
+echo "=== ci.sh: all variants green ==="

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "telemetry/telemetry.h"
+
 namespace hybridmr::cluster {
 
 Machine* HybridCluster::add_machine(const std::string& name) {
@@ -9,6 +11,7 @@ Machine* HybridCluster::add_machine(const std::string& name) {
       name.empty() ? "pm" + std::to_string(machines_.size()) : name;
   machines_.push_back(
       std::make_unique<Machine>(sim_, n, cal_.pm_capacity(), cal_));
+  if (tel_ != nullptr) machines_.back()->set_telemetry(tel_);
   return machines_.back().get();
 }
 
@@ -81,6 +84,12 @@ int HybridCluster::powered_machines() const {
     if (m->powered()) ++n;
   }
   return n;
+}
+
+void HybridCluster::set_telemetry(telemetry::Hub* hub) {
+  tel_ = hub;
+  migrator_.set_telemetry(hub);
+  for (const auto& m : machines_) m->set_telemetry(hub);
 }
 
 int HybridCluster::power_off_idle() {

@@ -14,6 +14,10 @@
 #include "cluster/migration.h"
 #include "sim/simulation.h"
 
+namespace hybridmr::telemetry {
+struct Hub;
+}  // namespace hybridmr::telemetry
+
 namespace hybridmr::cluster {
 
 class HybridCluster {
@@ -68,12 +72,18 @@ class HybridCluster {
   /// Powers off every machine hosting neither VMs nor workloads.
   int power_off_idle();
 
+  /// Attaches the whole cluster (machines, migrator, and machines added
+  /// later) to a telemetry hub. Null detaches.
+  void set_telemetry(telemetry::Hub* hub);
+  [[nodiscard]] telemetry::Hub* telemetry() const { return tel_; }
+
  private:
   sim::Simulation& sim_;
   const Calibration& cal_;
   Migrator migrator_;
   std::vector<std::unique_ptr<Machine>> machines_;
   std::vector<std::unique_ptr<VirtualMachine>> vms_;
+  telemetry::Hub* tel_ = nullptr;
 };
 
 }  // namespace hybridmr::cluster

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "telemetry/telemetry.h"
+
 namespace hybridmr::cluster {
 
 std::vector<double> waterfill(double capacity,
@@ -368,7 +370,26 @@ void Machine::recompute() {
       0.7 * utilization(ResourceKind::kCpu) +
       0.3 * std::max(utilization(ResourceKind::kDisk),
                      utilization(ResourceKind::kNet));
-  energy_.record(now, powered_ ? power_model_.watts(blended) : 0.0);
+  const double watts = powered_ ? power_model_.watts(blended) : 0.0;
+  energy_.record(now, watts);
+  if (tel_cpu_ != nullptr) {
+    tel_cpu_->sample(now, utilization(ResourceKind::kCpu));
+    tel_disk_->sample(now, utilization(ResourceKind::kDisk));
+    tel_watts_->sample(now, watts);
+  }
+}
+
+void Machine::set_telemetry(telemetry::Hub* hub) {
+  if (hub == nullptr) {
+    tel_cpu_ = tel_disk_ = tel_watts_ = nullptr;
+    return;
+  }
+  tel_cpu_ =
+      &hub->registry.timeseries("machine." + name() + ".cpu_util", 5.0, "frac");
+  tel_disk_ = &hub->registry.timeseries("machine." + name() + ".disk_util", 5.0,
+                                        "frac");
+  tel_watts_ =
+      &hub->registry.timeseries("machine." + name() + ".watts", 5.0, "W");
 }
 
 }  // namespace hybridmr::cluster

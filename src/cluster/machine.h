@@ -19,6 +19,11 @@
 #include "sim/simulation.h"
 #include "stats/timeseries.h"
 
+namespace hybridmr::telemetry {
+struct Hub;
+class TimeSeriesMetric;
+}  // namespace hybridmr::telemetry
+
 namespace hybridmr::cluster {
 
 class Machine;
@@ -181,6 +186,10 @@ class Machine : public ExecutionSite {
   /// anywhere on this machine.
   void reschedule(const WorkloadPtr& workload);
 
+  /// Attaches this machine to a telemetry hub; registers and caches its
+  /// per-machine time-series metrics so recompute() stays allocation-free.
+  void set_telemetry(telemetry::Hub* hub);
+
  private:
   sim::Simulation& sim_;
   Resources capacity_;
@@ -191,6 +200,10 @@ class Machine : public ExecutionSite {
   bool powered_ = true;
   Resources allocated_total_{};
   stats::TimeSeries util_series_[kNumResources];
+  // Cached telemetry metric handles (null when telemetry is not wired).
+  telemetry::TimeSeriesMetric* tel_cpu_ = nullptr;
+  telemetry::TimeSeriesMetric* tel_disk_ = nullptr;
+  telemetry::TimeSeriesMetric* tel_watts_ = nullptr;
 };
 
 }  // namespace hybridmr::cluster

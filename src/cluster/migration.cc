@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "sim/log.h"
+#include "telemetry/telemetry.h"
 
 namespace hybridmr::cluster {
 
@@ -66,6 +67,14 @@ bool Migrator::migrate(VirtualMachine& vm, Machine& dest, DoneFn done) {
 
   ++in_flight_;
   vm.set_migrating(true);
+  if (tel_ != nullptr) {
+    tel_->trace.instant(
+        sim_.now(), telemetry::EventKind::kMigrationStart, vm.name(),
+        record->from,
+        {{"to", record->to},
+         {"memory_mb", telemetry::json_num(vm.memory_mb())},
+         {"rounds", telemetry::json_num(record->rounds)}});
+  }
 
   // Pre-copy stream: a network workload on each side sized so that at the
   // nominal migration bandwidth it finishes in plan.precopy_seconds; under
@@ -98,6 +107,21 @@ bool Migrator::migrate(VirtualMachine& vm, Machine& dest, DoneFn done) {
       history_.push_back(*record);
       sim::log_info(sim_.now(), "migrator",
                     record->vm + ": " + record->from + " -> " + record->to);
+      if (tel_ != nullptr) {
+        tel_->registry.counter("cluster.migrations").add();
+        tel_->registry.counter("cluster.migration_mb", "MB")
+            .add(record->transferred_mb);
+        tel_->registry
+            .histogram("cluster.migration_downtime_s", 0.0, 2.0, "s")
+            .record(record->downtime_seconds);
+        tel_->trace.complete(
+            record->started_at, sim_.now() - record->started_at,
+            telemetry::EventKind::kMigrationEnd, record->vm, record->from,
+            {{"to", record->to},
+             {"precopy_s", telemetry::json_num(record->precopy_seconds)},
+             {"downtime_s", telemetry::json_num(record->downtime_seconds)},
+             {"transferred_mb", telemetry::json_num(record->transferred_mb)}});
+      }
       if (done) done(*record);
     });
   };
@@ -106,5 +130,7 @@ bool Migrator::migrate(VirtualMachine& vm, Machine& dest, DoneFn done) {
   dest.add(std::move(in_stream));
   return true;
 }
+
+void Migrator::set_telemetry(telemetry::Hub* hub) { tel_ = hub; }
 
 }  // namespace hybridmr::cluster

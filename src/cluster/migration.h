@@ -15,6 +15,10 @@
 #include "cluster/machine.h"
 #include "sim/simulation.h"
 
+namespace hybridmr::telemetry {
+struct Hub;
+}  // namespace hybridmr::telemetry
+
 namespace hybridmr::cluster {
 
 struct MigrationPlan {
@@ -72,6 +76,9 @@ class Migrator {
   [[nodiscard]] const MigrationModel& model() const { return model_; }
   [[nodiscard]] int in_flight() const { return in_flight_; }
 
+  /// Attaches the migrator to a telemetry hub (null detaches).
+  void set_telemetry(telemetry::Hub* hub);
+
  private:
   /// Dirty rate with bursty (lognormal) jitter applied.
   double jittered_dirty_rate(const VirtualMachine& vm);
@@ -81,6 +88,7 @@ class Migrator {
   MigrationModel model_;
   std::vector<MigrationRecord> history_;
   int in_flight_ = 0;
+  telemetry::Hub* tel_ = nullptr;
 };
 
 }  // namespace hybridmr::cluster

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "sim/log.h"
+#include "telemetry/telemetry.h"
 
 namespace hybridmr::core {
 
@@ -225,6 +226,7 @@ DynamicResourceManager::DynamicResourceManager(sim::Simulation& sim,
 
 void DynamicResourceManager::epoch() {
   const double now = sim_.now();
+  const PerformanceBalancer::Stats before = lifetime_;
   auto attempts = mr_.running_attempts();
   estimator_.retain_only(attempts);
   balancer_.prune(attempts);
@@ -258,6 +260,46 @@ void DynamicResourceManager::epoch() {
   lifetime_.cap_updates += stats.cap_updates;
   lifetime_.memory_pauses += stats.memory_pauses;
   lifetime_.memory_resumes += stats.memory_resumes;
+
+  if (tel_ != nullptr) {
+    const int caps = lifetime_.cap_updates - before.cap_updates;
+    const int pauses = lifetime_.memory_pauses - before.memory_pauses;
+    const int resumes = lifetime_.memory_resumes - before.memory_resumes;
+    const int shares = lifetime_.vm_share_updates - before.vm_share_updates;
+    if (caps > 0) tel_cap_updates_->add(caps);
+    if (pauses > 0) tel_memory_pauses_->add(pauses);
+    if (resumes > 0) tel_memory_resumes_->add(resumes);
+    if (shares > 0) tel_vm_share_updates_->add(shares);
+    const bool active = caps + pauses + resumes + shares > 0 ||
+                        !last_contention_.deficit.empty() ||
+                        !last_contention_.hogging.empty();
+    if (active) {
+      tel_->trace.instant(
+          now, telemetry::EventKind::kDrmDecision, "drm_epoch", "drm",
+          {{"deficit", telemetry::json_num(
+                           static_cast<double>(last_contention_.deficit.size()))},
+           {"hogging", telemetry::json_num(
+                           static_cast<double>(last_contention_.hogging.size()))},
+           {"cap_updates", telemetry::json_num(caps)},
+           {"memory_pauses", telemetry::json_num(pauses)},
+           {"memory_resumes", telemetry::json_num(resumes)},
+           {"vm_share_updates", telemetry::json_num(shares)}});
+    }
+  }
+}
+
+void DynamicResourceManager::set_telemetry(telemetry::Hub* hub) {
+  tel_ = hub;
+  if (hub == nullptr) {
+    tel_cap_updates_ = tel_memory_pauses_ = tel_memory_resumes_ =
+        tel_vm_share_updates_ = nullptr;
+    return;
+  }
+  auto& reg = hub->registry;
+  tel_cap_updates_ = &reg.counter("drm.cap_updates");
+  tel_memory_pauses_ = &reg.counter("drm.memory_pauses");
+  tel_memory_resumes_ = &reg.counter("drm.memory_resumes");
+  tel_vm_share_updates_ = &reg.counter("drm.vm_share_updates");
 }
 
 void DynamicResourceManager::start() {

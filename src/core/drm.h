@@ -23,6 +23,11 @@
 #include "mapred/engine.h"
 #include "sim/simulation.h"
 
+namespace hybridmr::telemetry {
+struct Hub;
+class Counter;
+}  // namespace hybridmr::telemetry
+
 namespace hybridmr::core {
 
 struct DrmOptions {
@@ -146,6 +151,9 @@ class DynamicResourceManager {
     return last_contention_;
   }
 
+  /// Attaches the DRM to a telemetry hub (null detaches).
+  void set_telemetry(telemetry::Hub* hub);
+
  private:
   sim::Simulation& sim_;
   mapred::MapReduceEngine& mr_;
@@ -158,6 +166,11 @@ class DynamicResourceManager {
   PerformanceBalancer::Stats lifetime_;
   sim::PeriodicHandle ticker_;
   std::function<bool(const mapred::TaskAttempt&)> exempt_;
+  telemetry::Hub* tel_ = nullptr;
+  telemetry::Counter* tel_cap_updates_ = nullptr;
+  telemetry::Counter* tel_memory_pauses_ = nullptr;
+  telemetry::Counter* tel_memory_resumes_ = nullptr;
+  telemetry::Counter* tel_vm_share_updates_ = nullptr;
 };
 
 }  // namespace hybridmr::core

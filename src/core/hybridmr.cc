@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "sim/log.h"
+#include "telemetry/telemetry.h"
 
 namespace hybridmr::core {
 
@@ -78,6 +79,16 @@ mapred::Job* HybridMRScheduler::submit(const mapred::JobSpec& spec) {
                                ? "virtual"
                                : "any") +
                     " (" + last_decision_.reason + ")");
+  if (tel_ != nullptr) {
+    tel_->trace.instant(
+        sim_.now(), telemetry::EventKind::kPhase1Placement, spec.name, "jobs",
+        {{"pool", pool == mapred::PlacementPool::kNativeOnly
+                      ? "native"
+                      : pool == mapred::PlacementPool::kVirtualOnly
+                            ? "virtual"
+                            : "any"},
+         {"reason", last_decision_.reason}});
+  }
   mapred::Job* job = mr_.submit(spec, pool);
   if (options_.online_profiling) {
     // Feed the production run back into the profile database so future
@@ -136,12 +147,20 @@ interactive::InteractiveApp& HybridMRScheduler::deploy_interactive(
   apps_.push_back(std::make_unique<interactive::InteractiveApp>(
       sim_, *site, params, clients));
   interactive::InteractiveApp& app = *apps_.back();
+  if (tel_ != nullptr) app.set_telemetry(tel_);
   app.start();
   monitor_.track(app);
   sim::log_info(sim_.now(), "hybridmr",
                 params.name + " (" + std::to_string(clients) +
                     " clients) -> " + site->name());
   return app;
+}
+
+void HybridMRScheduler::set_telemetry(telemetry::Hub* hub) {
+  tel_ = hub;
+  drm_.set_telemetry(hub);
+  ips_.set_telemetry(hub);
+  for (const auto& app : apps_) app->set_telemetry(hub);
 }
 
 }  // namespace hybridmr::core

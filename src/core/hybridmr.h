@@ -92,6 +92,10 @@ class HybridMRScheduler {
   [[nodiscard]] int native_nodes() const;
   [[nodiscard]] int virtual_nodes() const;
 
+  /// Attaches the whole Phase I + Phase II stack (DRM, IPS, deployed and
+  /// future interactive apps) to a telemetry hub. Null detaches.
+  void set_telemetry(telemetry::Hub* hub);
+
  private:
   sim::Simulation& sim_;
   cluster::HybridCluster& cluster_;
@@ -106,6 +110,7 @@ class HybridMRScheduler {
   InterferencePreventionSystem ips_;
   PhaseOneScheduler::Decision last_decision_;
   std::vector<std::unique_ptr<interactive::InteractiveApp>> apps_;
+  telemetry::Hub* tel_ = nullptr;
 };
 
 }  // namespace hybridmr::core

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "sim/log.h"
+#include "telemetry/telemetry.h"
 
 namespace hybridmr::core {
 
@@ -97,6 +98,7 @@ void InterferencePreventionSystem::escalate(TaskAttempt& attempt) {
     actions_[&attempt] = ActionLevel::kThrottled;
     ++stats_.throttles;
     sim::log_info(sim_.now(), "ips", "throttle " + attempt.task().job().spec().name);
+    note_action("throttle", attempt.label(), attempt.site().name());
     return;
   }
   if (it->second == ActionLevel::kThrottled) {
@@ -104,16 +106,20 @@ void InterferencePreventionSystem::escalate(TaskAttempt& attempt) {
     it->second = ActionLevel::kPaused;
     ++stats_.pauses;
     sim::log_info(sim_.now(), "ips", "pause " + attempt.task().job().spec().name);
+    note_action("pause", attempt.label(), attempt.site().name());
     return;
   }
   if (options_.allow_requeue) {
     // Level 3: evict — kill the attempt and let the JobTracker rerun it
     // elsewhere (the paper: "the VM running the task ... can even be
     // aborted; correctness is preserved by speculative re-execution").
+    const std::string label = attempt.label();
+    const std::string track = attempt.site().name();
     actions_.erase(it);
     mr_.requeue(attempt, /*ban_tracker=*/true);
     ++stats_.requeues;
     sim::log_info(sim_.now(), "ips", "requeue task");
+    note_action("requeue", label, track);
   }
 }
 
@@ -149,6 +155,8 @@ void InterferencePreventionSystem::migrate_batch_vm(
       ++stats_.vm_migrations;
       sim::log_info(sim_.now(), "ips",
                     "migrate " + vm->name() + " -> " + dest->name());
+      note_action("migrate_vm", vm->name() + "->" + dest->name(),
+                  violated_host.name());
       return;  // one migration per epoch
     }
   }
@@ -241,13 +249,29 @@ void InterferencePreventionSystem::restore_where_healthy() {
     ++stats_.restores;
     ++restored;
     last_restore_[a->site().host_machine()] = sim_.now();
+    note_action("restore", a->label(), a->site().name());
   }
+}
+
+void InterferencePreventionSystem::note_action(const char* action,
+                                               const std::string& target,
+                                               const std::string& track) {
+  if (tel_ == nullptr) return;
+  tel_->registry.counter(std::string("ips.") + action + "s").add();
+  tel_->trace.instant(sim_.now(), telemetry::EventKind::kIpsAction, action,
+                      track, {{"target", target}});
 }
 
 void InterferencePreventionSystem::epoch() {
   prune_dead_actions();
   const auto violators = monitor_.violators();
   stats_.violations_seen += static_cast<int>(violators.size());
+  // (Violation onsets are traced by the apps themselves; the IPS counts
+  // how many violator-epochs it had to arbitrate.)
+  if (tel_ != nullptr && !violators.empty()) {
+    tel_->registry.counter("ips.violations_seen")
+        .add(static_cast<double>(violators.size()));
+  }
   for (auto* app : violators) mitigate(*app);
   restore_where_healthy();
 }

@@ -23,6 +23,10 @@
 #include "mapred/engine.h"
 #include "sim/simulation.h"
 
+namespace hybridmr::telemetry {
+struct Hub;
+}  // namespace hybridmr::telemetry
+
 namespace hybridmr::core {
 
 struct IpsOptions {
@@ -97,6 +101,9 @@ class InterferencePreventionSystem {
   [[nodiscard]] const IpsOptions& options() const { return options_; }
   [[nodiscard]] Arbiter& arbiter() { return arbiter_; }
 
+  /// Attaches the IPS to a telemetry hub (null detaches).
+  void set_telemetry(telemetry::Hub* hub) { tel_ = hub; }
+
  private:
   enum class ActionLevel { kThrottled = 1, kPaused = 2 };
 
@@ -121,6 +128,11 @@ class InterferencePreventionSystem {
   // exponentially longer healthy streak before the next restore.
   std::map<const cluster::Machine*, int> required_streak_;
   std::map<const cluster::Machine*, double> last_restore_;
+  telemetry::Hub* tel_ = nullptr;
+
+  /// Counter bump + kIpsAction trace instant for one arbitration action.
+  void note_action(const char* action, const std::string& target,
+                   const std::string& track);
 };
 
 }  // namespace hybridmr::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/log.h"
+#include "telemetry/telemetry.h"
 
 namespace hybridmr::core {
 
@@ -54,6 +55,13 @@ std::vector<VirtualMachine*> Reconfigurator::virtualize_node(
   sim::log_info(cluster_->simulation().now(), "reconfig",
                 machine.name() + ": native -> " +
                     std::to_string(vms_per_host) + " VMs");
+  if (tel_ != nullptr) {
+    tel_->registry.counter("reconfig.virtualized").add();
+    tel_->trace.instant(cluster_->simulation().now(),
+                        telemetry::EventKind::kReconfiguration, "virtualize",
+                        machine.name(),
+                        {{"vms", telemetry::json_num(vms_per_host)}});
+  }
   mr_->dispatch();
   return vms;
 }
@@ -78,6 +86,13 @@ bool Reconfigurator::nativize_host(Machine& machine) {
   sim::log_info(cluster_->simulation().now(), "reconfig",
                 machine.name() + ": " + std::to_string(vms.size()) +
                     " VMs -> native");
+  if (tel_ != nullptr) {
+    tel_->registry.counter("reconfig.nativized").add();
+    tel_->trace.instant(
+        cluster_->simulation().now(), telemetry::EventKind::kReconfiguration,
+        "nativize", machine.name(),
+        {{"vms", telemetry::json_num(static_cast<double>(vms.size()))}});
+  }
   mr_->dispatch();
   return true;
 }

@@ -21,6 +21,10 @@
 #include "mapred/engine.h"
 #include "storage/hdfs.h"
 
+namespace hybridmr::telemetry {
+struct Hub;
+}  // namespace hybridmr::telemetry
+
 namespace hybridmr::core {
 
 class Reconfigurator {
@@ -51,6 +55,9 @@ class Reconfigurator {
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// Attaches the reconfigurator to a telemetry hub (null detaches).
+  void set_telemetry(telemetry::Hub* hub) { tel_ = hub; }
+
  private:
   bool decommission_site(cluster::ExecutionSite& site);
 
@@ -58,6 +65,7 @@ class Reconfigurator {
   storage::Hdfs* hdfs_;
   mapred::MapReduceEngine* mr_;
   Stats stats_;
+  telemetry::Hub* tel_ = nullptr;
 };
 
 }  // namespace hybridmr::core

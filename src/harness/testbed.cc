@@ -2,13 +2,25 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 
+#include "interactive/sla.h"
 #include "mapred/scheduler.h"
+#include "stats/summary.h"
 
 namespace hybridmr::harness {
 
 TestBed::TestBed(Options options) : options_(std::move(options)) {
+  // Opt-in verbosity without recompiling: HYBRIDMR_LOG=debug|info|warn|...
+  if (const char* env = std::getenv("HYBRIDMR_LOG")) {
+    if (auto level = sim::Log::parse_level(env)) {
+      sim::Log::threshold() = *level;
+    }
+  }
   sim_ = std::make_unique<sim::Simulation>(options_.seed);
+  if (options_.telemetry && telemetry::compiled_in()) {
+    tel_ = std::make_unique<telemetry::Hub>();
+  }
   cluster_ = std::make_unique<cluster::HybridCluster>(*sim_,
                                                       options_.calibration);
   hdfs_ = std::make_unique<storage::Hdfs>(*sim_, options_.calibration);
@@ -17,6 +29,10 @@ TestBed::TestBed(Options options) : options_(std::move(options)) {
   mr_ = std::make_unique<mapred::MapReduceEngine>(
       *sim_, *hdfs_, options_.calibration,
       mapred::make_scheduler(options_.scheduler), mr_options);
+  if (tel_) {
+    cluster_->set_telemetry(tel_.get());
+    mr_->set_telemetry(tel_.get());
+  }
 }
 
 cluster::ExecutionSite* TestBed::register_node(cluster::ExecutionSite& site,
@@ -127,6 +143,82 @@ std::vector<double> TestBed::run_jobs(
   jcts.reserve(jobs.size());
   for (auto* j : jobs) jcts.push_back(j->jct());
   return jcts;
+}
+
+telemetry::RunReport TestBed::report(
+    const std::vector<const interactive::InteractiveApp*>& apps) const {
+  telemetry::RunReport report;
+  const double end = sim_->now();
+  report.sim_end_s = end;
+  report.events_processed = sim_->events_processed();
+  report.clamped_past_events = sim_->clamped_past_events();
+  report.registry = tel_ ? &tel_->registry : nullptr;
+
+  for (const auto& job : mr_->jobs()) {
+    telemetry::RunReport::JobRow row;
+    row.id = job->id();
+    row.name = job->spec().name;
+    row.state = mapred::to_string(job->state());
+    row.maps = static_cast<int>(job->maps().size());
+    row.reduces = static_cast<int>(job->reduces().size());
+    row.submit_s = job->submit_time();
+    row.finish_s = job->finish_time();
+    row.jct_s = job->jct();
+    row.map_phase_s = job->map_phase_seconds();
+    row.reduce_phase_s = job->reduce_phase_seconds();
+    row.shuffle_mb = job->total_map_output_mb();
+    report.jobs.push_back(std::move(row));
+  }
+
+  // Machine series are resampled into fixed windows so reports stay small
+  // on long runs: 10 s windows, widened to cap a run at ~2000 points.
+  double window = 10.0;
+  if (end / window > 2000) window = end / 2000;
+  for (const auto& m : cluster_->machines()) {
+    telemetry::RunReport::MachineRow row;
+    row.name = m->name();
+    row.vms = static_cast<int>(m->vms().size());
+    row.powered = m->powered();
+    row.mean_cpu =
+        m->utilization_series(cluster::ResourceKind::kCpu).mean_in(0, end);
+    row.mean_memory =
+        m->utilization_series(cluster::ResourceKind::kMemory).mean_in(0, end);
+    row.mean_disk =
+        m->utilization_series(cluster::ResourceKind::kDisk).mean_in(0, end);
+    row.mean_net =
+        m->utilization_series(cluster::ResourceKind::kNet).mean_in(0, end);
+    row.energy_joules = m->energy().joules(0, end);
+    row.mean_watts = m->energy().mean_watts(0, end);
+    const auto& cpu =
+        m->utilization_series(cluster::ResourceKind::kCpu);
+    const auto& power = m->energy().series();
+    for (double t = 0; t < end; t += window) {
+      const double t1 = std::min(t + window, end);
+      row.cpu_series.push_back({t, cpu.mean_in(t, t1)});
+      row.power_series.push_back({t, power.mean_in(t, t1)});
+    }
+    report.machines.push_back(std::move(row));
+  }
+
+  for (const auto* app : apps) {
+    if (app == nullptr) continue;
+    telemetry::RunReport::AppRow row;
+    row.name = app->name();
+    row.sla_s = app->params().sla_s;
+    const std::vector<double> values = app->response_series().values();
+    row.samples = values.size();
+    row.mean_s = stats::mean(values);
+    row.p50_s = stats::percentile(values, 50);
+    row.p95_s = stats::percentile(values, 95);
+    row.p99_s = stats::percentile(values, 99);
+    row.max_s =
+        values.empty() ? 0 : *std::max_element(values.begin(), values.end());
+    row.violation_fraction =
+        interactive::SlaMonitor::violation_fraction(*app, 0, end);
+    report.apps.push_back(std::move(row));
+  }
+
+  return report;
 }
 
 }  // namespace hybridmr::harness

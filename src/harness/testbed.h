@@ -15,6 +15,7 @@
 #include "mapred/engine.h"
 #include "sim/simulation.h"
 #include "storage/hdfs.h"
+#include "telemetry/telemetry.h"
 #include "workload/benchmarks.h"
 
 namespace hybridmr::harness {
@@ -25,6 +26,9 @@ class TestBed {
     std::uint64_t seed = 42;
     std::string scheduler = "fair";  // paper's testbed uses FairScheduler
     bool speculative_execution = true;
+    /// Wires a telemetry::Hub through cluster + engine (no-op when the
+    /// build has telemetry compiled out).
+    bool telemetry = true;
     cluster::Calibration calibration = cluster::Calibration::standard();
   };
 
@@ -38,6 +42,15 @@ class TestBed {
   [[nodiscard]] const cluster::Calibration& calibration() const {
     return options_.calibration;
   }
+
+  /// The run's telemetry hub; null when disabled or compiled out.
+  [[nodiscard]] telemetry::Hub* telemetry() const { return tel_.get(); }
+
+  /// Builds the run report from the live engine/cluster state. Pass the
+  /// interactive apps (e.g. from HybridMRScheduler::apps()) to include
+  /// per-app SLA percentiles.
+  [[nodiscard]] telemetry::RunReport report(
+      const std::vector<const interactive::InteractiveApp*>& apps = {}) const;
 
   // --- cluster shapes (each call adds nodes; mix freely) ---
 
@@ -98,6 +111,7 @@ class TestBed {
 
   Options options_;
   std::unique_ptr<sim::Simulation> sim_;
+  std::unique_ptr<telemetry::Hub> tel_;
   std::unique_ptr<cluster::HybridCluster> cluster_;
   std::unique_ptr<storage::Hdfs> hdfs_;
   std::unique_ptr<mapred::MapReduceEngine> mr_;

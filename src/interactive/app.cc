@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "cluster/calibration.h"
+#include "telemetry/telemetry.h"
 
 namespace hybridmr::interactive {
 
@@ -60,6 +61,7 @@ void InteractiveApp::refresh() {
     response_s_ = params_.min_response_s;
     throughput_rps_ = 0;
     response_series_.add(sim_.now(), response_s_);
+    note_telemetry();
     return;
   }
   const Resources alloc = service_->allocated();
@@ -115,6 +117,31 @@ void InteractiveApp::refresh() {
   response_s_ = r * jitter;
   throughput_rps_ = N / (response_s_ + Z);
   response_series_.add(sim_.now(), response_s_);
+  note_telemetry();
+}
+
+void InteractiveApp::set_telemetry(telemetry::Hub* hub) {
+  tel_ = hub;
+  tel_response_ =
+      hub == nullptr
+          ? nullptr
+          : &hub->registry.timeseries("app." + params_.name + ".response_s",
+                                      10.0, "s");
+}
+
+void InteractiveApp::note_telemetry() {
+  if (tel_ == nullptr) return;
+  tel_response_->sample(sim_.now(), response_s_);
+  const bool violated = sla_violated();
+  if (violated != was_violated_) {
+    tel_->trace.instant(
+        sim_.now(), telemetry::EventKind::kSlaViolation, params_.name,
+        site_->name(),
+        {{"state", violated ? "violated" : "recovered"},
+         {"response_s", telemetry::json_num(response_s_)},
+         {"sla_s", telemetry::json_num(params_.sla_s)}});
+    was_violated_ = violated;
+  }
 }
 
 }  // namespace hybridmr::interactive

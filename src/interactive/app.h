@@ -16,6 +16,11 @@
 #include "sim/simulation.h"
 #include "stats/timeseries.h"
 
+namespace hybridmr::telemetry {
+struct Hub;
+class TimeSeriesMetric;
+}  // namespace hybridmr::telemetry
+
 namespace hybridmr::interactive {
 
 struct AppParams {
@@ -68,8 +73,13 @@ class InteractiveApp {
   /// Forces one immediate model refresh (normally periodic).
   void refresh();
 
+  /// Attaches the app to a telemetry hub: its response time is sampled into
+  /// `app.<name>.response_s` and SLA violation onsets/recoveries are traced.
+  void set_telemetry(telemetry::Hub* hub);
+
  private:
   [[nodiscard]] cluster::Resources offered_demand() const;
+  void note_telemetry();
 
   sim::Simulation& sim_;
   cluster::ExecutionSite* site_;
@@ -80,6 +90,9 @@ class InteractiveApp {
   double response_s_ = 0;
   double throughput_rps_ = 0;
   stats::TimeSeries response_series_;
+  telemetry::Hub* tel_ = nullptr;
+  telemetry::TimeSeriesMetric* tel_response_ = nullptr;
+  bool was_violated_ = false;
 };
 
 }  // namespace hybridmr::interactive

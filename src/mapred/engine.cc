@@ -5,8 +5,16 @@
 #include <memory>
 
 #include "sim/log.h"
+#include "telemetry/telemetry.h"
 
 namespace hybridmr::mapred {
+
+namespace {
+
+/// Jobs share one timeline track in the trace; tasks go on their site's.
+constexpr const char* kJobTrack = "jobs";
+
+}  // namespace
 
 MapReduceEngine::MapReduceEngine(sim::Simulation& sim, storage::Hdfs& hdfs,
                                  const cluster::Calibration& cal,
@@ -91,6 +99,15 @@ Job* MapReduceEngine::submit(const JobSpec& spec, storage::Hdfs::FileId input,
   sim::log_info(sim_.now(), "jobtracker",
                 "submit " + spec.name + " (" + std::to_string(n_maps) +
                     " maps, " + std::to_string(n_reduces) + " reduces)");
+  if (tel_ != nullptr) {
+    tel_jobs_submitted_->add();
+    tel_->trace.instant(
+        sim_.now(), telemetry::EventKind::kJobSubmit,
+        spec.name + "-j" + std::to_string(id), kJobTrack,
+        {{"maps", telemetry::json_num(n_maps)},
+         {"reduces", telemetry::json_num(n_reduces)},
+         {"input_mb", telemetry::json_num(spec.input_mb())}});
+  }
   maybe_start_speculation_monitor();
   dispatch();
   return job;
@@ -152,6 +169,12 @@ void MapReduceEngine::requeue(TaskAttempt& attempt, bool ban_tracker) {
   if (!attempt.running()) return;
   Task& task = attempt.task();
   if (ban_tracker) task.banned_trackers.insert(&attempt.tracker());
+  if (tel_ != nullptr) {
+    tel_tasks_killed_->add();
+    tel_->trace.instant(sim_.now(), telemetry::EventKind::kTaskKilled,
+                        attempt.label(), attempt.site().name(),
+                        {{"banned", ban_tracker ? "true" : "false"}});
+  }
   attempt.kill();
   ++requeue_count_;
   // If every tracker is now banned, forgive the bans so the task can still
@@ -172,6 +195,15 @@ void MapReduceEngine::attempt_finished(TaskAttempt& attempt) {
     if (other.get() != &attempt && other->running()) other->kill();
   }
 
+  if (tel_ != nullptr) {
+    tel_tasks_finished_->add();
+    (task.type() == TaskType::kMap ? tel_map_task_s_ : tel_reduce_task_s_)
+        ->record(attempt.elapsed());
+    tel_->trace.complete(attempt.started_at(), attempt.elapsed(),
+                         telemetry::EventKind::kTaskFinish, attempt.label(),
+                         attempt.site().name());
+  }
+
   Job& job = task.job();
   if (task.type() == TaskType::kMap) {
     ++job.maps_done_;
@@ -190,6 +222,16 @@ void MapReduceEngine::attempt_finished(TaskAttempt& attempt) {
       sim::log_info(
           sim_.now(), "jobtracker",
           job.spec().name + ": finished, jct=" + std::to_string(job.jct()));
+      if (tel_ != nullptr) {
+        tel_jobs_finished_->add();
+        tel_->trace.complete(
+            job.submit_time(), job.jct(), telemetry::EventKind::kJobFinish,
+            job.spec().name + "-j" + std::to_string(job.id()), kJobTrack,
+            {{"jct_s", telemetry::json_num(job.jct())},
+             {"map_phase_s", telemetry::json_num(job.map_phase_seconds())},
+             {"reduce_phase_s",
+              telemetry::json_num(job.reduce_phase_seconds())}});
+      }
       if (job.on_complete) job.on_complete(job);
     }
   }
@@ -292,11 +334,66 @@ void MapReduceEngine::speculation_scan() {
           sim::log_debug(sim_.now(), "speculation",
                          "copy of " + job->spec().name + " task " +
                              std::to_string(t->index()));
+          if (tel_ != nullptr) {
+            tel_speculative_->add();
+            tel_->trace.instant(
+                sim_.now(), telemetry::EventKind::kSpeculativeLaunch,
+                job->spec().name + "-j" + std::to_string(job->id()) +
+                    (type == TaskType::kMap ? "-m" : "-r") +
+                    std::to_string(t->index()),
+                target->site().name(),
+                {{"progress", telemetry::json_num(a->progress())},
+                 {"mean_rate", telemetry::json_num(mean_rate)}});
+          }
           target->launch(*t);
         }
       }
     }
   }
+}
+
+void MapReduceEngine::set_telemetry(telemetry::Hub* hub) {
+  tel_ = hub;
+  if (hub == nullptr) {
+    tel_jobs_submitted_ = tel_jobs_finished_ = tel_tasks_finished_ =
+        tel_tasks_killed_ = tel_speculative_ = tel_shuffle_mb_ = nullptr;
+    tel_running_ = nullptr;
+    tel_map_task_s_ = tel_reduce_task_s_ = nullptr;
+    return;
+  }
+  auto& reg = hub->registry;
+  tel_jobs_submitted_ = &reg.counter("mapred.jobs_submitted");
+  tel_jobs_finished_ = &reg.counter("mapred.jobs_finished");
+  tel_tasks_finished_ = &reg.counter("mapred.tasks_finished");
+  tel_tasks_killed_ = &reg.counter("mapred.tasks_killed");
+  tel_speculative_ = &reg.counter("mapred.speculative_launches");
+  tel_shuffle_mb_ = &reg.counter("mapred.shuffle_mb", "MB");
+  tel_running_ = &reg.gauge("mapred.running_attempts", "tasks");
+  tel_map_task_s_ = &reg.histogram("mapred.map_task_s", 0.0, 600.0, "s");
+  tel_reduce_task_s_ = &reg.histogram("mapred.reduce_task_s", 0.0, 600.0, "s");
+}
+
+void MapReduceEngine::note_task_started(const TaskAttempt& attempt) {
+  if (tel_ == nullptr) return;
+  tel_running_->add(1);
+  tel_->trace.instant(sim_.now(), telemetry::EventKind::kTaskStart,
+                      attempt.label(), attempt.site().name());
+}
+
+void MapReduceEngine::note_attempt_released(const TaskAttempt& attempt) {
+  (void)attempt;
+  if (tel_ == nullptr) return;
+  tel_running_->add(-1);
+}
+
+void MapReduceEngine::note_shuffle_started(const TaskAttempt& attempt,
+                                           double total_mb, int sources) {
+  if (tel_ == nullptr) return;
+  tel_shuffle_mb_->add(total_mb);
+  tel_->trace.instant(sim_.now(), telemetry::EventKind::kShuffleStart,
+                      attempt.label(), attempt.site().name(),
+                      {{"mb", telemetry::json_num(total_mb)},
+                       {"sources", telemetry::json_num(sources)}});
 }
 
 }  // namespace hybridmr::mapred

@@ -14,6 +14,13 @@
 #include "sim/simulation.h"
 #include "storage/hdfs.h"
 
+namespace hybridmr::telemetry {
+struct Hub;
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace hybridmr::telemetry
+
 namespace hybridmr::mapred {
 
 class MapReduceEngine {
@@ -83,8 +90,18 @@ class MapReduceEngine {
   /// treats it like a failed speculative copy: correctness is unaffected.
   void requeue(TaskAttempt& attempt, bool ban_tracker);
 
+  /// Attaches the engine to a telemetry hub (null detaches); counters are
+  /// registered and cached here so per-task recording is map-lookup-free.
+  void set_telemetry(telemetry::Hub* hub);
+  [[nodiscard]] telemetry::Hub* telemetry() const { return tel_; }
+
   // --- internals used by TaskAttempt / TaskTracker ---
   void attempt_finished(TaskAttempt& attempt);
+  /// Telemetry hooks (no-ops without a hub).
+  void note_task_started(const TaskAttempt& attempt);
+  void note_attempt_released(const TaskAttempt& attempt);
+  void note_shuffle_started(const TaskAttempt& attempt, double total_mb,
+                            int sources);
   [[nodiscard]] sim::Simulation& sim() { return sim_; }
   [[nodiscard]] storage::Hdfs& hdfs() { return hdfs_; }
   [[nodiscard]] const cluster::Calibration& calibration() const {
@@ -117,6 +134,17 @@ class MapReduceEngine {
   int speculative_count_ = 0;
   int requeue_count_ = 0;
   bool dispatching_ = false;
+  // Telemetry hub plus cached metric handles (all null when detached).
+  telemetry::Hub* tel_ = nullptr;
+  telemetry::Counter* tel_jobs_submitted_ = nullptr;
+  telemetry::Counter* tel_jobs_finished_ = nullptr;
+  telemetry::Counter* tel_tasks_finished_ = nullptr;
+  telemetry::Counter* tel_tasks_killed_ = nullptr;
+  telemetry::Counter* tel_speculative_ = nullptr;
+  telemetry::Counter* tel_shuffle_mb_ = nullptr;
+  telemetry::Gauge* tel_running_ = nullptr;
+  telemetry::Histogram* tel_map_task_s_ = nullptr;
+  telemetry::Histogram* tel_reduce_task_s_ = nullptr;
 };
 
 }  // namespace hybridmr::mapred

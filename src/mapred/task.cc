@@ -226,6 +226,8 @@ void TaskAttempt::begin_shuffle(double total_mb) {
     phase_finished();
     return;
   }
+  engine_->note_shuffle_started(*this, total_mb,
+                                static_cast<int>(shuffle_queue_.size()));
   pump_shuffle();
 }
 

@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "cluster/machine.h"
@@ -127,6 +128,9 @@ class TaskAttempt {
   [[nodiscard]] cluster::Resources current_allocation() const;
   [[nodiscard]] cluster::Resources current_demand() const;
 
+  /// Stable display name, e.g. "sort-j0-m3" (job name, job id, task).
+  [[nodiscard]] std::string label() const;
+
  private:
   struct Phase {
     enum class Kind { kRead, kStream, kCompute, kLocalWrite, kShuffle,
@@ -145,7 +149,6 @@ class TaskAttempt {
   void flow_completed(double mb);
   void phase_finished();
   void teardown();
-  [[nodiscard]] std::string label() const;
 
   Task* task_;
   TaskTracker* tracker_;

@@ -41,6 +41,7 @@ TaskAttempt* TaskTracker::launch(Task& task) {
     raw->set_base_caps(static_slot_share(task.type()));
   }
   raw->start();
+  engine_->note_task_started(*raw);
   return raw;
 }
 
@@ -48,6 +49,7 @@ void TaskTracker::release(TaskAttempt* attempt) {
   auto it = std::find(running_.begin(), running_.end(), attempt);
   if (it == running_.end()) return;  // already released
   running_.erase(it);
+  engine_->note_attempt_released(*attempt);
   if (attempt->task().type() == TaskType::kMap) {
     --running_maps_;
   } else {

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "sim/event_queue.h"
+#include "sim/log.h"
 #include "sim/rng.h"
 
 namespace hybridmr::sim {
@@ -47,9 +48,19 @@ class Simulation {
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedules `fn` at absolute simulated time `t` (must be >= now()).
+  /// A past `t` is clamped to now(): the event still fires, but the misuse
+  /// is counted (clamped_past_events()) and logged so it cannot pass
+  /// silently in release builds.
   EventId at(SimTime t, std::function<void()> fn) {
-    assert(t >= now_ && "cannot schedule an event in the past");
-    return queue_.push(t < now_ ? now_ : t, std::move(fn));
+    if (t < now_) {
+      ++clamped_past_events_;
+      log_warn(now_, "sim",
+               "at(" + std::to_string(t) +
+                   ") is in the past; clamped to now (event " +
+                   std::to_string(clamped_past_events_) + " clamped)");
+      t = now_;
+    }
+    return queue_.push(t, std::move(fn));
   }
 
   /// Schedules `fn` after `delay` seconds (must be >= 0).
@@ -79,6 +90,12 @@ class Simulation {
   /// Total events processed since construction.
   [[nodiscard]] std::size_t events_processed() const { return processed_; }
 
+  /// How many at() calls asked for a past time and were clamped to now().
+  /// Non-zero means a component computes target times incorrectly.
+  [[nodiscard]] std::uint64_t clamped_past_events() const {
+    return clamped_past_events_;
+  }
+
   /// True while inside run()/run_until().
   [[nodiscard]] bool running() const { return running_; }
 
@@ -91,6 +108,7 @@ class Simulation {
   Rng rng_;
   SimTime now_ = 0;
   std::size_t processed_ = 0;
+  std::uint64_t clamped_past_events_ = 0;
   bool stop_requested_ = false;
   bool running_ = false;
 };

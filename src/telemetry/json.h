@@ -1,0 +1,68 @@
+// Minimal deterministic JSON formatting helpers for the telemetry exporters.
+//
+// Determinism matters more than speed here: two runs of the same simulation
+// with the same seed must produce byte-identical trace and report files, so
+// every number goes through one fixed printf format and every string through
+// one escaper.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace hybridmr::telemetry {
+
+/// Formats a double with enough digits to round-trip, "null" for non-finite.
+inline std::string json_num(double v) {
+  if (!std::isfinite(v)) return "null";
+  // Integers print without a trailing ".0" so counters look like counts.
+  if (v == static_cast<long long>(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+/// Escapes a string for embedding inside JSON double quotes.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// `"name"` with escaping and quotes.
+inline std::string json_str(const std::string& s) {
+  return "\"" + json_escape(s) + "\"";
+}
+
+}  // namespace hybridmr::telemetry

@@ -1,0 +1,21 @@
+// Telemetry hub: the single handle wired through the scheduler stack.
+//
+// One Hub per run pairs the metrics registry with the structured trace
+// recorder. harness::TestBed owns one and hands a pointer to every
+// subsystem (cluster, engine, DRM, IPS, apps, ...); a null hub simply means
+// "telemetry off" — every instrumentation site guards with `if (tel_)`.
+#pragma once
+
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+#include "telemetry/report.h"
+#include "telemetry/trace.h"
+
+namespace hybridmr::telemetry {
+
+struct Hub {
+  Registry registry;
+  TraceRecorder trace;
+};
+
+}  // namespace hybridmr::telemetry
