@@ -1,0 +1,30 @@
+#include "audit/invariants.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hybridmr::audit {
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void fail(const char* component, const char* invariant, double sim_time,
+          const std::vector<Detail>& details) {
+  std::fprintf(stderr, "=== HYBRIDMR AUDIT VIOLATION ===\n");
+  std::fprintf(stderr, "component: %s\n", component);
+  std::fprintf(stderr, "invariant: %s\n", invariant);
+  if (sim_time >= 0) {
+    std::fprintf(stderr, "sim_time:  %.9f\n", sim_time);
+  }
+  for (const auto& [key, value] : details) {
+    std::fprintf(stderr, "  %s: %s\n", key.c_str(), value.c_str());
+  }
+  std::fprintf(stderr, "================================\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace hybridmr::audit

@@ -4,7 +4,9 @@
 #include <cassert>
 #include <cmath>
 #include <numeric>
+#include <utility>
 
+#include "audit/invariants.h"
 #include "telemetry/telemetry.h"
 
 namespace hybridmr::cluster {
@@ -309,7 +311,12 @@ void Machine::reschedule(const WorkloadPtr& workload) {
     if (!w || w->done()) return;
     w->finish(sim_.now());
     if (w->site() != nullptr) w->site()->remove(w.get());
-    if (w->on_complete) w->on_complete();
+    // Move the callback out before invoking: a completed workload must not
+    // keep its completion closure (and the flow state / shared_ptrs it
+    // captures) alive, or HDFS flows form reference cycles that leak.
+    auto fire = std::move(w->on_complete);
+    w->on_complete = nullptr;
+    if (fire) fire();
   });
 }
 
@@ -371,6 +378,28 @@ void Machine::recompute() {
       0.3 * std::max(utilization(ResourceKind::kDisk),
                      utilization(ResourceKind::kNet));
   const double watts = powered_ ? power_model_.watts(blended) : 0.0;
+  for (int r = 0; r < kNumResources; ++r) {
+    const auto kind = static_cast<ResourceKind>(r);
+    // Conservation: water-filling may never hand out more of a resource
+    // than the machine physically has (tolerance for fp accumulation).
+    HYBRIDMR_AUDIT_CHECK(
+        allocated_total_[kind] <= capacity_[kind] + 1e-6 ||
+            allocated_total_[kind] <= capacity_[kind] * (1.0 + 1e-9),
+        "cluster.machine", "shares_within_capacity", now,
+        {{"machine", name()},
+         {"resource", cluster::to_string(kind)},
+         {"allocated", audit::num(allocated_total_[kind])},
+         {"capacity", audit::num(capacity_[kind])}});
+  }
+  HYBRIDMR_AUDIT_CHECK(
+      powered_ ? (watts >= power_model_.idle_watts - 1e-9 &&
+                  watts <= power_model_.peak_watts + 1e-9)
+               : watts <= 0.0,
+      "cluster.machine", "power_within_model_bounds", now,
+      {{"machine", name()},
+       {"watts", audit::num(watts)},
+       {"idle_watts", audit::num(power_model_.idle_watts)},
+       {"peak_watts", audit::num(power_model_.peak_watts)}});
   energy_.record(now, watts);
   if (tel_cpu_ != nullptr) {
     tel_cpu_->sample(now, utilization(ResourceKind::kCpu));

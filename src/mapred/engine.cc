@@ -4,6 +4,7 @@
 #include <cassert>
 #include <memory>
 
+#include "audit/invariants.h"
 #include "sim/log.h"
 #include "telemetry/telemetry.h"
 
@@ -235,7 +236,69 @@ void MapReduceEngine::attempt_finished(TaskAttempt& attempt) {
       if (job.on_complete) job.on_complete(job);
     }
   }
+  audit_verify_job(job);
   dispatch();
+}
+
+void MapReduceEngine::audit_verify_job(const Job& job) const {
+#if defined(HYBRIDMR_AUDIT_ENABLED)
+  const double now = sim_.now();
+  int maps_completed = 0;
+  int reduces_completed = 0;
+  for (TaskType type : {TaskType::kMap, TaskType::kReduce}) {
+    const auto& tasks = type == TaskType::kMap ? job.maps() : job.reduces();
+    for (const auto& t : tasks) {
+      const auto details = [&]() {
+        return std::vector<audit::Detail>{
+            {"job", job.spec().name},
+            {"task_type", type == TaskType::kMap ? "map" : "reduce"},
+            {"task", audit::num(t->index())},
+            {"completed", t->completed() ? "true" : "false"},
+            {"running_attempts", audit::num(t->running_count())}};
+      };
+      // Exactly one state: pending, running or completed. A completed task
+      // must have no live attempts (the winner kills its siblings), and a
+      // live task has at most the original plus one speculative copy.
+      HYBRIDMR_AUDIT_CHECK(!t->completed() || t->running_count() == 0,
+                           "mapred.engine", "task_state_exclusive", now,
+                           details());
+      HYBRIDMR_AUDIT_CHECK(t->running_count() <= 2, "mapred.engine",
+                           "task_state_exclusive", now, details());
+      if (t->completed()) {
+        (type == TaskType::kMap ? maps_completed : reduces_completed)++;
+      }
+    }
+  }
+  // Conservation: the phase counters match the per-task completion flags,
+  // so no completion is double-counted or lost through the shuffle.
+  HYBRIDMR_AUDIT_CHECK(
+      maps_completed == job.maps_done() &&
+          reduces_completed == job.reduces_done(),
+      "mapred.engine", "completion_counts_conserved", now,
+      {{"job", job.spec().name},
+       {"maps_done", audit::num(job.maps_done())},
+       {"maps_completed", audit::num(maps_completed)},
+       {"reduces_done", audit::num(job.reduces_done())},
+       {"reduces_completed", audit::num(reduces_completed)}});
+  HYBRIDMR_AUDIT_CHECK(
+      job.state() != JobState::kReducing ||
+          job.maps_done() == static_cast<int>(job.maps().size()),
+      "mapred.engine", "completion_counts_conserved", now,
+      {{"job", job.spec().name},
+       {"state", to_string(job.state())},
+       {"maps_done", audit::num(job.maps_done())},
+       {"maps", audit::num(static_cast<double>(job.maps().size()))}});
+  HYBRIDMR_AUDIT_CHECK(
+      (job.state() == JobState::kDone) ==
+          (job.reduces_done() == static_cast<int>(job.reduces().size())),
+      "mapred.engine", "completion_counts_conserved", now,
+      {{"job", job.spec().name},
+       {"state", to_string(job.state())},
+       {"reduces_done", audit::num(job.reduces_done())},
+       {"reduces", audit::num(static_cast<double>(job.reduces().size()))}});
+#else
+  (void)job;
+#endif
 }
 
 TaskTracker* MapReduceEngine::tracker_with_free_slot(
@@ -266,14 +329,20 @@ TaskTracker* MapReduceEngine::tracker_with_free_slot(
 void MapReduceEngine::maybe_start_speculation_monitor() {
   if (!options_.speculative_execution || speculation_monitor_running_) return;
   speculation_monitor_running_ = true;
+  // The ticker holds itself only weakly; the pending event owns the strong
+  // reference, so the monitor is destroyed when it stops rescheduling (or
+  // when the queue is torn down) instead of leaking in a self-cycle.
   auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, tick]() {
+  std::weak_ptr<std::function<void()>> weak_tick = tick;
+  *tick = [this, weak_tick]() {
     if (active_jobs_ == 0) {
       speculation_monitor_running_ = false;
       return;
     }
     speculation_scan();
-    sim_.after(options_.speculation_interval_s, [tick]() { (*tick)(); });
+    if (auto self = weak_tick.lock()) {
+      sim_.after(options_.speculation_interval_s, [self]() { (*self)(); });
+    }
   };
   sim_.after(options_.speculation_interval_s, [tick]() { (*tick)(); });
 }

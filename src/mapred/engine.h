@@ -118,6 +118,9 @@ class MapReduceEngine {
  private:
   void maybe_start_speculation_monitor();
   void speculation_scan();
+  /// Audit checkpoint (no-op unless HYBRIDMR_AUDIT): task-state exclusivity
+  /// and map/reduce completion-count conservation for one job.
+  void audit_verify_job(const Job& job) const;
   TaskTracker* tracker_with_free_slot(TaskType type,
                                       const TaskTracker* exclude,
                                       const Task& task) const;

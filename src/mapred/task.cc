@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "audit/invariants.h"
 #include "mapred/engine.h"
 #include "mapred/job.h"
 #include "mapred/tracker.h"
@@ -222,6 +223,20 @@ void TaskAttempt::begin_shuffle(double total_mb) {
       it->second += per_map;
     }
   }
+#if defined(HYBRIDMR_AUDIT_ENABLED)
+  // Conservation through the shuffle: partitioning the reducer's input by
+  // source site must neither create nor lose bytes.
+  double queued_mb = 0;
+  for (const auto& [src, mb] : shuffle_queue_) queued_mb += mb;
+  HYBRIDMR_AUDIT_CHECK(
+      std::abs(queued_mb - (maps.empty() ? 0.0 : total_mb)) <=
+          1e-6 * std::max(1.0, total_mb),
+      "mapred.task", "shuffle_mb_conserved", engine_->sim().now(),
+      {{"attempt", label()},
+       {"total_mb", audit::num(total_mb)},
+       {"queued_mb", audit::num(queued_mb)},
+       {"sources", audit::num(static_cast<double>(shuffle_queue_.size()))}});
+#endif
   if (shuffle_queue_.empty()) {
     phase_finished();
     return;

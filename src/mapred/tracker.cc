@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "audit/invariants.h"
 #include "mapred/engine.h"
 #include "mapred/job.h"
 
@@ -26,6 +27,39 @@ cluster::Resources TaskTracker::static_slot_share(TaskType /*type*/) const {
   return caps;
 }
 
+void TaskTracker::audit_verify_slots() const {
+#if defined(HYBRIDMR_AUDIT_ENABLED)
+  const double now = engine_->sim().now();
+  const auto details = [&]() {
+    return std::vector<audit::Detail>{
+        {"site", site_->name()},
+        {"running_maps", audit::num(running_maps_)},
+        {"map_slots", audit::num(map_slots_)},
+        {"running_reduces", audit::num(running_reduces_)},
+        {"reduce_slots", audit::num(reduce_slots_)},
+        {"running_list", audit::num(static_cast<double>(running_.size()))}};
+  };
+  HYBRIDMR_AUDIT_CHECK(
+      running_maps_ >= 0 && running_maps_ <= map_slots_ &&
+          running_reduces_ >= 0 && running_reduces_ <= reduce_slots_,
+      "mapred.tracker", "slot_conservation", now, details());
+  HYBRIDMR_AUDIT_CHECK(
+      static_cast<int>(running_.size()) == running_maps_ + running_reduces_,
+      "mapred.tracker", "slot_conservation", now, details());
+  // Every listed attempt is genuinely running here, and appears once.
+  for (std::size_t i = 0; i < running_.size(); ++i) {
+    HYBRIDMR_AUDIT_CHECK(running_[i]->running() &&
+                             &running_[i]->tracker() == this,
+                         "mapred.tracker", "slot_conservation", now,
+                         details());
+    HYBRIDMR_AUDIT_CHECK(std::find(running_.begin() + i + 1, running_.end(),
+                                   running_[i]) == running_.end(),
+                         "mapred.tracker", "slot_conservation", now,
+                         details());
+  }
+#endif
+}
+
 TaskAttempt* TaskTracker::launch(Task& task) {
   assert(free_slots(task.type()) > 0 && "no free slot");
   auto attempt = std::make_unique<TaskAttempt>(task, *this, *engine_);
@@ -42,6 +76,7 @@ TaskAttempt* TaskTracker::launch(Task& task) {
   }
   raw->start();
   engine_->note_task_started(*raw);
+  audit_verify_slots();
   return raw;
 }
 
@@ -55,6 +90,7 @@ void TaskTracker::release(TaskAttempt* attempt) {
   } else {
     --running_reduces_;
   }
+  audit_verify_slots();
 }
 
 }  // namespace hybridmr::mapred

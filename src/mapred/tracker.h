@@ -40,6 +40,10 @@ class TaskTracker {
   /// Bookkeeping when an attempt finishes or is killed.
   void release(TaskAttempt* attempt);
 
+  /// Audit checkpoint (no-op unless HYBRIDMR_AUDIT): per-type running
+  /// counts stay within [0, slots] and sum to the running list's size.
+  void audit_verify_slots() const;
+
  private:
   MapReduceEngine* engine_;
   cluster::ExecutionSite* site_;

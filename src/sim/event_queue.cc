@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "audit/invariants.h"
+
 namespace hybridmr::sim {
 
 EventId EventQueue::push(SimTime time, std::function<void()> fn) {
@@ -22,14 +24,27 @@ void EventQueue::skim() {
   }
 }
 
+void EventQueue::audit_no_orphans() const {
+  // The heap always holds a superset of the live handlers (cancellation
+  // erases the handler and leaves the heap item to be skimmed). After a
+  // skim, an empty heap with handlers remaining means those handlers can
+  // never fire — their captures would be leaked silently.
+  HYBRIDMR_AUDIT_CHECK(
+      !heap_.empty() || handlers_.empty(), "sim.event_queue",
+      "no_orphaned_handlers", -1,
+      {{"live_handlers", audit::num(static_cast<double>(handlers_.size()))}});
+}
+
 std::optional<SimTime> EventQueue::next_time() {
   skim();
+  audit_no_orphans();
   if (heap_.empty()) return std::nullopt;
   return heap_.top().time;
 }
 
 std::optional<EventQueue::Entry> EventQueue::pop() {
   skim();
+  audit_no_orphans();
   if (heap_.empty()) return std::nullopt;
   const HeapItem item = heap_.top();
   heap_.pop();
@@ -37,6 +52,13 @@ std::optional<EventQueue::Entry> EventQueue::pop() {
   Entry entry{item.time, EventId{item.id}, std::move(it->second)};
   handlers_.erase(it);
   return entry;
+}
+
+std::size_t EventQueue::clear() {
+  const std::size_t dropped = handlers_.size();
+  handlers_.clear();
+  while (!heap_.empty()) heap_.pop();
+  return dropped;
 }
 
 }  // namespace hybridmr::sim

@@ -18,6 +18,17 @@ namespace hybridmr::sim {
 /// Simulated time, in seconds since the start of the simulation.
 using SimTime = double;
 
+/// The one sanctioned exact-equality comparison for SimTime values.
+///
+/// SimTime is a double; raw `==`/`!=` on it is a determinism hazard the
+/// custom linter (scripts/lint_sim.py, rule simtime-eq) rejects. Exact
+/// comparison is legitimate only where both operands came from the same
+/// computation (e.g. an event timestamp handed back by the queue); route
+/// those cases through this helper so they are visibly intentional.
+constexpr bool same_time(SimTime a, SimTime b) {
+  return a == b;  // sim-lint: allow(simtime-eq)
+}
+
 /// Opaque handle for a scheduled event. Default-constructed ids are invalid.
 struct EventId {
   std::uint64_t value = 0;
@@ -57,6 +68,11 @@ class EventQueue {
   /// Removes and returns the earliest live event. Empty queue -> nullopt.
   std::optional<Entry> pop();
 
+  /// Drops every pending event (handlers are destroyed, nothing fires).
+  /// Returns how many live events were discarded. This is the teardown
+  /// path Simulation::shutdown() uses to release callback captures.
+  std::size_t clear();
+
  private:
   struct HeapItem {
     SimTime time;
@@ -65,13 +81,20 @@ class EventQueue {
   };
   struct Later {
     bool operator()(const HeapItem& a, const HeapItem& b) const {
-      if (a.time != b.time) return a.time > b.time;
+      // Ordered comparisons only: exact ==/!= on SimTime doubles is a
+      // lint violation (see sim::same_time).
+      if (a.time > b.time) return true;
+      if (b.time > a.time) return false;
       return a.seq > b.seq;
     }
   };
 
   // Drops cancelled items from the heap head.
   void skim();
+
+  // Audit checkpoint: every live handler must have a heap item (an
+  // orphaned handler could never fire and would leak its captures).
+  void audit_no_orphans() const;
 
   std::priority_queue<HeapItem, std::vector<HeapItem>, Later> heap_;
   std::unordered_map<std::uint64_t, std::function<void()>> handlers_;

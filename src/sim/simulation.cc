@@ -9,14 +9,20 @@ PeriodicHandle Simulation::every(SimTime period, std::function<void()> fn,
                                  SimTime initial_delay) {
   assert(period > 0 && "period must be positive");
   auto alive = std::make_shared<bool>(true);
-  // The ticker owns its state; each firing reschedules the next unless the
-  // handle was cancelled.
+  // Each firing reschedules the next unless the handle was cancelled. The
+  // ticker closure holds only a *weak* reference to itself: the pending
+  // event owns the one strong reference, so a cancelled or drained ticker
+  // is destroyed with its queue entry instead of keeping itself (and the
+  // user callback's captures) alive in a shared_ptr cycle.
   auto tick = std::make_shared<std::function<void()>>();
-  auto shared_fn = std::make_shared<std::function<void()>>(std::move(fn));
-  *tick = [this, period, alive, tick, shared_fn]() {
+  std::weak_ptr<std::function<void()>> weak_tick = tick;
+  *tick = [this, period, alive, weak_tick, fn = std::move(fn)]() {
     if (!*alive) return;
-    (*shared_fn)();
-    if (*alive) after(period, [tick]() { (*tick)(); });
+    fn();
+    if (!*alive) return;
+    if (auto self = weak_tick.lock()) {
+      after(period, [self]() { (*self)(); });
+    }
   };
   after(initial_delay >= 0 ? initial_delay : period, [tick]() { (*tick)(); });
   return PeriodicHandle(alive);
@@ -25,6 +31,12 @@ PeriodicHandle Simulation::every(SimTime period, std::function<void()> fn,
 bool Simulation::dispatch_one() {
   auto entry = queue_.pop();
   if (!entry) return false;
+  // The virtual clock only moves forward: at() clamps (or aborts, under
+  // audit) past target times, and the queue pops in time order.
+  HYBRIDMR_AUDIT_CHECK(entry->time >= now_, "sim.simulation",
+                       "monotonic_time", now_,
+                       {{"event_time", audit::num(entry->time)},
+                        {"now", audit::num(now_)}});
   now_ = entry->time;
   entry->fn();
   ++processed_;

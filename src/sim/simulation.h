@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 
+#include "audit/invariants.h"
 #include "sim/event_queue.h"
 #include "sim/log.h"
 #include "sim/rng.h"
@@ -50,9 +51,14 @@ class Simulation {
   /// Schedules `fn` at absolute simulated time `t` (must be >= now()).
   /// A past `t` is clamped to now(): the event still fires, but the misuse
   /// is counted (clamped_past_events()) and logged so it cannot pass
-  /// silently in release builds.
+  /// silently in release builds. Under HYBRIDMR_AUDIT a past `t` is a hard
+  /// violation: a component computing target times incorrectly corrupts
+  /// event ordering, so the audit build aborts instead of papering over it.
   EventId at(SimTime t, std::function<void()> fn) {
     if (t < now_) {
+      HYBRIDMR_AUDIT_CHECK(false, "sim.simulation", "no_past_scheduling",
+                           now_, {{"requested_t", audit::num(t)},
+                                  {"now", audit::num(now_)}});
       ++clamped_past_events_;
       log_warn(now_, "sim",
                "at(" + std::to_string(t) +
@@ -86,6 +92,20 @@ class Simulation {
 
   /// Requests that run()/run_until() return after the current event.
   void stop() { stop_requested_ = true; }
+
+  /// Discards every pending event without firing it, destroying the
+  /// handlers (and the captures they own). Call at teardown when a run is
+  /// abandoned mid-flight — e.g. interactive tickers or in-flight HDFS
+  /// flows still have events queued — so no callback state outlives the
+  /// simulation. Returns the number of events discarded. Must not be
+  /// called from inside a running event.
+  std::size_t shutdown() {
+    assert(!running_ && "shutdown() inside run() — use stop() first");
+    return queue_.clear();
+  }
+
+  /// Live events still pending in the queue.
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
   /// Total events processed since construction.
   [[nodiscard]] std::size_t events_processed() const { return processed_; }

@@ -55,16 +55,22 @@ DfsIoResult DfsIoBenchmark::run_read(
         hdfs_.stage_file("dfsio-" + std::to_string(i), file_mb);
     (*clocks)[i].start = sim_.now();
     // Read the file block by block, sequentially, like a TestDFSIO mapper.
+    // The chain closure references itself only weakly; each in-flight
+    // read's completion callback carries the one strong reference, so the
+    // chain is released when the last block lands (no shared_ptr cycle).
     auto next = std::make_shared<std::function<void(int)>>();
     const int blocks = hdfs_.num_blocks(file);
     cluster::ExecutionSite* site = sites[i];
-    *next = [this, clocks, i, file, blocks, site, next](int block) {
+    std::weak_ptr<std::function<void(int)>> weak_next = next;
+    *next = [this, clocks, i, file, blocks, site, weak_next](int block) {
       if (block >= blocks) {
         (*clocks)[i].end = sim_.now();
         return;
       }
+      auto self = weak_next.lock();
+      if (!self) return;
       hdfs_.read_block(file, block, *site,
-                       [next, block]() { (*next)(block + 1); });
+                       [self, block]() { (*self)(block + 1); });
     };
     (*next)(0);
   }

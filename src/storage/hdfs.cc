@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "audit/invariants.h"
+
 namespace hybridmr::storage {
 
 using cluster::ExecutionSite;
@@ -26,6 +28,44 @@ DataNode* Hdfs::datanode_on(const ExecutionSite* site) const {
     if (dn->site() == site) return dn.get();
   }
   return nullptr;
+}
+
+void Hdfs::audit_verify_placement() const {
+#if defined(HYBRIDMR_AUDIT_ENABLED)
+  for (std::size_t f = 0; f < files_.size(); ++f) {
+    const File& file = files_[f];
+    for (std::size_t b = 0; b < file.block_replicas.size(); ++b) {
+      const auto& reps = file.block_replicas[b];
+      const auto detail = [&](const char* what) {
+        return std::vector<audit::Detail>{
+            {"file", file.name},
+            {"block", audit::num(static_cast<double>(b))},
+            {"replicas", audit::num(static_cast<double>(reps.size()))},
+            {"datanodes", audit::num(static_cast<double>(datanodes_.size()))},
+            {"problem", what}};
+      };
+      HYBRIDMR_AUDIT_CHECK(!reps.empty(), "storage.hdfs",
+                           "replicas_match_placement", -1,
+                           detail("block has no replicas"));
+      HYBRIDMR_AUDIT_CHECK(reps.size() <= datanodes_.size(), "storage.hdfs",
+                           "replicas_match_placement", -1,
+                           detail("more replicas than datanodes"));
+      for (std::size_t i = 0; i < reps.size(); ++i) {
+        const bool live =
+            std::any_of(datanodes_.begin(), datanodes_.end(),
+                        [&](const auto& dn) { return dn.get() == reps[i]; });
+        HYBRIDMR_AUDIT_CHECK(live, "storage.hdfs",
+                             "replicas_match_placement", -1,
+                             detail("replica points at unregistered node"));
+        const bool dup = std::find(reps.begin() + i + 1, reps.end(),
+                                   reps[i]) != reps.end();
+        HYBRIDMR_AUDIT_CHECK(!dup, "storage.hdfs",
+                             "replicas_match_placement", -1,
+                             detail("duplicate replica for block"));
+      }
+    }
+  }
+#endif
 }
 
 bool Hdfs::remove_datanode(ExecutionSite& site) {
@@ -75,6 +115,7 @@ bool Hdfs::remove_datanode(ExecutionSite& site) {
     }
   }
   datanodes_.erase(it);
+  audit_verify_placement();
   return true;
 }
 
@@ -113,6 +154,7 @@ Hdfs::FileId Hdfs::stage_file(const std::string& name, double size_mb,
     file.block_replicas.push_back(std::move(reps));
   }
   files_.push_back(std::move(file));
+  audit_verify_placement();
   return files_.size() - 1;
 }
 
@@ -152,31 +194,33 @@ Locality Hdfs::locality_of(FileId file, int block,
 void FlowHandle::cancel() {
   if (!state_ || state_->finished) return;
   state_->finished = true;
-  if (state_->primary && state_->primary->site() != nullptr) {
-    state_->primary->on_complete = nullptr;
-    state_->primary->site()->remove(state_->primary.get());
+  if (auto primary = state_->primary.lock()) {
+    primary->on_complete = nullptr;
+    if (primary->site() != nullptr) primary->site()->remove(primary.get());
   }
   for (auto& [site, w] : state_->secondaries) {
     if (w->site() != nullptr) site->remove(w.get());
   }
+  state_->secondaries.clear();
 }
 
 double FlowHandle::progress() const {
-  if (!state_ || state_->finished || !state_->primary) return 1.0;
-  return state_->primary->progress();
+  if (!state_ || state_->finished) return 1.0;
+  const auto primary = state_->primary.lock();
+  return primary ? primary->progress() : 1.0;
 }
 
 bool FlowHandle::active() const { return state_ && !state_->finished; }
 
 void FlowHandle::set_paused(bool paused) {
   if (!state_ || state_->finished) return;
-  if (state_->primary) state_->primary->set_paused(paused);
+  if (auto primary = state_->primary.lock()) primary->set_paused(paused);
   for (auto& [site, w] : state_->secondaries) w->set_paused(paused);
 }
 
 void FlowHandle::set_caps(const cluster::Resources& caps) {
   if (!state_ || state_->finished) return;
-  if (state_->primary) state_->primary->set_caps(caps);
+  if (auto primary = state_->primary.lock()) primary->set_caps(caps);
 }
 
 FlowHandle Hdfs::run_flow(ExecutionSite& primary_site, WorkloadPtr primary,
@@ -184,6 +228,10 @@ FlowHandle Hdfs::run_flow(ExecutionSite& primary_site, WorkloadPtr primary,
                               secondaries,
                           DoneFn done) {
   auto state = std::make_shared<FlowHandle::State>();
+  // The state holds the primary weakly; the primary's completion callback
+  // holds the state strongly. The hosting site owns the primary, so the
+  // whole structure is released on completion, cancellation or teardown
+  // (Machine::reschedule clears on_complete after firing it).
   state->primary = primary;
   state->secondaries = std::move(secondaries);
   primary->on_complete = [state, done = std::move(done)]() {
@@ -192,6 +240,7 @@ FlowHandle Hdfs::run_flow(ExecutionSite& primary_site, WorkloadPtr primary,
     for (auto& [site, w] : state->secondaries) {
       if (w->site() != nullptr) site->remove(w.get());
     }
+    state->secondaries.clear();
     if (done) done();
   };
   for (auto& [site, w] : state->secondaries) site->add(w);

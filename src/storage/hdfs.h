@@ -42,6 +42,13 @@ enum class Locality { kNodeLocal, kHostLocal, kRemote };
 ///
 /// Flows can be cancelled (speculative-execution losers, IPS aborts) and
 /// report transfer progress for straggler detection.
+///
+/// Ownership: the flow state references its pacing workload only weakly.
+/// While the flow is in flight the chain site -> primary workload ->
+/// on_complete -> state keeps the state alive (handles may be discarded
+/// freely); on completion, cancellation or site teardown that chain is
+/// released, so no shared_ptr cycle survives — LeakSanitizer runs clean
+/// over abandoned mid-flight runs.
 class FlowHandle {
  public:
   FlowHandle() = default;
@@ -62,13 +69,14 @@ class FlowHandle {
 
   /// The pacing workload (nullptr once finished); for resource profiling.
   [[nodiscard]] const cluster::Workload* primary() const {
-    return state_ && !state_->finished ? state_->primary.get() : nullptr;
+    if (!state_ || state_->finished) return nullptr;
+    return state_->primary.lock().get();
   }
 
  private:
   friend class Hdfs;
   struct State {
-    cluster::WorkloadPtr primary;
+    std::weak_ptr<cluster::Workload> primary;
     std::vector<std::pair<cluster::ExecutionSite*, cluster::WorkloadPtr>>
         secondaries;
     bool finished = false;
@@ -175,6 +183,11 @@ class Hdfs {
   /// blocks of nominal size `block_size`.
   [[nodiscard]] static double block_mb_of(double size_mb, int block,
                                           int blocks, double block_size);
+
+  /// Audit checkpoint (no-op unless HYBRIDMR_AUDIT): every block's replica
+  /// list is non-empty, duplicate-free, within the datanode count, and
+  /// points only at registered datanodes.
+  void audit_verify_placement() const;
 
   sim::Simulation& sim_;
   const cluster::Calibration& cal_;

@@ -1,0 +1,137 @@
+// EventQueue cancellation edge cases: lifetimes and cancellation races that
+// the happy-path tests in sim_test.cc do not reach. These pin down the
+// lazy-cancellation contract (cancel never restructures the heap, handlers
+// die exactly once) that the leak-clean teardown work relies on.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/simulation.h"
+
+namespace hybridmr::sim {
+namespace {
+
+TEST(EventQueueEdge, CancelAfterFireReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.push(1.0, [] {});
+  auto e = q.pop();
+  ASSERT_TRUE(e.has_value());
+  e->fn();
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueEdge, DoubleCancelSecondIsNoOp) {
+  EventQueue q;
+  const EventId id = q.push(1.0, [] {});
+  q.push(2.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_EQ(q.size(), 1u);
+  // The cancelled heap entry must not resurface as a fireable event.
+  auto e = q.pop();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_DOUBLE_EQ(e->time, 2.0);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(EventQueueEdge, CancelOtherEventFromPoppedCallback) {
+  EventQueue q;
+  bool second_fired = false;
+  EventId second;
+  q.push(1.0, [&] { EXPECT_TRUE(q.cancel(second)); });
+  second = q.push(2.0, [&] { second_fired = true; });
+  while (auto e = q.pop()) e->fn();
+  EXPECT_FALSE(second_fired);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueEdge, CancelOwnIdDuringCallbackReturnsFalse) {
+  // Once popped, an event has fired from the queue's perspective; its own
+  // callback cancelling itself must be a harmless no-op.
+  EventQueue q;
+  EventId self;
+  bool saw_false = false;
+  self = q.push(1.0, [&] { saw_false = !q.cancel(self); });
+  while (auto e = q.pop()) e->fn();
+  EXPECT_TRUE(saw_false);
+}
+
+TEST(EventQueueEdge, HandlerDestroyedOnCancel) {
+  EventQueue q;
+  auto sentinel = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = sentinel;
+  const EventId id = q.push(1.0, [sentinel] {});
+  sentinel.reset();
+  EXPECT_FALSE(watch.expired());
+  EXPECT_TRUE(q.cancel(id));
+  // Lazy cancellation may keep the heap entry, but the handler (and the
+  // captures it owns) must die immediately.
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(EventQueueEdge, HandlersDestroyedOnQueueDestruction) {
+  auto sentinel = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = sentinel;
+  {
+    EventQueue q;
+    q.push(1.0, [sentinel] {});
+    q.push(2.0, [sentinel] {});
+    sentinel.reset();
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(EventQueueEdge, ClearDropsEverythingWithoutFiring) {
+  EventQueue q;
+  int fired = 0;
+  auto sentinel = std::make_shared<int>(0);
+  std::weak_ptr<int> watch = sentinel;
+  q.push(1.0, [&fired, sentinel] { ++fired; });
+  q.push(2.0, [&fired, sentinel] { ++fired; });
+  const EventId cancelled = q.push(3.0, [&fired] { ++fired; });
+  q.cancel(cancelled);
+  sentinel.reset();
+  EXPECT_EQ(q.clear(), 2u);  // live events only, cancelled one not counted
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(watch.expired());
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.pop().has_value());
+  // The queue stays usable after clear().
+  q.push(4.0, [&fired] { ++fired; });
+  while (auto e = q.pop()) e->fn();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueEdge, NextTimeAllCancelledIsEmpty) {
+  EventQueue q;
+  const EventId a = q.push(1.0, [] {});
+  const EventId b = q.push(2.0, [] {});
+  q.cancel(a);
+  q.cancel(b);
+  EXPECT_FALSE(q.next_time().has_value());
+  EXPECT_TRUE(q.empty());
+}
+
+// Simulation-level: cancelling a later event from inside a dispatched
+// callback (the common "completion cancels the timeout" pattern).
+TEST(SimulationEdge, CancelFromRunningCallback) {
+  Simulation sim;
+  std::vector<int> order;
+  EventId doomed;
+  sim.at(1.0, [&] {
+    order.push_back(1);
+    EXPECT_TRUE(sim.cancel(doomed));
+  });
+  doomed = sim.at(2.0, [&] { order.push_back(2); });
+  sim.at(3.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+}  // namespace
+}  // namespace hybridmr::sim
