@@ -70,11 +70,64 @@ void BM_MachineRecompute(benchmark::State& state) {
             "w" + std::to_string(i), d, cluster::Workload::kService));
   }
   for (auto _ : state) {
-    machine->recompute();
+    // Benchmarking the recompute pass itself; the sanctioned entry points
+    // (invalidate/ensure_clean) are covered by BM_RecomputeBurst.
+    machine->recompute();  // sim-lint: allow(eager-recompute)
   }
   state.SetItemsProcessed(state.iterations() * workloads);
 }
 BENCHMARK(BM_MachineRecompute)->Arg(4)->Arg(16)->Arg(64);
+
+// A k-mutation burst at one simulated instant — the placement-burst /
+// DRM-epoch pattern. Deferred reallocation coalesces the burst into one
+// recompute per machine at the drain; eager mode (the pre-coalescing
+// behavior) recomputes per mutation. The ratio of the two is the headline
+// number scripts/perf_gate.py gates on, because it is hardware-independent.
+template <bool kEager>
+void BM_RecomputeBurst(benchmark::State& state) {
+  const int burst = static_cast<int>(state.range(0));
+  sim::Simulation sim;
+  cluster::HybridCluster hc(sim);
+  hc.set_eager_reallocation(kEager);
+  auto* machine = hc.add_machine();
+  auto* vm1 = hc.add_vm(*machine);
+  auto* vm2 = hc.add_vm(*machine);
+  std::vector<std::shared_ptr<cluster::Workload>> workloads;
+  for (int i = 0; i < burst; ++i) {
+    cluster::Resources d;
+    d.cpu = 0.3;
+    d.disk = 10;
+    d.memory = 100;
+    auto w = std::make_shared<cluster::Workload>(
+        "w" + std::to_string(i), d, cluster::Workload::kService);
+    (i % 2 == 0 ? vm1 : vm2)->add(w);
+    workloads.push_back(std::move(w));
+  }
+  cluster::Resources caps;
+  for (auto _ : state) {
+    // One burst: every workload's caps change at the same instant...
+    for (int i = 0; i < burst; ++i) {
+      caps = cluster::Resources::unbounded();
+      caps.cpu = 0.1 + 0.01 * ((static_cast<int>(state.iterations()) + i) % 7);
+      workloads[static_cast<std::size_t>(i)]->set_caps(caps);
+    }
+    // ...then the event boundary drains the dirty set (no-op when eager).
+    sim.flush();
+    benchmark::DoNotOptimize(machine->utilization(cluster::ResourceKind::kCpu));
+  }
+  state.SetItemsProcessed(state.iterations() * burst);
+  state.counters["recomputes_per_burst"] =
+      static_cast<double>(machine->recompute_count()) /
+      static_cast<double>(std::max<std::int64_t>(state.iterations(), 1));
+}
+BENCHMARK_TEMPLATE(BM_RecomputeBurst, false)
+    ->Name("BM_RecomputeBurstDeferred")
+    ->Arg(16)
+    ->Arg(64);
+BENCHMARK_TEMPLATE(BM_RecomputeBurst, true)
+    ->Name("BM_RecomputeBurstEager")
+    ->Arg(16)
+    ->Arg(64);
 
 void BM_LinearRegressionFit(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

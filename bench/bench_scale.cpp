@@ -1,0 +1,144 @@
+// End-to-end scale sweep: a fig8-class heterogeneous batch (sort + grep +
+// wordcount) on a virtualized cluster, swept from the paper's 24 physical
+// machines up to 384. Reports host wall-clock per sweep point plus simulated
+// event throughput, and emits a google-benchmark-shaped JSON file that
+// scripts/perf_gate.py compares against the committed BENCH_scale.json.
+//
+// Usage: bench_scale [--sizes 24,96,384] [--seed N] [--out FILE]
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/testbed.h"
+#include "workload/benchmarks.h"
+
+namespace {
+
+using namespace hybridmr;
+
+// A benchmark harness is the one place where wall-clock time is the
+// measurand rather than a determinism hazard: nothing inside the simulation
+// ever sees these readings.
+using WallClock = std::chrono::steady_clock;  // sim-lint: allow(wall-clock)
+
+struct SweepPoint {
+  int pms = 0;
+  int jobs = 0;
+  double wall_ms = 0;
+  double sim_end_s = 0;
+  std::size_t events = 0;
+};
+
+SweepPoint run_point(int pms, std::uint64_t seed) {
+  harness::TestBed::Options opt;
+  opt.seed = seed;
+  // Telemetry off: the sweep measures the scheduling/allocation core, and
+  // both the committed baseline and the gate run use the same setting.
+  opt.telemetry = false;
+  harness::TestBed bed(opt);
+  bed.add_virtual_nodes(pms, /*vms_per_host=*/2);
+
+  // Fig. 8-class heterogeneous batch, scaled with the cluster so per-node
+  // work stays constant: one I/O-bound sort, one I/O-bound grep and one
+  // memory+I/O wordcount wave per 8 hosts.
+  std::vector<mapred::JobSpec> specs;
+  const int waves = pms / 8;
+  for (int i = 0; i < waves; ++i) {
+    specs.push_back(workload::sort_job().with_input_gb(2.0));
+    specs.push_back(workload::dist_grep().with_input_gb(4.0));
+    specs.push_back(workload::wcount().with_input_gb(2.0));
+  }
+
+  const auto t0 = WallClock::now();
+  bed.run_jobs(specs);
+  const std::chrono::duration<double, std::milli> wall = WallClock::now() - t0;
+
+  SweepPoint p;
+  p.pms = pms;
+  p.jobs = static_cast<int>(specs.size());
+  p.wall_ms = wall.count();
+  p.sim_end_s = bed.sim().now();
+  p.events = bed.sim().events_processed();
+  return p;
+}
+
+std::vector<int> parse_sizes(const char* csv) {
+  std::vector<int> out;
+  int value = 0;
+  bool have = false;
+  for (const char* c = csv;; ++c) {
+    if (*c >= '0' && *c <= '9') {
+      value = value * 10 + (*c - '0');
+      have = true;
+    } else {
+      if (have) out.push_back(value);
+      value = 0;
+      have = false;
+      if (*c == '\0') break;
+    }
+  }
+  return out;
+}
+
+void write_json(const char* path, const std::vector<SweepPoint>& points) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_scale: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    std::fprintf(f,
+                 "    {\"name\": \"scale/%d\", \"real_time\": %.3f, "
+                 "\"time_unit\": \"ms\", \"jobs\": %d, \"events\": %zu, "
+                 "\"events_per_sec\": %.1f, \"sim_end_s\": %.3f}%s\n",
+                 p.pms, p.wall_ms, p.jobs, p.events,
+                 p.wall_ms > 0 ? 1000.0 * static_cast<double>(p.events) /
+                                     p.wall_ms
+                               : 0.0,
+                 p.sim_end_s, i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("bench_scale: wrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<int> sizes{24, 96, 384};
+  std::uint64_t seed = 42;
+  const char* out = "BENCH_scale.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sizes") == 0 && i + 1 < argc) {
+      sizes = parse_sizes(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_scale [--sizes CSV] [--seed N] [--out FILE]\n");
+      return 2;
+    }
+  }
+
+  std::vector<SweepPoint> points;
+  std::printf("%6s %6s %12s %12s %14s %12s\n", "pms", "jobs", "wall_ms",
+              "sim_end_s", "events", "events/sec");
+  for (int pms : sizes) {
+    const SweepPoint p = run_point(pms, seed);
+    std::printf("%6d %6d %12.1f %12.1f %14zu %12.0f\n", p.pms, p.jobs,
+                p.wall_ms, p.sim_end_s, p.events,
+                p.wall_ms > 0
+                    ? 1000.0 * static_cast<double>(p.events) / p.wall_ms
+                    : 0.0);
+    points.push_back(p);
+  }
+  write_json(out, points);
+  return 0;
+}

@@ -14,6 +14,9 @@
 #                checkpoint compiled in and exercised by the suite
 #   determinism  two same-seed quickstart runs; telemetry artifacts must be
 #                byte-identical
+#   perf         Release bench_micro + bench_scale runs gated by
+#                scripts/perf_gate.py against the committed BENCH_micro.json
+#                / BENCH_scale.json baselines (see docs/PERFORMANCE.md)
 #
 #   $ scripts/ci.sh [build-root]        # default build root: ./build-ci
 #
@@ -133,6 +136,34 @@ else
   echo "determinism: quickstart binary missing ($qs)"
 fi
 note_stage determinism "$det_result"
+
+# --- perf: bench runs gated against the committed baselines -------------------
+# Uses the release tree built above. Micro benches run a filtered subset at a
+# short min_time; the scale sweep runs the CI-sized points (the full
+# 24/96/384 sweep is for baseline refreshes, docs/PERFORMANCE.md).
+echo "=== [perf] bench_micro + bench_scale vs committed baselines ==="
+perf_result=FAIL
+perf_dir="$root/perf"
+micro="$root/release/bench/bench_micro"
+scale="$root/release/bench/bench_scale"
+if [ -x "$micro" ] && [ -x "$scale" ]; then
+  mkdir -p "$perf_dir"
+  if "$micro" \
+        --benchmark_filter='BM_RecomputeBurst|BM_Waterfill|BM_EventQueue|BM_EventCancellation|BM_MachineRecompute|BM_EndToEndSmallJob' \
+        --benchmark_min_time=0.05 \
+        --benchmark_out="$perf_dir/micro.json" \
+        --benchmark_out_format=json > /dev/null &&
+      "$scale" --sizes 24,96 --out "$perf_dir/scale.json" &&
+      python3 "$repo/scripts/perf_gate.py" check \
+        --baseline "$repo/BENCH_micro.json" --run "$perf_dir/micro.json" &&
+      python3 "$repo/scripts/perf_gate.py" check \
+        --baseline "$repo/BENCH_scale.json" --run "$perf_dir/scale.json"; then
+    perf_result=PASS
+  fi
+else
+  echo "perf: bench binaries missing (release build failed?)"
+fi
+note_stage perf "$perf_result"
 
 # --- summary -----------------------------------------------------------------
 echo

@@ -25,6 +25,16 @@ none of which generic tooling can see (see docs/CORRECTNESS.md):
                     sanctioned sim::same_time() helper when both operands
                     come from the same computation.
 
+  eager-recompute   Direct Machine::recompute() calls outside the
+                    sanctioned drain path (machine.h/.cc, realloc.cc).
+                    Reallocation is deferred: mutations mark the machine
+                    dirty and the per-simulation ReallocCoordinator drains
+                    the dirty set once per event timestamp. Call
+                    invalidate() after a mutation, settle_now() when a
+                    test needs allocations synchronously, or read through
+                    an accessor (they self-clean via ensure_clean()).
+                    See docs/PERFORMANCE.md.
+
 Suppression: append  // sim-lint: allow(<rule>)  to the offending line
 (or the line directly above it) with a short justification nearby.
 
@@ -71,6 +81,17 @@ IDENT_RE = re.compile(r"\s*([A-Za-z_]\w*)\s*(?:=|;|\{|,|\))")
 # SimTime variable declarations (members, locals, parameters).
 SIMTIME_DECL_RE = re.compile(
     r"\b(?:sim::)?SimTime\s+(?:&\s*)?([A-Za-z_]\w*)\s*[=;,){]")
+
+# Direct recompute() calls. Only the deferred-reallocation machinery itself
+# may call recompute(); everything else goes through invalidate() /
+# ensure_clean() / settle_now() so bursts coalesce (docs/PERFORMANCE.md).
+EAGER_RECOMPUTE_RE = re.compile(r"(?:\.|->)\s*recompute\s*\(")
+EAGER_RECOMPUTE_SANCTIONED = (
+    "src/cluster/machine.h",
+    "src/cluster/machine.cc",
+    "src/cluster/realloc.h",
+    "src/cluster/realloc.cc",
+)
 
 
 def template_tail_ident(text: str, start: int) -> str | None:
@@ -146,6 +167,8 @@ def lint_file(path: Path) -> list[Finding]:
     raw_lines = path.read_text(encoding="utf-8").splitlines()
     code_lines = [strip_strings_and_comments(l) for l in raw_lines]
     findings: list[Finding] = []
+    recompute_sanctioned = str(path.as_posix()).endswith(
+        EAGER_RECOMPUTE_SANCTIONED)
 
     # Pass 1: collect per-file declarations.
     unordered_names: set[str] = set()
@@ -197,6 +220,14 @@ def lint_file(path: Path) -> list[Finding]:
                         "order-nondeterministic; iterate a vector/std::map "
                         "or sort first"))
                     break
+
+        if ("eager-recompute" not in allow and not recompute_sanctioned
+                and EAGER_RECOMPUTE_RE.search(code)):
+            findings.append(Finding(
+                path, lineno, "eager-recompute",
+                "direct recompute() outside the drain path defeats "
+                "coalescing; use invalidate()/settle_now() or read through "
+                "an accessor (see docs/PERFORMANCE.md)"))
 
         if "simtime-eq" not in allow and simtime_eq_re:
             m = simtime_eq_re.search(code)

@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Performance gate for the HybridMR benches.
+
+Compares a fresh google-benchmark-shaped JSON run (from bench_micro's
+--benchmark_out or bench_scale's --out) against a committed baseline file
+(BENCH_micro.json / BENCH_scale.json at the repo root) and fails on
+regressions beyond tolerance.
+
+The committed baseline files double as the PR's performance record: each
+entry may carry a `pre_pr_real_time` (the number measured on the same
+machine before the coalesced-reallocation work) and a `min_speedup`; the
+gate also re-asserts that the committed baseline itself still documents
+that speedup, so the record cannot silently rot when baselines are
+refreshed.
+
+Three kinds of checks, all driven by the baseline file:
+
+  absolute      For every baseline benchmark present in the fresh run:
+                fresh real_time must be <= baseline * tolerance.
+                Wall-clock comparisons are machine-sensitive, so the
+                default tolerance is generous (1.75x) — the gate exists to
+                catch algorithmic regressions (the O(k) recompute burst
+                coming back), not 10% noise.
+
+  speedup       For every baseline entry with both `pre_pr_real_time` and
+                `min_speedup`: pre_pr / baseline >= min_speedup. This is a
+                static property of the committed file (no fresh run
+                involved) and records the PR's headline numbers.
+
+  ratio_rules   Hardware-independent ratios evaluated on the FRESH run,
+                e.g. eager recompute-burst time / deferred time >= 2.0.
+                These hold on any machine, so they are the strictest part
+                of the gate.
+
+Usage:
+  perf_gate.py check  --baseline BENCH_micro.json --run fresh.json
+                      [--tolerance 1.75]
+  perf_gate.py update --baseline BENCH_micro.json --run fresh.json
+
+`update` rewrites the baseline real_time values from the fresh run while
+preserving pre_pr_real_time, min_speedup and ratio_rules, then re-runs
+`check` so a refresh that breaks the speedup record fails immediately.
+See docs/PERFORMANCE.md for the refresh workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load(path: Path) -> dict:
+    with path.open(encoding="utf-8") as f:
+        return json.load(f)
+
+
+def to_ns(entry: dict) -> float:
+    return float(entry["real_time"]) * TIME_UNIT_NS[entry.get("time_unit", "ns")]
+
+
+def by_name(doc: dict) -> dict[str, dict]:
+    out: dict[str, dict] = {}
+    for entry in doc.get("benchmarks", []):
+        # Skip google-benchmark aggregate rows (mean/median/stddev).
+        if entry.get("run_type") == "aggregate":
+            continue
+        out[entry["name"]] = entry
+    return out
+
+
+def fmt_ns(ns: float) -> str:
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.3g} {unit}"
+    return f"{ns:.3g} ns"
+
+
+def check(baseline_doc: dict, run_doc: dict, tolerance: float) -> int:
+    base = by_name(baseline_doc)
+    run = by_name(run_doc)
+    failures = 0
+    checked = 0
+
+    for name, b in base.items():
+        # -- speedup record (static property of the committed file) --------
+        pre = b.get("pre_pr_real_time")
+        min_speedup = b.get("min_speedup")
+        if pre is not None and min_speedup is not None:
+            pre_ns = float(pre) * TIME_UNIT_NS[b.get("time_unit", "ns")]
+            speedup = pre_ns / to_ns(b)
+            checked += 1
+            status = "ok" if speedup >= float(min_speedup) else "FAIL"
+            print(f"  [speedup ] {name}: pre-PR {fmt_ns(pre_ns)} / baseline "
+                  f"{fmt_ns(to_ns(b))} = {speedup:.2f}x "
+                  f"(need >= {min_speedup}x) {status}")
+            if status == "FAIL":
+                failures += 1
+
+        # -- absolute regression against the fresh run ----------------------
+        r = run.get(name)
+        if r is None:
+            continue
+        checked += 1
+        base_ns, run_ns = to_ns(b), to_ns(r)
+        limit_ns = base_ns * tolerance
+        status = "ok" if run_ns <= limit_ns else "FAIL"
+        print(f"  [absolute] {name}: run {fmt_ns(run_ns)} vs baseline "
+              f"{fmt_ns(base_ns)} (limit {fmt_ns(limit_ns)}) {status}")
+        if status == "FAIL":
+            failures += 1
+
+    for rule in baseline_doc.get("ratio_rules", []):
+        num = run.get(rule["numerator"])
+        den = run.get(rule["denominator"])
+        name = rule.get("name", f"{rule['numerator']}/{rule['denominator']}")
+        if num is None or den is None:
+            print(f"  [ratio   ] {name}: MISSING benchmark in run "
+                  f"({rule['numerator']} / {rule['denominator']})")
+            failures += 1
+            continue
+        checked += 1
+        ratio = to_ns(num) / to_ns(den)
+        status = "ok" if ratio >= float(rule["min_ratio"]) else "FAIL"
+        print(f"  [ratio   ] {name}: {rule['numerator']} / "
+              f"{rule['denominator']} = {ratio:.2f}x "
+              f"(need >= {rule['min_ratio']}x) {status}")
+        if status == "FAIL":
+            failures += 1
+
+    if checked == 0:
+        print("perf_gate: no overlapping benchmarks between baseline and run")
+        return 1
+    print(f"perf_gate: {checked} checks, {failures} failures")
+    return 1 if failures else 0
+
+
+def update(baseline_path: Path, baseline_doc: dict, run_doc: dict,
+           tolerance: float) -> int:
+    run = by_name(run_doc)
+    for entry in baseline_doc.get("benchmarks", []):
+        r = run.get(entry["name"])
+        if r is None:
+            print(f"perf_gate: update: {entry['name']} not in run, keeping "
+                  "old baseline value")
+            continue
+        run_ns = to_ns(r)
+        entry["real_time"] = run_ns / TIME_UNIT_NS[entry.get("time_unit", "ns")]
+    baseline_path.write_text(
+        json.dumps(baseline_doc, indent=2) + "\n", encoding="utf-8")
+    print(f"perf_gate: baselines in {baseline_path} refreshed from run")
+    # A refresh that breaks the recorded speedup must fail loudly.
+    return check(baseline_doc, run_doc, tolerance)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("mode", choices=["check", "update"])
+    parser.add_argument("--baseline", required=True, type=Path,
+                        help="committed baseline JSON (BENCH_*.json)")
+    parser.add_argument("--run", required=True, type=Path,
+                        help="fresh benchmark run JSON")
+    parser.add_argument("--tolerance", type=float, default=1.75,
+                        help="allowed run/baseline slowdown (default 1.75)")
+    args = parser.parse_args()
+
+    baseline_doc = load(args.baseline)
+    run_doc = load(args.run)
+    print(f"perf_gate: {args.mode} {args.run} against {args.baseline} "
+          f"(tolerance {args.tolerance}x)")
+    if args.mode == "check":
+        return check(baseline_doc, run_doc, args.tolerance)
+    return update(args.baseline, baseline_doc, run_doc, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@ Machine* HybridCluster::add_machine(const std::string& name) {
       name.empty() ? "pm" + std::to_string(machines_.size()) : name;
   machines_.push_back(
       std::make_unique<Machine>(sim_, n, cal_.pm_capacity(), cal_));
+  machines_.back()->set_coordinator(&realloc_);
   if (tel_ != nullptr) machines_.back()->set_telemetry(tel_);
   return machines_.back().get();
 }

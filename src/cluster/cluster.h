@@ -12,6 +12,7 @@
 #include "cluster/calibration.h"
 #include "cluster/machine.h"
 #include "cluster/migration.h"
+#include "cluster/realloc.h"
 #include "sim/simulation.h"
 
 namespace hybridmr::telemetry {
@@ -24,7 +25,7 @@ class HybridCluster {
  public:
   explicit HybridCluster(sim::Simulation& sim,
                          const Calibration& cal = Calibration::standard())
-      : sim_(sim), cal_(cal), migrator_(sim, cal) {}
+      : sim_(sim), cal_(cal), realloc_(sim), migrator_(sim, cal) {}
 
   HybridCluster(const HybridCluster&) = delete;
   HybridCluster& operator=(const HybridCluster&) = delete;
@@ -58,6 +59,14 @@ class HybridCluster {
   [[nodiscard]] const Calibration& calibration() const { return cal_; }
   [[nodiscard]] Migrator& migrator() { return migrator_; }
 
+  /// The cluster's deferred-reallocation coordinator (see realloc.h).
+  [[nodiscard]] ReallocCoordinator& reallocator() { return realloc_; }
+
+  /// Eager mode recomputes on every mutation instead of coalescing; kept
+  /// for the determinism-equivalence test (both modes must produce
+  /// byte-identical reports for the same seed).
+  void set_eager_reallocation(bool eager) { realloc_.set_eager(eager); }
+
   // --- cluster-wide metrics ---
 
   /// Total energy consumed by powered machines over [t0, t1], joules.
@@ -80,6 +89,8 @@ class HybridCluster {
  private:
   sim::Simulation& sim_;
   const Calibration& cal_;
+  // Declared before the machines: they deregister from it on destruction.
+  ReallocCoordinator realloc_;
   Migrator migrator_;
   std::vector<std::unique_ptr<Machine>> machines_;
   std::vector<std::unique_ptr<VirtualMachine>> vms_;

@@ -7,31 +7,52 @@
 #include <utility>
 
 #include "audit/invariants.h"
+#include "cluster/realloc.h"
 #include "telemetry/telemetry.h"
 
 namespace hybridmr::cluster {
 
-std::vector<double> waterfill(double capacity,
-                              std::span<const double> demands) {
-  const std::size_t n = demands.size();
-  std::vector<double> alloc(n, 0.0);
-  if (n == 0 || capacity <= 0) return alloc;
+namespace {
 
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return demands[a] < demands[b];
-  });
+// Long sweeps bound each per-machine series (four utilization series plus
+// the energy meter) at this many samples; beyond it, older samples merge
+// pairwise into time-weighted means (integral-preserving), so memory is
+// O(1) per machine instead of O(events).
+constexpr std::size_t kMaxMachineSeriesSamples = 16384;
+
+}  // namespace
+
+void waterfill_into(double capacity, std::span<const double> demands,
+                    std::span<double> out, WaterfillScratch& scratch) {
+  const std::size_t n = demands.size();
+  assert(out.size() == n && "output extent must match demands");
+  std::fill(out.begin(), out.end(), 0.0);
+  if (n == 0 || capacity <= 0) return;
+
+  auto& order = scratch.order;
+  order.resize(n);
+  std::iota(order.begin(), order.end(), std::uint32_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return demands[a] < demands[b];
+            });
 
   double remaining = capacity;
   std::size_t unsatisfied = n;
-  for (std::size_t idx : order) {
+  for (const std::uint32_t idx : order) {
     const double fair = remaining / static_cast<double>(unsatisfied);
     const double got = std::min(demands[idx], fair);
-    alloc[idx] = got < 0 ? 0 : got;
-    remaining -= alloc[idx];
+    out[idx] = got < 0 ? 0 : got;
+    remaining -= out[idx];
     --unsatisfied;
   }
+}
+
+std::vector<double> waterfill(double capacity,
+                              std::span<const double> demands) {
+  std::vector<double> alloc(demands.size(), 0.0);
+  WaterfillScratch scratch;
+  waterfill_into(capacity, demands, alloc, scratch);
   return alloc;
 }
 
@@ -81,24 +102,6 @@ double speed_of(const Workload& w, const Resources& alloc, double eff_cpu,
   return speed;
 }
 
-/// Water-fills each resource of `grant` across the effective demands of
-/// `workloads`.
-std::vector<Resources> split_grant(const std::vector<WorkloadPtr>& workloads,
-                                   const Resources& grant) {
-  const std::size_t n = workloads.size();
-  std::vector<Resources> out(n);
-  std::vector<double> demand(n);
-  for (int r = 0; r < kNumResources; ++r) {
-    const auto kind = static_cast<ResourceKind>(r);
-    for (std::size_t i = 0; i < n; ++i) {
-      demand[i] = workloads[i]->effective_demand()[kind];
-    }
-    const auto alloc = waterfill(grant[kind], demand);
-    for (std::size_t i = 0; i < n; ++i) out[i][kind] = alloc[i];
-  }
-  return out;
-}
-
 }  // namespace
 
 // ---------------------------------------------------------------- Site ----
@@ -120,6 +123,13 @@ void ExecutionSite::remove(Workload* workload) {
       [workload](const WorkloadPtr& p) { return p.get() == workload; });
   if (it == workloads_.end()) return;
   WorkloadPtr keep = *it;  // keep alive through the tail of this function
+  // Drain any pending reallocation first: the settle below runs at the
+  // current rates and discards its I/O return, so a deferred recompute must
+  // land before it (crediting every sibling's interval I/O to the VM cache
+  // through settle_all) exactly as an eager recompute already would have.
+  if (Machine* machine = host_machine(); machine != nullptr) {
+    machine->ensure_clean();
+  }
   const sim::SimTime now = simulation().now();
   keep->settle(now);
   simulation().cancel(keep->completion_event);
@@ -133,7 +143,7 @@ void ExecutionSite::remove(Workload* workload) {
 
 void ExecutionSite::reallocate() {
   Machine* machine = host_machine();
-  if (machine != nullptr) machine->recompute();
+  if (machine != nullptr) machine->invalidate();
 }
 
 Resources ExecutionSite::total_demand() const {
@@ -143,6 +153,9 @@ Resources ExecutionSite::total_demand() const {
 }
 
 Resources ExecutionSite::total_allocated() const {
+  if (const Machine* machine = host_machine(); machine != nullptr) {
+    machine->ensure_clean();
+  }
   Resources sum;
   for (const auto& w : workloads_) sum += w->allocated();
   return sum;
@@ -233,7 +246,9 @@ void VirtualMachine::settle_all(sim::SimTime now) {
     recent_io_mb_ *= std::exp2(-dt / cal_.io_cache_halflife_s);
     last_decay_ = now;
   }
-  for (const auto& w : workloads_) recent_io_mb_ += w->settle(now);
+  double io_sum = 0;
+  for (const auto& w : workloads_) io_sum += w->settle(now);
+  recent_io_mb_ += io_sum;
 }
 
 void VirtualMachine::distribute(sim::SimTime now, const Resources& grant,
@@ -242,13 +257,26 @@ void VirtualMachine::distribute(sim::SimTime now, const Resources& grant,
   const double eff_io = io_efficiency(active_io_vms);
   const double migration_factor =
       migrating_ ? 1.0 - cal_.migration_guest_slowdown : 1.0;
-  const auto allocs = split_grant(workloads_, grant);
-  for (std::size_t i = 0; i < workloads_.size(); ++i) {
+  // Water-fill each resource of the grant across the effective demands,
+  // into scratch reused across recomputes.
+  const std::size_t n = workloads_.size();
+  split_alloc_.resize(n);
+  split_demand_.resize(n);
+  split_out_.resize(n);
+  for (int r = 0; r < kNumResources; ++r) {
+    const auto kind = static_cast<ResourceKind>(r);
+    for (std::size_t i = 0; i < n; ++i) {
+      split_demand_[i] = workloads_[i]->effective_demand()[kind];
+    }
+    waterfill_into(grant[kind], split_demand_, split_out_, split_wf_);
+    for (std::size_t i = 0; i < n; ++i) split_alloc_[i][kind] = split_out_[i];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
     const auto& w = workloads_[i];
     double speed =
-        paused_ ? 0.0 : speed_of(*w, allocs[i], eff_cpu, eff_io, cal_);
+        paused_ ? 0.0 : speed_of(*w, split_alloc_[i], eff_cpu, eff_io, cal_);
     speed *= migration_factor;
-    w->apply_allocation(now, allocs[i], speed);
+    w->apply_allocation(now, split_alloc_[i], speed);
     if (host_ != nullptr) host_->reschedule(w);
   }
 }
@@ -262,14 +290,22 @@ Machine::Machine(sim::Simulation& sim, std::string name, Resources capacity,
       capacity_(capacity),
       cal_(cal),
       power_model_{cal.pm_idle_watts, cal.pm_peak_watts} {
+  for (auto& series : util_series_) {
+    series.set_max_samples(kMaxMachineSeriesSamples);
+  }
+  energy_.set_max_samples(kMaxMachineSeriesSamples);
   energy_.record(sim_.now(), power_model_.watts(0));
+}
+
+Machine::~Machine() {
+  if (coordinator_ != nullptr) coordinator_->forget(this);
 }
 
 void Machine::attach_vm(VirtualMachine* vm) {
   assert(vm != nullptr && vm->host_machine() == nullptr);
   vm->attach_to(this);
   vms_.push_back(vm);
-  recompute();
+  invalidate();
 }
 
 void Machine::detach_vm(VirtualMachine* vm) {
@@ -284,29 +320,61 @@ void Machine::detach_vm(VirtualMachine* vm) {
   }
   vm->attach_to(nullptr);
   vms_.erase(it);
-  recompute();
+  invalidate();
 }
 
 void Machine::set_powered(bool on) {
   if (powered_ == on) return;
   powered_ = on;
+  invalidate();
+}
+
+void Machine::invalidate() {
+  if (coordinator_ != nullptr && !coordinator_->eager()) {
+    if (!dirty_) {
+      dirty_ = true;
+      coordinator_->mark_dirty(this);
+    }
+    return;
+  }
   recompute();
 }
 
+void Machine::settle_now() {
+  ensure_clean();
+  const sim::SimTime now = sim_.now();
+  for (const auto& w : workloads_) w->settle(now);
+  for (auto* vm : vms_) vm->settle_all(now);
+}
+
 double Machine::utilization(ResourceKind kind) const {
+  ensure_clean();
   const double cap = capacity_[kind];
   return cap > 0 ? allocated_total_[kind] / cap : 0;
 }
 
 void Machine::reschedule(const WorkloadPtr& workload) {
-  sim_.cancel(workload->completion_event);
-  workload->completion_event = {};
   if (!workload->finite() || workload->done() || workload->speed() <= 0) {
+    if (workload->completion_event.valid()) {
+      sim_.cancel(workload->completion_event);
+      workload->completion_event = {};
+    }
     return;
   }
-  const double dt = workload->remaining() / workload->speed();
+  const sim::SimTime target =
+      sim_.now() + workload->remaining() / workload->speed();
+  if (workload->completion_event.valid() &&
+      sim::same_time(target, workload->completion_time)) {
+    // The recompute left this workload's finish time where it was; keep
+    // the scheduled event instead of cancel/re-push churn (this also
+    // preserves FIFO tie-break order across no-op reallocations).
+    ++reschedule_skips_;
+    return;
+  }
+  sim_.cancel(workload->completion_event);
+  workload->completion_time = target;
   std::weak_ptr<Workload> weak = workload;
-  workload->completion_event = sim_.after(dt, [this, weak]() {
+  workload->completion_event = sim_.at(target, [this, weak]() {
     WorkloadPtr w = weak.lock();
     if (!w || w->done()) return;
     w->finish(sim_.now());
@@ -321,6 +389,10 @@ void Machine::reschedule(const WorkloadPtr& workload) {
 }
 
 void Machine::recompute() {
+  // Clear the dirty flag first: the utilization()/ensure_clean() reads
+  // below must not re-enter.
+  dirty_ = false;
+  ++recompute_count_;
   const sim::SimTime now = sim_.now();
 
   // 1. Settle elapsed progress at the old rates.
@@ -330,30 +402,32 @@ void Machine::recompute() {
   // 2. Gather consumer demands: native workloads, then VMs.
   const std::size_t n_native = workloads_.size();
   const std::size_t n = n_native + vms_.size();
-  std::vector<Resources> demands(n);
+  scratch_demands_.resize(n);
+  scratch_grants_.resize(n);
+  scratch_d_.resize(n);
+  scratch_alloc_.resize(n);
   for (std::size_t i = 0; i < n_native; ++i) {
-    demands[i] = powered_ ? workloads_[i]->effective_demand() : Resources{};
+    scratch_demands_[i] =
+        powered_ ? workloads_[i]->effective_demand() : Resources{};
   }
   for (std::size_t j = 0; j < vms_.size(); ++j) {
-    demands[n_native + j] =
+    scratch_demands_[n_native + j] =
         powered_ ? vms_[j]->aggregate_demand() : Resources{};
   }
 
   // 3. Water-fill each physical resource across consumers.
-  std::vector<Resources> grants(n);
-  std::vector<double> d(n);
   for (int r = 0; r < kNumResources; ++r) {
     const auto kind = static_cast<ResourceKind>(r);
-    for (std::size_t i = 0; i < n; ++i) d[i] = demands[i][kind];
-    const auto alloc = waterfill(capacity_[kind], d);
-    for (std::size_t i = 0; i < n; ++i) grants[i][kind] = alloc[i];
+    for (std::size_t i = 0; i < n; ++i) scratch_d_[i] = scratch_demands_[i][kind];
+    waterfill_into(capacity_[kind], scratch_d_, scratch_alloc_, scratch_wf_);
+    for (std::size_t i = 0; i < n; ++i) scratch_grants_[i][kind] = scratch_alloc_[i];
   }
 
   // 4. Apply to native workloads (no virtualization tax).
   for (std::size_t i = 0; i < n_native; ++i) {
     const auto& w = workloads_[i];
-    const double speed = speed_of(*w, grants[i], 1.0, 1.0, cal_);
-    w->apply_allocation(now, grants[i], speed);
+    const double speed = speed_of(*w, scratch_grants_[i], 1.0, 1.0, cal_);
+    w->apply_allocation(now, scratch_grants_[i], speed);
     reschedule(w);
   }
 
@@ -363,15 +437,17 @@ void Machine::recompute() {
     if (vm->doing_io()) ++active_io_vms;
   }
   for (std::size_t j = 0; j < vms_.size(); ++j) {
-    vms_[j]->distribute(now, grants[n_native + j], active_io_vms);
+    vms_[j]->distribute(now, scratch_grants_[n_native + j], active_io_vms);
   }
 
-  // 6. Metrics and power.
+  // 6. Metrics and power. Same-instant recordings coalesce: several
+  // recomputes at one timestamp leave exactly one sample holding the final
+  // value, so deferred and eager reallocation produce identical series.
   allocated_total_ = {};
-  for (const auto& g : grants) allocated_total_ += g;
+  for (const auto& g : scratch_grants_) allocated_total_ += g;
   for (int r = 0; r < kNumResources; ++r) {
     const auto kind = static_cast<ResourceKind>(r);
-    util_series_[r].add(now, utilization(kind));
+    util_series_[r].add_coalesced(now, utilization(kind));
   }
   const double blended =
       0.7 * utilization(ResourceKind::kCpu) +
@@ -379,7 +455,7 @@ void Machine::recompute() {
                      utilization(ResourceKind::kNet));
   const double watts = powered_ ? power_model_.watts(blended) : 0.0;
   for (int r = 0; r < kNumResources; ++r) {
-    const auto kind = static_cast<ResourceKind>(r);
+    [[maybe_unused]] const auto kind = static_cast<ResourceKind>(r);
     // Conservation: water-filling may never hand out more of a resource
     // than the machine physically has (tolerance for fp accumulation).
     HYBRIDMR_AUDIT_CHECK(
@@ -402,15 +478,53 @@ void Machine::recompute() {
        {"peak_watts", audit::num(power_model_.peak_watts)}});
   energy_.record(now, watts);
   if (tel_cpu_ != nullptr) {
-    tel_cpu_->sample(now, utilization(ResourceKind::kCpu));
-    tel_disk_->sample(now, utilization(ResourceKind::kDisk));
-    tel_watts_->sample(now, watts);
+    // Windowed hub metrics aggregate count/sum, so a same-instant revision
+    // cannot just overwrite: withhold the newest sample until the clock
+    // moves past its timestamp, then publish exactly one.
+    if (tel_pending_ && tel_pending_time_ < now) publish_sample_now();
+    tel_pending_ = true;
+    tel_pending_time_ = now;
+    tel_pending_cpu_ = utilization(ResourceKind::kCpu);
+    tel_pending_disk_ = utilization(ResourceKind::kDisk);
+    tel_pending_watts_ = watts;
+    if (coordinator_ != nullptr) {
+      if (!tel_queued_) {
+        coordinator_->mark_sample_pending(this);
+        tel_queued_ = true;
+      }
+    } else {
+      // Standalone machine: no coordinator will ever flush, publish now.
+      publish_sample_now();
+    }
   }
+}
+
+void Machine::publish_sample_now() {
+  tel_pending_ = false;
+  if (tel_cpu_ == nullptr) return;
+  tel_cpu_->sample(tel_pending_time_, tel_pending_cpu_);
+  tel_disk_->sample(tel_pending_time_, tel_pending_disk_);
+  tel_watts_->sample(tel_pending_time_, tel_pending_watts_);
+}
+
+bool Machine::publish_pending_sample(sim::SimTime now) {
+  if (tel_pending_ && tel_pending_time_ < now) publish_sample_now();
+  if (!tel_pending_) {
+    tel_queued_ = false;
+    return true;
+  }
+  return false;
+}
+
+void Machine::publish_pending_sample() {
+  if (tel_pending_) publish_sample_now();
+  tel_queued_ = false;
 }
 
 void Machine::set_telemetry(telemetry::Hub* hub) {
   if (hub == nullptr) {
     tel_cpu_ = tel_disk_ = tel_watts_ = nullptr;
+    tel_pending_ = false;
     return;
   }
   tel_cpu_ =

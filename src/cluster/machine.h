@@ -3,10 +3,18 @@
 // Allocation model (DESIGN.md §3): a physical machine water-fills each
 // resource max-min fairly across its consumers (native workloads and VMs);
 // each VM then water-fills its grant across its own workloads and applies
-// the virtualization taxes. Any membership/demand change triggers
-// reallocation, settling elapsed progress and rescheduling completion events.
+// the virtualization taxes.
+//
+// Reallocation is *deferred and coalesced* (see realloc.h): a membership,
+// demand or cap change marks the host machine dirty via invalidate(), and
+// the machine recomputes once per event boundary (or earlier, on the first
+// read of allocation-dependent state through ensure_clean()). recompute()
+// itself is allocation-free in steady state: it water-fills into per-machine
+// scratch buffers and only cancels/re-pushes a completion event when the
+// workload's finish time actually changed.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -27,10 +35,23 @@ class TimeSeriesMetric;
 namespace hybridmr::cluster {
 
 class Machine;
+class ReallocCoordinator;
 
-/// Max-min fair ("water-filling") split of `capacity` across `demands`.
-/// Total allocated never exceeds capacity; no consumer gets more than its
-/// demand; unsatisfied consumers get equal shares.
+/// Reusable sort-order scratch for waterfill_into(): hot callers keep one
+/// per call site so steady-state allocation is zero.
+struct WaterfillScratch {
+  std::vector<std::uint32_t> order;
+};
+
+/// Max-min fair ("water-filling") split of `capacity` across `demands`,
+/// written into `out` (must have the same extent as `demands`). Total
+/// allocated never exceeds capacity; no consumer gets more than its demand;
+/// unsatisfied consumers get equal shares.
+void waterfill_into(double capacity, std::span<const double> demands,
+                    std::span<double> out, WaterfillScratch& scratch);
+
+/// Allocating convenience wrapper around waterfill_into() (tests, cold
+/// paths).
 std::vector<double> waterfill(double capacity, std::span<const double> demands);
 
 /// Piecewise-linear memory-pressure speed factor for an alloc/demand ratio.
@@ -47,7 +68,9 @@ class ExecutionSite {
   /// Detaches a workload (does not fire on_complete).
   void remove(Workload* workload);
 
-  /// Recomputes allocations for the whole physical machine underneath.
+  /// Marks the physical machine underneath for reallocation (deferred and
+  /// coalesced; recomputes immediately in eager mode or without a
+  /// coordinator).
   void reallocate();
 
   [[nodiscard]] const std::string& name() const { return name_; }
@@ -66,7 +89,8 @@ class ExecutionSite {
   }
   /// Sum of effective demands of resident workloads.
   [[nodiscard]] Resources total_demand() const;
-  /// Sum of current allocations of resident workloads.
+  /// Sum of current allocations of resident workloads (drains any pending
+  /// reallocation of the host machine first).
   [[nodiscard]] Resources total_allocated() const;
 
  protected:
@@ -141,6 +165,11 @@ class VirtualMachine : public ExecutionSite {
   // Buffer-cache model: exponentially decayed MB of recent I/O.
   double recent_io_mb_ = 0;
   sim::SimTime last_decay_ = 0;
+  // Scratch for distribute(): reused across recomputes.
+  std::vector<Resources> split_alloc_;
+  std::vector<double> split_demand_;
+  std::vector<double> split_out_;
+  WaterfillScratch split_wf_;
 };
 
 /// A physical server. Root of the allocation hierarchy.
@@ -148,6 +177,7 @@ class Machine : public ExecutionSite {
  public:
   Machine(sim::Simulation& sim, std::string name, Resources capacity,
           const Calibration& cal);
+  ~Machine() override;
 
   [[nodiscard]] sim::Simulation& simulation() override { return sim_; }
   [[nodiscard]] bool is_virtual() const override { return false; }
@@ -167,30 +197,86 @@ class Machine : public ExecutionSite {
   // --- power ---
   void set_powered(bool on);
   [[nodiscard]] bool powered() const { return powered_; }
-  [[nodiscard]] EnergyMeter& energy() { return energy_; }
-  [[nodiscard]] const EnergyMeter& energy() const { return energy_; }
+  [[nodiscard]] EnergyMeter& energy() {
+    ensure_clean();
+    return energy_;
+  }
+  [[nodiscard]] const EnergyMeter& energy() const {
+    ensure_clean();
+    return energy_;
+  }
   [[nodiscard]] const PowerModel& power_model() const { return power_model_; }
 
   // --- metrics ---
   /// Instantaneous utilization (allocated / capacity) per resource.
+  /// Drains a pending reallocation first, so the reading is never stale.
   [[nodiscard]] double utilization(ResourceKind kind) const;
   [[nodiscard]] const stats::TimeSeries& utilization_series(
       ResourceKind kind) const {
+    ensure_clean();
     return util_series_[static_cast<int>(kind)];
   }
 
+  // --- deferred reallocation (see realloc.h) ---
+  /// Wires this machine to the cluster's coordinator. Without one, every
+  /// invalidate() recomputes eagerly (standalone-machine behavior).
+  void set_coordinator(ReallocCoordinator* coordinator) {
+    coordinator_ = coordinator;
+  }
+
+  /// Marks derived allocation state stale. Deferred mode enqueues the
+  /// machine with the coordinator (at most once); eager or standalone
+  /// machines recompute immediately.
+  void invalidate();
+
+  /// Drains a pending recompute, if any. Reads of allocation-dependent
+  /// state route through this, so staleness is never observable. Logically
+  /// const: recompute() only refreshes derived state.
+  void ensure_clean() const {
+    if (dirty_) const_cast<Machine*>(this)->recompute();
+  }
+
+  /// Brings every resident workload's lazy usage counters (cpu-seconds,
+  /// I/O MB, progress) up to date at the current instant, applying any
+  /// pending reallocation first. For profiler-style readers; allocations
+  /// are unchanged.
+  void settle_now();
+
   /// Recomputes the whole allocation for this machine (native + VMs).
+  /// Prefer invalidate()/ensure_clean(): calling this directly bypasses
+  /// coalescing (scripts/lint_sim.py, rule eager-recompute).
   void recompute();
 
+  /// recompute() passes since construction (tests/benchmarks).
+  [[nodiscard]] std::uint64_t recompute_count() const {
+    return recompute_count_;
+  }
+  /// Completion events left in place because the finish time was
+  /// unchanged (the reschedule-churn fix; tests/benchmarks).
+  [[nodiscard]] std::uint64_t reschedule_skips() const {
+    return reschedule_skips_;
+  }
+
   /// (Re)schedules the completion event of a finite workload hosted
-  /// anywhere on this machine.
+  /// anywhere on this machine. No-op when the recomputed finish time
+  /// equals the already-scheduled one.
   void reschedule(const WorkloadPtr& workload);
 
   /// Attaches this machine to a telemetry hub; registers and caches its
   /// per-machine time-series metrics so recompute() stays allocation-free.
   void set_telemetry(telemetry::Hub* hub);
 
+  /// Publishes the withheld telemetry sample once `now` has moved past its
+  /// timestamp. Returns true when nothing remains withheld (coordinator
+  /// drops the machine from its pending list). Coordinator-internal.
+  bool publish_pending_sample(sim::SimTime now);
+  /// Unconditionally publishes the withheld sample (end-of-run flush).
+  void publish_pending_sample();
+
  private:
+  // Samples the pending telemetry values into the hub.
+  void publish_sample_now();
+
   sim::Simulation& sim_;
   Resources capacity_;
   const Calibration& cal_;
@@ -200,10 +286,35 @@ class Machine : public ExecutionSite {
   bool powered_ = true;
   Resources allocated_total_{};
   stats::TimeSeries util_series_[kNumResources];
+
+  // Deferred-reallocation state.
+  ReallocCoordinator* coordinator_ = nullptr;
+  bool dirty_ = false;
+  std::uint64_t recompute_count_ = 0;
+  std::uint64_t reschedule_skips_ = 0;
+
+  // recompute() scratch, reused across passes (allocation-free steady
+  // state; sized to native workloads + VMs).
+  std::vector<Resources> scratch_demands_;
+  std::vector<Resources> scratch_grants_;
+  std::vector<double> scratch_d_;
+  std::vector<double> scratch_alloc_;
+  WaterfillScratch scratch_wf_;
+
   // Cached telemetry metric handles (null when telemetry is not wired).
   telemetry::TimeSeriesMetric* tel_cpu_ = nullptr;
   telemetry::TimeSeriesMetric* tel_disk_ = nullptr;
   telemetry::TimeSeriesMetric* tel_watts_ = nullptr;
+  // The latest sample of one simulated instant is withheld until the clock
+  // moves past it, so k same-instant recomputes publish one sample in
+  // deferred and eager mode alike (windowed metrics aggregate counts and
+  // sums, so duplicates would skew them).
+  bool tel_pending_ = false;
+  bool tel_queued_ = false;  // in the coordinator's pending list
+  sim::SimTime tel_pending_time_ = 0;
+  double tel_pending_cpu_ = 0;
+  double tel_pending_disk_ = 0;
+  double tel_pending_watts_ = 0;
 };
 
 }  // namespace hybridmr::cluster

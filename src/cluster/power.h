@@ -25,7 +25,15 @@ struct PowerModel {
 class EnergyMeter {
  public:
   /// Records that the power level changed to `watts` at time `now`.
-  void record(sim::SimTime now, double watts) { series_.add(now, watts); }
+  /// Same-instant revisions overwrite (several reallocations at one
+  /// simulated time leave one sample holding the final power level).
+  void record(sim::SimTime now, double watts) {
+    series_.add_coalesced(now, watts);
+  }
+
+  /// Bounds the sample history for long runs; see
+  /// stats::TimeSeries::set_max_samples().
+  void set_max_samples(std::size_t max) { series_.set_max_samples(max); }
 
   /// Energy in joules consumed over [t0, t1].
   [[nodiscard]] double joules(sim::SimTime t0, sim::SimTime t1) const {

@@ -1,0 +1,76 @@
+// Deferred, coalesced machine reallocation.
+//
+// Every membership/demand mutation used to call Machine::recompute()
+// eagerly, so a k-task placement burst at one simulated instant recomputed
+// the same machine k times. The coordinator batches instead: mutations mark
+// their host machine dirty here (Machine::invalidate()), and the set drains
+// — one recompute() per distinct machine, in first-marked order — through a
+// simulation flush hook that fires before the next event dispatches, i.e.
+// before the virtual clock can move past the mutation timestamp. Reads of
+// allocation-dependent state (Machine::utilization(), Workload::allocated(),
+// ...) drain their own machine on demand via Machine::ensure_clean(), so no
+// caller can observe stale shares.
+//
+// Eager mode (set_eager(true)) restores the recompute-on-every-mutation
+// behavior; the determinism-equivalence test runs both modes against the
+// same seed and requires byte-identical reports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace hybridmr::cluster {
+
+class Machine;
+
+class ReallocCoordinator {
+ public:
+  explicit ReallocCoordinator(sim::Simulation& sim);
+  ~ReallocCoordinator();
+
+  ReallocCoordinator(const ReallocCoordinator&) = delete;
+  ReallocCoordinator& operator=(const ReallocCoordinator&) = delete;
+
+  /// Eager mode recomputes on every mutation (the pre-coalescing
+  /// behavior). Switching drains any deferred work first.
+  void set_eager(bool eager);
+  [[nodiscard]] bool eager() const { return eager_; }
+
+  /// Marks `machine` dirty. Called by Machine::invalidate() only; the
+  /// machine guarantees it enqueues itself at most once.
+  void mark_dirty(Machine* machine) { dirty_.push_back(machine); }
+
+  /// Queues a machine whose latest telemetry sample is being withheld
+  /// until the clock moves past its timestamp (so several same-instant
+  /// recomputes publish one sample, matching eager mode's coalescing).
+  void mark_sample_pending(Machine* machine) {
+    sample_pending_.push_back(machine);
+  }
+
+  /// Recomputes every dirty machine (in first-marked order), then
+  /// publishes withheld telemetry samples whose timestamp the clock has
+  /// passed. Runs automatically at event boundaries via the flush hook.
+  void drain();
+
+  /// Publishes every withheld telemetry sample regardless of timestamp.
+  /// Call before reading the telemetry registry at the end of a run.
+  void flush_samples();
+
+  /// Drops a machine from the pending lists (machine teardown).
+  void forget(Machine* machine);
+
+  /// Number of drain passes that found work (for tests/benchmarks).
+  [[nodiscard]] std::uint64_t drains() const { return drains_; }
+
+ private:
+  sim::Simulation& sim_;
+  std::size_t hook_token_;
+  std::vector<Machine*> dirty_;
+  std::vector<Machine*> sample_pending_;
+  std::uint64_t drains_ = 0;
+  bool eager_ = false;
+};
+
+}  // namespace hybridmr::cluster

@@ -34,9 +34,40 @@ void Workload::set_paused(bool paused) {
   if (site_ != nullptr) site_->reallocate();
 }
 
+namespace {
+
+// Reallocation is deferred (see realloc.h): reads of allocation-derived
+// state drain the host machine's pending recompute first so no caller —
+// DRM profiling, migration dirty-rate, interactive refresh — can observe
+// shares from before a same-instant mutation.
+void drain_host(const ExecutionSite* site) {
+  if (site == nullptr) return;
+  if (const Machine* machine = site->host_machine(); machine != nullptr) {
+    machine->ensure_clean();
+  }
+}
+
+}  // namespace
+
+double Workload::speed() const {
+  drain_host(site_);
+  return speed_;
+}
+
+double Workload::remaining() const {
+  drain_host(site_);
+  return remaining_;
+}
+
 double Workload::progress() const {
   if (!finite() || total_work_ <= 0) return 0;
+  drain_host(site_);
   return std::clamp(1.0 - remaining_ / total_work_, 0.0, 1.0);
+}
+
+const Resources& Workload::allocated() const {
+  drain_host(site_);
+  return allocated_;
 }
 
 double Workload::settle(sim::SimTime now) {
@@ -60,6 +91,9 @@ void Workload::apply_allocation(sim::SimTime now, const Resources& alloc,
 }
 
 void Workload::finish(sim::SimTime now) {
+  // Settle at the *current* rates: drain any deferred recompute first so
+  // the interval accrues exactly as it would have under eager reallocation.
+  drain_host(site_);
   settle(now);
   remaining_ = 0;
   done_ = true;

@@ -50,16 +50,22 @@ class Workload {
   // --- progress ---
   [[nodiscard]] bool finite() const { return total_work_ >= 0; }
   [[nodiscard]] double total_work() const { return total_work_; }
-  [[nodiscard]] double remaining() const { return remaining_; }
+  /// Seconds-at-full-speed left. Drains any pending reallocation of the
+  /// host machine first (settling accrued progress), like speed().
+  [[nodiscard]] double remaining() const;
   [[nodiscard]] double done() const { return done_; }
-  /// Fraction complete in [0,1]; service workloads report 0.
+  /// Fraction complete in [0,1]; service workloads report 0. Drains any
+  /// pending reallocation first (see remaining()).
   [[nodiscard]] double progress() const;
-  [[nodiscard]] double speed() const { return speed_; }
-  [[nodiscard]] const Resources& allocated() const { return allocated_; }
+  /// Current speed / allocation. Reallocation is deferred and coalesced,
+  /// so these first drain any pending recompute of the host machine —
+  /// callers never observe stale shares (defined out of line for that).
+  [[nodiscard]] double speed() const;
+  [[nodiscard]] const Resources& allocated() const;
 
   // --- cumulative usage (for the LRM resource profiler) ---
   // Counters are settled lazily: they are current as of the machine's last
-  // reallocation. Call host_machine()->recompute() first for an exact
+  // reallocation. Call host_machine()->settle_now() first for an exact
   // reading at an arbitrary instant.
   [[nodiscard]] double cpu_seconds_used() const { return cpu_seconds_; }
   [[nodiscard]] double io_mb_done() const { return io_mb_; }
@@ -88,6 +94,10 @@ class Workload {
 
   /// Completion event handle, owned by the scheduling machine.
   sim::EventId completion_event;
+  /// Absolute finish time of the scheduled completion event (valid while
+  /// completion_event is). Machine::reschedule() skips the cancel+push
+  /// when a reallocation leaves this unchanged.
+  sim::SimTime completion_time = 0;
 
  private:
   friend class ExecutionSite;

@@ -23,6 +23,7 @@ TestBed::TestBed(Options options) : options_(std::move(options)) {
   }
   cluster_ = std::make_unique<cluster::HybridCluster>(*sim_,
                                                       options_.calibration);
+  cluster_->set_eager_reallocation(options_.eager_reallocation);
   hdfs_ = std::make_unique<storage::Hdfs>(*sim_, options_.calibration);
   mapred::MapReduceEngine::Options mr_options;
   mr_options.speculative_execution = options_.speculative_execution;
@@ -147,6 +148,9 @@ std::vector<double> TestBed::run_jobs(
 
 telemetry::RunReport TestBed::report(
     const std::vector<const interactive::InteractiveApp*>& apps) const {
+  // Publish any telemetry samples still withheld for same-instant
+  // coalescing, so the registry snapshot below is complete.
+  cluster_->reallocator().flush_samples();
   telemetry::RunReport report;
   const double end = sim_->now();
   report.sim_end_s = end;

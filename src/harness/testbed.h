@@ -29,6 +29,11 @@ class TestBed {
     /// Wires a telemetry::Hub through cluster + engine (no-op when the
     /// build has telemetry compiled out).
     bool telemetry = true;
+    /// Recompute machine allocations on every mutation instead of
+    /// deferring + coalescing per event timestamp. Slower; kept for the
+    /// determinism-equivalence test (same seed, both modes, byte-identical
+    /// reports).
+    bool eager_reallocation = false;
     cluster::Calibration calibration = cluster::Calibration::standard();
   };
 

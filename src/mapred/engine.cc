@@ -245,9 +245,11 @@ void MapReduceEngine::audit_verify_job(const Job& job) const {
   const double now = sim_.now();
   int maps_completed = 0;
   int reduces_completed = 0;
+  int running_scan = 0;
   for (TaskType type : {TaskType::kMap, TaskType::kReduce}) {
     const auto& tasks = type == TaskType::kMap ? job.maps() : job.reduces();
     for (const auto& t : tasks) {
+      running_scan += t->running_count();
       const auto details = [&]() {
         return std::vector<audit::Detail>{
             {"job", job.spec().name},
@@ -269,6 +271,13 @@ void MapReduceEngine::audit_verify_job(const Job& job) const {
       }
     }
   }
+  // The O(1) running-attempts counter (what the FairScheduler sorts by)
+  // must agree with a full scan of the attempt lists.
+  HYBRIDMR_AUDIT_CHECK(running_scan == job.running_tasks(), "mapred.engine",
+                       "running_counter_conserved", now,
+                       {{"job", job.spec().name},
+                        {"counter", audit::num(job.running_tasks())},
+                        {"scan", audit::num(running_scan)}});
   // Conservation: the phase counters match the per-task completion flags,
   // so no completion is double-counted or lost through the shuffle.
   HYBRIDMR_AUDIT_CHECK(

@@ -36,8 +36,13 @@ class Job {
   [[nodiscard]] int maps_done() const { return maps_done_; }
   [[nodiscard]] int reduces_done() const { return reduces_done_; }
 
-  /// Number of attempts currently running across all tasks.
-  [[nodiscard]] int running_tasks() const;
+  /// Number of attempts currently running across all tasks. O(1): a
+  /// counter maintained by TaskTracker::launch()/release() — the
+  /// FairScheduler sorts every eligible job by this on every free slot of
+  /// every dispatch wave, so a scan over the task lists here is the
+  /// dominant cost of large-cluster sweeps (audit builds cross-check the
+  /// counter against the scan).
+  [[nodiscard]] int running_tasks() const { return running_attempts_; }
 
   // --- timing (simulated seconds; -1 until reached) ---
   [[nodiscard]] double submit_time() const { return submit_time_; }
@@ -90,6 +95,7 @@ class Job {
 
  private:
   friend class MapReduceEngine;
+  friend class TaskTracker;
   int id_;
   JobSpec spec_;
   JobState state_ = JobState::kPending;
@@ -98,18 +104,12 @@ class Job {
   std::vector<std::unique_ptr<Task>> reduces_;
   int maps_done_ = 0;
   int reduces_done_ = 0;
+  int running_attempts_ = 0;
   double submit_time_ = -1;
   double map_phase_end_ = -1;
   double finish_time_ = -1;
   PlacementPool pool_ = PlacementPool::kAny;
 };
-
-inline int Job::running_tasks() const {
-  int n = 0;
-  for (const auto& t : maps_) n += t->running_count();
-  for (const auto& t : reduces_) n += t->running_count();
-  return n;
-}
 
 inline const char* to_string(JobState s) {
   switch (s) {

@@ -51,18 +51,21 @@ Task* FifoScheduler::pick(TaskTracker& tracker, TaskType type,
 Task* FairScheduler::pick(TaskTracker& tracker, TaskType type,
                           const std::vector<Job*>& jobs,
                           const storage::Hdfs& hdfs, bool locality_only) {
-  // Most-starved first: fewest running tasks, ties broken by submit order.
-  std::vector<Job*> eligible_jobs;
+  // Most-starved first: fewest running attempts, ties broken by submit
+  // order. Sort keys are hoisted out of the comparator — pick() runs once
+  // per free slot per dispatch wave, so comparator-time rescans dominate
+  // large sweeps — and the key vector is scheduler-owned scratch, so the
+  // hot path stops allocating after warm-up.
+  by_starvation_.clear();
   for (Job* job : jobs) {
     if (!eligible(*job, type)) continue;
     if (!job->pool_allows(tracker.site().is_virtual())) continue;
-    eligible_jobs.push_back(job);
+    by_starvation_.emplace_back(job->running_tasks(), job);
   }
-  std::stable_sort(eligible_jobs.begin(), eligible_jobs.end(),
-                   [](const Job* a, const Job* b) {
-                     return a->running_tasks() < b->running_tasks();
-                   });
-  for (Job* job : eligible_jobs) {
+  std::stable_sort(
+      by_starvation_.begin(), by_starvation_.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [running, job] : by_starvation_) {
     if (Task* t = pick_from_job(*job, type, tracker, hdfs, locality_only)) {
       return t;
     }

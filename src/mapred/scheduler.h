@@ -56,6 +56,10 @@ class FairScheduler : public TaskScheduler {
              const std::vector<Job*>& jobs, const storage::Hdfs& hdfs,
              bool locality_only) override;
   [[nodiscard]] const char* name() const override { return "fair"; }
+
+ private:
+  // (running attempts, job) sort scratch, reused across picks.
+  std::vector<std::pair<int, Job*>> by_starvation_;
 };
 
 std::unique_ptr<TaskScheduler> make_scheduler(const std::string& name);

@@ -70,6 +70,9 @@ TaskAttempt* TaskTracker::launch(Task& task) {
   } else {
     ++running_reduces_;
   }
+  // Before start(): an attempt that finishes synchronously releases (and
+  // decrements) from inside start(), so the increment must already be in.
+  ++task.job().running_attempts_;
   running_.push_back(raw);
   if (engine_->options().static_slot_shares) {
     raw->set_base_caps(static_slot_share(task.type()));
@@ -90,6 +93,7 @@ void TaskTracker::release(TaskAttempt* attempt) {
   } else {
     --running_reduces_;
   }
+  --attempt->task().job().running_attempts_;
   audit_verify_slots();
 }
 

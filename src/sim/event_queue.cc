@@ -6,33 +6,63 @@
 
 namespace hybridmr::sim {
 
+EventQueue::Slot* EventQueue::live_slot(std::uint64_t id) {
+  if (id == 0) return nullptr;
+  const std::uint32_t index = slot_index(id);
+  if (index >= slots_.size()) return nullptr;
+  Slot& slot = slots_[index];
+  if (!slot.live || slot.gen != generation(id)) return nullptr;
+  return &slot;
+}
+
+void EventQueue::release(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.fn = nullptr;  // destroy the handler (and its captures) immediately
+  slot.live = false;
+  ++slot.gen;  // invalidate every outstanding id for this slot
+  free_slots_.push_back(index);
+  --live_;
+}
+
 EventId EventQueue::push(SimTime time, std::function<void()> fn) {
-  const std::uint64_t id = next_id_++;
+  std::uint32_t index;
+  if (!free_slots_.empty()) {
+    index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[index];
+  slot.fn = std::move(fn);
+  slot.live = true;
+  const std::uint64_t id = make_id(index, slot.gen);
   heap_.push(HeapItem{time, next_seq_++, id});
-  handlers_.emplace(id, std::move(fn));
+  ++live_;
   return EventId{id};
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (!id.valid()) return false;
-  return handlers_.erase(id.value) > 0;
+  Slot* slot = live_slot(id.value);
+  if (slot == nullptr) return false;
+  release(slot_index(id.value));
+  return true;
 }
 
 void EventQueue::skim() {
-  while (!heap_.empty() && !handlers_.contains(heap_.top().id)) {
+  while (!heap_.empty() && live_slot(heap_.top().id) == nullptr) {
     heap_.pop();
   }
 }
 
 void EventQueue::audit_no_orphans() const {
   // The heap always holds a superset of the live handlers (cancellation
-  // erases the handler and leaves the heap item to be skimmed). After a
-  // skim, an empty heap with handlers remaining means those handlers can
-  // never fire — their captures would be leaked silently.
+  // releases the slot and leaves the heap item to be skimmed). After a
+  // skim, an empty heap with live handlers remaining means those handlers
+  // can never fire — their captures would be leaked silently.
   HYBRIDMR_AUDIT_CHECK(
-      !heap_.empty() || handlers_.empty(), "sim.event_queue",
-      "no_orphaned_handlers", -1,
-      {{"live_handlers", audit::num(static_cast<double>(handlers_.size()))}});
+      !heap_.empty() || live_ == 0, "sim.event_queue", "no_orphaned_handlers",
+      -1, {{"live_handlers", audit::num(static_cast<double>(live_))}});
 }
 
 std::optional<SimTime> EventQueue::next_time() {
@@ -48,15 +78,20 @@ std::optional<EventQueue::Entry> EventQueue::pop() {
   if (heap_.empty()) return std::nullopt;
   const HeapItem item = heap_.top();
   heap_.pop();
-  auto it = handlers_.find(item.id);
-  Entry entry{item.time, EventId{item.id}, std::move(it->second)};
-  handlers_.erase(it);
+  const std::uint32_t index = slot_index(item.id);
+  Entry entry{item.time, EventId{item.id}, std::move(slots_[index].fn)};
+  release(index);
   return entry;
 }
 
 std::size_t EventQueue::clear() {
-  const std::size_t dropped = handlers_.size();
-  handlers_.clear();
+  const std::size_t dropped = live_;
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    // Releasing (rather than dropping) every slot keeps generations
+    // monotonic, so ids issued before clear() can never alias events
+    // pushed afterwards — the queue stays usable.
+    if (slots_[i].live) release(i);
+  }
   while (!heap_.empty()) heap_.pop();
   return dropped;
 }

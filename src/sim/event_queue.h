@@ -4,13 +4,18 @@
 // Every scheduled event gets a stable EventId that can later be cancelled in
 // O(1); cancelled events are dropped lazily when they reach the head of the
 // heap, so cancellation never restructures the heap.
+//
+// Handlers live in a generation-indexed slot vector rather than a hash map:
+// an EventId packs (slot index, slot generation), so push/cancel/pop resolve
+// handlers with two array reads and no hashing, and slot reuse means a
+// steady-state simulation allocates nothing per event (the slot pool and the
+// heap grow to the high-water mark once and are then recycled).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 namespace hybridmr::sim {
@@ -57,10 +62,10 @@ class EventQueue {
   bool cancel(EventId id);
 
   /// True when no live (non-cancelled) events remain.
-  [[nodiscard]] bool empty() const { return handlers_.empty(); }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
 
   /// Number of live events.
-  [[nodiscard]] std::size_t size() const { return handlers_.size(); }
+  [[nodiscard]] std::size_t size() const { return live_; }
 
   /// Time of the earliest live event. Empty queue -> nullopt.
   [[nodiscard]] std::optional<SimTime> next_time();
@@ -74,6 +79,16 @@ class EventQueue {
   std::size_t clear();
 
  private:
+  // An EventId packs the slot index (low 32 bits, biased by one so the
+  // all-zero id stays invalid) and the slot's generation at push time
+  // (high 32 bits). A slot's generation bumps on every release, so stale
+  // ids — fired, cancelled or cleared — can never alias a reused slot.
+  struct Slot {
+    std::function<void()> fn;
+    std::uint32_t gen = 0;
+    bool live = false;
+  };
+
   struct HeapItem {
     SimTime time;
     std::uint64_t seq;  // insertion order, for FIFO tie-breaking
@@ -89,6 +104,23 @@ class EventQueue {
     }
   };
 
+  static std::uint32_t slot_index(std::uint64_t id) {
+    return static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
+  }
+  static std::uint32_t generation(std::uint64_t id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+  static std::uint64_t make_id(std::uint32_t index, std::uint32_t gen) {
+    return (static_cast<std::uint64_t>(gen) << 32) |
+           (static_cast<std::uint64_t>(index) + 1);
+  }
+
+  // The slot a live id refers to, or nullptr when the id is stale/invalid.
+  [[nodiscard]] Slot* live_slot(std::uint64_t id);
+
+  // Destroys the handler, bumps the generation and recycles the slot.
+  void release(std::uint32_t index);
+
   // Drops cancelled items from the heap head.
   void skim();
 
@@ -97,8 +129,9 @@ class EventQueue {
   void audit_no_orphans() const;
 
   std::priority_queue<HeapItem, std::vector<HeapItem>, Later> heap_;
-  std::unordered_map<std::uint64_t, std::function<void()>> handlers_;
-  std::uint64_t next_id_ = 1;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_ = 0;
   std::uint64_t next_seq_ = 0;
 };
 

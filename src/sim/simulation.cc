@@ -28,7 +28,19 @@ PeriodicHandle Simulation::every(SimTime period, std::function<void()> fn,
   return PeriodicHandle(alive);
 }
 
+std::size_t Simulation::add_flush_hook(std::function<void()> hook) {
+  flush_hooks_.push_back(std::move(hook));
+  return flush_hooks_.size() - 1;
+}
+
+void Simulation::remove_flush_hook(std::size_t token) {
+  if (token < flush_hooks_.size()) flush_hooks_[token] = nullptr;
+}
+
 bool Simulation::dispatch_one() {
+  // Deferred work flushes *before* the pop: a drain can reschedule
+  // completion events, which may change what the earliest event is.
+  flush();
   auto entry = queue_.pop();
   if (!entry) return false;
   // The virtual clock only moves forward: at() clamps (or aborts, under
@@ -49,6 +61,8 @@ std::size_t Simulation::run() {
   stop_requested_ = false;
   while (!stop_requested_ && dispatch_one()) {
   }
+  // A stop() request can leave the last event's deferred work pending.
+  flush();
   running_ = false;
   return processed_ - before;
 }
@@ -58,10 +72,16 @@ std::size_t Simulation::run_until(SimTime t) {
   running_ = true;
   stop_requested_ = false;
   while (!stop_requested_) {
+    // Flush before peeking: a drain can push new events (e.g. rescheduled
+    // completions) earlier than the current head.
+    flush();
     auto next = queue_.next_time();
     if (!next || *next > t) break;
     dispatch_one();
   }
+  // Settle pending deferred work at the final event's timestamp before the
+  // clock jumps forward to t.
+  flush();
   if (now_ < t && t < std::numeric_limits<double>::infinity()) now_ = t;
   running_ = false;
   return processed_ - before;

@@ -10,6 +10,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "audit/invariants.h"
 #include "sim/event_queue.h"
@@ -119,6 +120,25 @@ class Simulation {
   /// True while inside run()/run_until().
   [[nodiscard]] bool running() const { return running_; }
 
+  /// Registers a hook that runs before every event dispatch — while now()
+  /// is still the previous timestamp — and once more when a run loop
+  /// exits. This is how deferred work (the cluster's dirty-machine set)
+  /// coalesces: mutations mark state dirty, the hook settles it exactly
+  /// once per event boundary before the clock can advance past it.
+  /// Returns a token for remove_flush_hook(). Hooks may push new events.
+  std::size_t add_flush_hook(std::function<void()> hook);
+
+  /// Deregisters a hook. Safe with an already-removed token.
+  void remove_flush_hook(std::size_t token);
+
+  /// Runs every registered flush hook now. Idempotent between mutations;
+  /// called automatically at event boundaries and run-loop exits.
+  void flush() {
+    for (const auto& hook : flush_hooks_) {
+      if (hook) hook();
+    }
+  }
+
   Rng& rng() { return rng_; }
 
  private:
@@ -126,6 +146,8 @@ class Simulation {
 
   EventQueue queue_;
   Rng rng_;
+  // Slots are never erased (tokens stay stable); removal nulls the entry.
+  std::vector<std::function<void()>> flush_hooks_;
   SimTime now_ = 0;
   std::size_t processed_ = 0;
   std::uint64_t clamped_past_events_ = 0;

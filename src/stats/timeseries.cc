@@ -7,7 +7,47 @@ namespace hybridmr::stats {
 
 void TimeSeries::add(double time, double value) {
   assert(samples_.empty() || time >= samples_.back().time);
+  if (max_samples_ != 0 && samples_.size() >= max_samples_) compact();
   samples_.push_back({time, value});
+}
+
+void TimeSeries::add_coalesced(double time, double value) {
+  assert(samples_.empty() || time >= samples_.back().time);
+  if (!samples_.empty() && !(time > samples_.back().time)) {
+    samples_.back().value = value;
+    return;
+  }
+  add(time, value);
+}
+
+void TimeSeries::set_max_samples(std::size_t max) {
+  max_samples_ = max == 0 ? 0 : std::max<std::size_t>(max, 8);
+  if (max_samples_ != 0) {
+    while (samples_.size() > max_samples_) compact();
+  }
+}
+
+void TimeSeries::compact() {
+  const std::size_t n = samples_.size();
+  if (n < 4) return;
+  // Merge adjacent pairs (a, b) into one sample at a.time whose value is
+  // the time-weighted mean of a over [a,b) and b over [b,next): the step
+  // function's integral over the merged span is unchanged. The final one
+  // or two samples are kept verbatim so back()/value_at(now) stay exact.
+  std::size_t out = 0;
+  std::size_t i = 0;
+  for (; i + 2 < n; i += 2) {
+    const Sample& a = samples_[i];
+    const Sample& b = samples_[i + 1];
+    const double end = samples_[i + 2].time;
+    const double wa = b.time - a.time;
+    const double wb = end - b.time;
+    const double w = wa + wb;
+    samples_[out++] = {
+        a.time, w > 0 ? (a.value * wa + b.value * wb) / w : b.value};
+  }
+  for (; i < n; ++i) samples_[out++] = samples_[i];
+  samples_.resize(out);
 }
 
 double TimeSeries::mean_in(double t0, double t1) const {

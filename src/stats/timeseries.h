@@ -18,6 +18,20 @@ class TimeSeries {
 
   void add(double time, double value);
 
+  /// Like add(), but when `time` equals the last sample's timestamp the
+  /// last sample is overwritten instead of appended: several updates at
+  /// one simulated instant collapse to the final value, so the series
+  /// looks the same whether the writer recomputed once or k times.
+  void add_coalesced(double time, double value);
+
+  /// Bounds the stored sample count. When an add would exceed `max`
+  /// (min 8; 0 disables the bound), older adjacent samples are pairwise
+  /// merged into time-weighted means, preserving integrate() exactly and
+  /// value_at() for times at/after the merged region's end. Long runs
+  /// thus keep O(max) memory at geometrically coarsening resolution.
+  void set_max_samples(std::size_t max);
+  [[nodiscard]] std::size_t max_samples() const { return max_samples_; }
+
   [[nodiscard]] bool empty() const { return samples_.empty(); }
   [[nodiscard]] std::size_t size() const { return samples_.size(); }
   [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
@@ -41,7 +55,12 @@ class TimeSeries {
   void trim_before(double t);
 
  private:
+  // Halves the resolution of everything but the most recent samples; see
+  // set_max_samples().
+  void compact();
+
   std::vector<Sample> samples_;
+  std::size_t max_samples_ = 0;
 };
 
 }  // namespace hybridmr::stats

@@ -24,7 +24,7 @@ TEST(WorkloadEdge, ServiceWorkloadNeverCompletes) {
   bool fired = false;
   w->on_complete = [&] { fired = true; };
   m->add(w);
-  sim.at(1000, [&] { m->recompute(); });  // settle the lazy usage counters
+  sim.at(1000, [&] { m->settle_now(); });  // settle the lazy usage counters
   sim.run();
   EXPECT_FALSE(fired);
   EXPECT_FALSE(w->done());

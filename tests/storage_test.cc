@@ -165,7 +165,7 @@ TEST_F(HdfsTest, FlowProgressAdvances) {
   auto flow = hdfs.read_block(f, 0, *m, [] {});
   sim.at(1.0, [&] {
     // Progress is settled lazily; nudge the machine to settle.
-    m->recompute();
+    m->settle_now();
     EXPECT_NEAR(flow.progress(), 0.5, 0.05);
   });
   sim.run();
