@@ -21,7 +21,8 @@ MigrationSeries migrate_all(double vm_memory_mb, bool loaded) {
   std::vector<cluster::VirtualMachine*> vms;
   for (auto* host : bed.add_plain_machines(12)) {
     for (int i = 0; i < 2; ++i) {
-      auto* vm = bed.cluster().add_vm(*host, "", 1.0, vm_memory_mb);
+      auto* vm = bed.cluster().add_vm(*host, "", sim::CoreShare{1.0},
+                                      sim::MegaBytes{vm_memory_mb});
       bed.hdfs().add_datanode(*vm);
       bed.mr().add_tracker(*vm);
       vms.push_back(vm);
@@ -44,8 +45,8 @@ MigrationSeries migrate_all(double vm_memory_mb, bool loaded) {
       bed.cluster().migrator().migrate(
           *vms[i], *spares[i % spares.size()],
           [&, i](const cluster::MigrationRecord& r) {
-            series.time_s[i] = r.precopy_seconds;
-            series.downtime_ms[i] = r.downtime_seconds * 1000.0;
+            series.time_s[i] = r.precopy_seconds.value();
+            series.downtime_ms[i] = r.downtime_seconds.value() * 1000.0;
           });
     });
   }

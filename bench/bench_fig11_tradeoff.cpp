@@ -71,7 +71,7 @@ Score evaluate(const Config& config) {
   Score s;
   s.config = config;
   for (auto* j : jobs) s.mean_jct += j->jct() / jobs.size();
-  s.energy_wh = bed.cluster().energy_joules(0, end) / 3600.0;
+  s.energy_wh = bed.cluster().energy_joules(0, end).value() / 3600.0;
   s.servers = static_cast<int>(bed.cluster().machines().size());
   s.perf_per_energy = 1e6 / (s.mean_jct * s.energy_wh);
   for (auto* a : apps) a->stop();

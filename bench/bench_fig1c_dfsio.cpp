@@ -23,12 +23,12 @@ Rates run_dfsio(bool virtualized, double file_mb) {
       virtualized ? bed.add_virtual_nodes(8, 2) : bed.add_native_nodes(8);
   storage::DfsIoBenchmark dfsio(bed.sim(), bed.hdfs());
   Rates r;
-  const auto w = dfsio.run_write(sites, file_mb);
-  r.write_io = w.avg_io_rate_mbps;
-  r.write_tput = w.throughput_mbps;
-  const auto rd = dfsio.run_read(sites, file_mb);
-  r.read_io = rd.avg_io_rate_mbps;
-  r.read_tput = rd.throughput_mbps;
+  const auto w = dfsio.run_write(sites, sim::MegaBytes{file_mb});
+  r.write_io = w.avg_io_rate_mbps.value();
+  r.write_tput = w.throughput_mbps.value();
+  const auto rd = dfsio.run_read(sites, sim::MegaBytes{file_mb});
+  r.read_io = rd.avg_io_rate_mbps.value();
+  r.read_tput = rd.throughput_mbps.value();
   return r;
 }
 

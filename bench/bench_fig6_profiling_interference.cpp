@@ -21,7 +21,7 @@ double contended_jct(const mapred::JobSpec& spec, double bg_cpu_cores,
   o.calibration.pm_cores = 4;  // the paper used a quad-core server here
   TestBed bed(o);
   auto* host = bed.add_plain_machines(1)[0];
-  auto* job_vm = bed.cluster().add_vm(*host, "job-vm", 1, 1024);
+  auto* job_vm = bed.cluster().add_vm(*host, "job-vm", sim::CoreShare{1}, sim::MegaBytes{1024});
   bed.hdfs().add_datanode(*job_vm);
   bed.mr().add_tracker(*job_vm, 1, 1);
   // The paper pins each VM to a core and runs 8 contending threads; the
@@ -36,7 +36,8 @@ double contended_jct(const mapred::JobSpec& spec, double bg_cpu_cores,
   }
   for (int i = 0; i < 3 && bg_disk_mbps > 0; ++i) {
     auto* vm =
-        bed.cluster().add_vm(*host, "bg" + std::to_string(i), 4, 512);
+        bed.cluster().add_vm(*host, "bg" + std::to_string(i), sim::CoreShare{4},
+                             sim::MegaBytes{512});
     cluster::Resources d;
     d.disk = bg_disk_mbps / 3.0;
     vm->add(std::make_shared<cluster::Workload>(

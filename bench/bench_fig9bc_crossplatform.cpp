@@ -92,7 +92,7 @@ PlatformResult run_platform(const std::string& platform) {
     r.jcts.push_back(j->jct());
     r.mean_jct += j->jct() / jobs.size();
   }
-  r.energy_wh = bed.cluster().energy_joules(0, end) / 3600.0;
+  r.energy_wh = bed.cluster().energy_joules(0, end).value() / 3600.0;
   r.servers = static_cast<int>(bed.cluster().machines().size());
   r.utilization =
       bed.cluster().mean_utilization(cluster::ResourceKind::kCpu, 0, end);

@@ -45,7 +45,7 @@ Outcome evaluate(int native_pms, int virtual_hosts) {
   o.virtual_hosts = virtual_hosts;
   o.vms = virtual_hosts * 2;
   for (double jct : jcts) o.mean_jct += jct / jcts.size();
-  o.energy_wh = bed.cluster().energy_joules(0, end) / 3600.0;
+  o.energy_wh = bed.cluster().energy_joules(0, end).value() / 3600.0;
   o.utilization = bed.cluster().mean_utilization(
       cluster::ResourceKind::kCpu, 0, end);
   o.perf_per_energy = 1e6 / (o.mean_jct * o.energy_wh);

@@ -62,13 +62,13 @@ int main(int argc, char** argv) {
   std::printf("tasks          : %zu maps, %zu reduces, %d speculative\n",
               job->maps().size(), job->reduces().size(),
               bed.mr().speculative_launched());
-  const double local = bed.hdfs().bytes_read_local_mb();
-  const double remote = bed.hdfs().bytes_read_remote_mb();
+  const double local = bed.hdfs().bytes_read_local_mb().value();
+  const double remote = bed.hdfs().bytes_read_remote_mb().value();
   std::printf("input locality : %.1f%% local (%.0f MB local, %.0f MB remote)\n",
               local + remote > 0 ? 100.0 * local / (local + remote) : 100.0,
               local, remote);
   std::printf("hdfs writes    : %.0f MB (replicated)\n",
-              bed.hdfs().bytes_written_mb());
+              bed.hdfs().bytes_written_mb().value());
   std::printf("cpu util       : %.1f%%  energy: %.1f Wh\n",
               bed.cluster().mean_utilization(cluster::ResourceKind::kCpu, 0,
                                              end) *

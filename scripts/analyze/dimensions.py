@@ -1,0 +1,102 @@
+"""dim-raw-double: dimension hygiene for quantity-like declarations.
+
+src/sim/units.h provides zero-overhead strong types (sim::MegaBytes,
+sim::MBps, sim::Watts, sim::Joules, sim::Duration, ...) whose operators
+only admit dimensionally valid arithmetic. A raw ``double`` parameter or
+field whose *name* claims a unit (``block_mb``, ``bw_mbps``,
+``idle_watts``, ``timeout_secs``, ``deadline``...) re-opens the door to
+the mixed-unit bugs the types exist to prevent, so new ones are rejected.
+
+Pre-migration declarations live in the committed baseline
+(scripts/analyze/baseline.json) keyed by rule|file|identifier; they are
+reported only with --no-baseline. New code must use the strong types.
+"""
+
+from __future__ import annotations
+
+import re
+
+from findings import Finding, SourceFile
+
+# Suffix claims a unit. Trailing underscores (members) are stripped first.
+UNIT_SUFFIX_RE = re.compile(
+    r"(?:_mb|_mbps|_gbps|_kbps|_watts|_joules|_wh|_kwh|_secs|_seconds)$")
+# Name claims a time dimension outright.
+UNIT_WORD_RE = re.compile(r"(?:deadline|interval|duration)")
+
+# double/float declarations:  [const] double name [=;,)}...]
+#   - not preceded by identifier chars / :: / . / -> / < (rules out
+#     std::vector<double> handled separately, member access, etc.)
+#   - not followed by '(' (function returning double)
+DECL_RE = re.compile(
+    r"(?<![\w:.>])(?:double|float)\s+(?:[&*]\s*)?([A-Za-z_]\w*)\s*(?=[=;,)\]{]|$)")
+# Containers of raw doubles with a unit-claiming name are the same defect:
+#   std::vector<double> sizes_mb;
+TEMPLATE_DECL_RE = re.compile(
+    r"(?:double|float)\s*>\s*(?:[&*]\s*)?([A-Za-z_]\w*)\s*(?=[=;,)\]{]|$)")
+
+RULE = "dim-raw-double"
+
+
+def unit_like(name: str) -> bool:
+    bare = name.rstrip("_")
+    return bool(UNIT_SUFFIX_RE.search(bare) or UNIT_WORD_RE.search(bare))
+
+
+def scan(source: SourceFile) -> list[Finding]:
+    if not source.rel.startswith("src/"):
+        return []
+    if source.rel == "src/sim/units.h":
+        return []  # the strong types' own implementation
+    findings: list[Finding] = []
+    for idx, code in enumerate(source.code):
+        lineno = idx + 1
+        if RULE in source.allowed(lineno):
+            continue
+        for pattern in (DECL_RE, TEMPLATE_DECL_RE):
+            for m in pattern.finditer(code):
+                name = m.group(1)
+                if not unit_like(name):
+                    continue
+                findings.append(Finding(
+                    rule=RULE, file=source.rel, line=lineno,
+                    identifier=name,
+                    message=(
+                        f"raw double '{name}' is named like a quantity; use "
+                        "the strong type from sim/units.h (sim::MegaBytes, "
+                        "sim::MBps, sim::Watts, sim::Joules, sim::Duration, "
+                        "...) so unit mixing is a compile error")))
+    return findings
+
+
+def scan_libclang(cindex, tu, source: SourceFile) -> list[Finding]:
+    """AST variant: parameter/field/variable declarations of canonical
+    double/float type with a unit-claiming spelling."""
+    if not source.rel.startswith("src/") or source.rel == "src/sim/units.h":
+        return []
+    kinds = {cindex.CursorKind.PARM_DECL, cindex.CursorKind.FIELD_DECL,
+             cindex.CursorKind.VAR_DECL}
+    findings: list[Finding] = []
+    want = source.path.resolve().as_posix()
+    for cursor in tu.cursor.walk_preorder():
+        if cursor.kind not in kinds or not cursor.location.file:
+            continue
+        if cursor.location.file.name != want:
+            continue
+        canonical = cursor.type.get_canonical().spelling
+        if canonical not in ("double", "float") and not re.search(
+                r"<\s*(?:double|float)\s*>", canonical):
+            continue
+        name = cursor.spelling or ""
+        if not unit_like(name):
+            continue
+        lineno = cursor.location.line
+        if RULE in source.allowed(lineno):
+            continue
+        findings.append(Finding(
+            rule=RULE, file=source.rel, line=lineno, identifier=name,
+            message=(
+                f"raw double '{name}' is named like a quantity; use the "
+                "strong type from sim/units.h so unit mixing is a compile "
+                "error")))
+    return findings

@@ -1,0 +1,163 @@
+"""Translation-unit discovery and analysis engines for hybridmr-analyze.
+
+Two engines produce the same rule set:
+
+  tokens    Pure-python tokenizer passes over literal-blanked source.
+            Always available; this is what CI runs, so the gate can never
+            silently no-op just because libclang is missing.
+
+  libclang  AST-driven passes through the clang python bindings, resolved
+            against compile_commands.json. Preferred when the bindings are
+            importable; requesting it explicitly (--engine libclang) on a
+            machine without the bindings is a hard error, never a skip.
+
+``--engine auto`` probes for libclang and falls back to tokens with a
+notice on stderr.
+"""
+
+from __future__ import annotations
+
+import json
+import shlex
+import sys
+from pathlib import Path
+
+CXX_SUFFIXES = {".cc", ".cpp", ".cxx", ".h", ".hpp"}
+TU_SUFFIXES = {".cc", ".cpp", ".cxx"}
+
+
+def repo_root(start: Path) -> Path:
+    p = start.resolve()
+    for candidate in (p, *p.parents):
+        if (candidate / ".git").exists():
+            return candidate
+    return p
+
+
+def collect_files(paths: list[Path]) -> list[Path]:
+    """C++ sources under ``paths``. Recursive walks skip ``fixtures/``
+    directories — those hold deliberate rule violations for the analyzer's
+    own tests (tests/analyze/fixtures) and are only analyzed when passed
+    explicitly (the fixture driver does, with --root)."""
+    files: list[Path] = []
+    for p in paths:
+        if p.is_file():
+            if p.suffix in CXX_SUFFIXES:
+                files.append(p)
+        elif p.is_dir():
+            files.extend(f for f in sorted(p.rglob("*"))
+                         if f.suffix in CXX_SUFFIXES
+                         and "fixtures" not in f.relative_to(p).parts)
+    return files
+
+
+def load_compile_commands(path: Path) -> list[dict]:
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"hybridmr-analyze: cannot read {path}: {e}")
+
+
+def check_tu_coverage(files: list[Path], compile_commands: list[dict],
+                      repo: Path) -> list[str]:
+    """Every analyzed .cc must appear in the compile database; a TU the
+    build does not compile would otherwise dodge every compiler-adjacent
+    check. Returns warning strings (non-fatal: the tokenizer still scans
+    the file either way)."""
+    compiled = set()
+    for entry in compile_commands:
+        f = Path(entry.get("file", ""))
+        if not f.is_absolute():
+            f = Path(entry.get("directory", ".")) / f
+        try:
+            compiled.add(f.resolve().relative_to(repo.resolve()).as_posix())
+        except ValueError:
+            continue
+    warnings = []
+    for f in files:
+        if f.suffix not in TU_SUFFIXES:
+            continue
+        rel = f.resolve().relative_to(repo.resolve()).as_posix()
+        if not rel.startswith("src/"):
+            continue  # tests/benches are separate targets; src is the gate
+        if rel not in compiled:
+            warnings.append(
+                f"hybridmr-analyze: {rel} is not in compile_commands.json "
+                "(not built, analyzed from source only)")
+    return warnings
+
+
+# ------------------------------------------------------------- libclang ----
+
+def probe_libclang():
+    """Returns the clang.cindex module, or None when unavailable."""
+    try:
+        import clang.cindex  # type: ignore
+    except ImportError:
+        return None
+    try:
+        clang.cindex.Index.create()
+    except Exception:  # missing libclang.so despite bindings
+        return None
+    return clang.cindex
+
+
+def resolve_engine(requested: str):
+    """Maps --engine {auto,tokens,libclang} to ('tokens'|'libclang', module).
+
+    Explicitly requested libclang MUST resolve or we abort loudly: a CI
+    config that asks for AST analysis and silently gets nothing is the
+    exact failure mode this tool exists to prevent.
+    """
+    if requested == "tokens":
+        return "tokens", None
+    cindex = probe_libclang()
+    if requested == "libclang":
+        if cindex is None:
+            raise SystemExit(
+                "hybridmr-analyze: --engine libclang requested but the clang "
+                "python bindings (python3 -m clang.cindex) are unavailable; "
+                "install them or use --engine tokens. Refusing to silently "
+                "skip AST analysis.")
+        return "libclang", cindex
+    # auto
+    if cindex is None:
+        print("hybridmr-analyze: libclang bindings unavailable; using the "
+              "tokenizer engine", file=sys.stderr)
+        return "tokens", None
+    return "libclang", cindex
+
+
+def clang_args_for(file: Path, compile_commands: list[dict],
+                   repo: Path) -> list[str]:
+    """Compiler args for `file` from the compile database (TUs), or the
+    args of any sibling TU for headers."""
+    want = file.resolve().as_posix()
+    fallback: list[str] = []
+    for entry in compile_commands:
+        args = entry.get("arguments")
+        if args is None:
+            args = shlex.split(entry.get("command", ""))
+        # Drop compiler, -c/-o pairs and the input path.
+        cleaned: list[str] = []
+        skip = False
+        for a in args[1:]:
+            if skip:
+                skip = False
+                continue
+            if a in ("-c", "-o"):
+                skip = (a == "-o")
+                continue
+            if a.endswith((".cc", ".cpp", ".cxx", ".o")):
+                continue
+            cleaned.append(a)
+        f = Path(entry.get("file", ""))
+        if not f.is_absolute():
+            f = Path(entry.get("directory", ".")) / f
+        if f.resolve().as_posix() == want:
+            return cleaned
+        if not fallback:
+            fallback = cleaned
+    if not fallback:
+        fallback = [f"-I{repo / 'src'}", "-std=c++20"]
+    return fallback

@@ -3,11 +3,16 @@
 #
 #   format       clang-format --dry-run -Werror over src/ tests/ bench/
 #                (skipped with a notice when clang-format is not installed)
-#   lint         scripts/lint_sim.py simulation-aware linter — blocking
+#   lint         scripts/lint_sim.py determinism linter (thin wrapper over
+#                the analyzer's determinism rule group) — blocking
+#   release      Release build + full ctest suite (also produces the
+#                compile database the next two stages resolve against)
+#   analyze      scripts/analyze/hybridmr-analyze full rule suite over src/
+#                (dimensions, layering, capture-lifetime, determinism)
+#                gated by the committed baseline — blocking, never skipped
 #   clang-tidy   bugprone/performance/modernize/cppcoreguidelines profile
 #                against the Release compile database (skipped with a
 #                notice when clang-tidy is not installed)
-#   release      Release build + full ctest suite
 #   sanitize     ASan/UBSan build + ctest, LeakSanitizer ENABLED — the
 #                teardown paths are leak-clean and must stay that way
 #   audit        -DHYBRIDMR_AUDIT=ON build + ctest: every runtime invariant
@@ -87,6 +92,15 @@ fi
 
 # --- release build + tests (also produces the compile database) -------------
 build_and_test release || true
+
+# --- analyze: full static-analysis suite, baseline-gated, never skipped ------
+echo "=== [analyze] scripts/analyze/hybridmr-analyze ==="
+if python3 "$repo/scripts/analyze/hybridmr-analyze" \
+    --compile-commands "$root/release/compile_commands.json" "$repo/src"; then
+  note_stage analyze PASS
+else
+  note_stage analyze FAIL
+fi
 
 # --- clang-tidy (needs the compile database from the release tree) ----------
 if command -v clang-tidy > /dev/null 2>&1; then

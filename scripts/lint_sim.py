@@ -1,273 +1,40 @@
 #!/usr/bin/env python3
-"""Simulation-aware linter for the HybridMR codebase.
+"""Simulation-determinism linter — compatibility wrapper.
 
-clang-tidy catches generic C++ bugs; this linter rejects the three
-anti-pattern families that break a discrete-event simulator specifically,
-none of which generic tooling can see (see docs/CORRECTNESS.md):
+The rule implementations moved into the multi-pass analyzer at
+scripts/analyze/ (see docs/ANALYSIS.md); this wrapper keeps the historic
+CLI (`lint_sim.py DIR [DIR...]`, nonzero exit on findings) and runs the
+determinism group only:
 
-  wall-clock        Any source of host time or host randomness
-                    (std::chrono clocks, time(), rand(), random_device,
-                    gettimeofday, ...). Simulated components must express
-                    time through sim::Simulation and randomness through
-                    sim::Rng, or two same-seed runs diverge.
+  wall-clock              host time / host randomness in simulated code
+  unordered-iteration     range-for / begin() over unordered containers
+  unordered-accumulation  order-sensitive reduction inside such a loop
+  simtime-eq              exact ==/!= between SimTime doubles
+  eager-recompute         Machine::recompute() outside the drain path
 
-  unordered-iteration
-                    Range-for / begin() iteration over a std::unordered_map
-                    or std::unordered_set declared in the same file.
-                    Unordered iteration order is implementation-defined and
-                    varies with allocation history, so any scheduling
-                    decision or export fed from it is nondeterministic.
-                    Iterate a vector, a std::map, or sort first.
-
-  simtime-eq        Raw == / != between SimTime values. SimTime is a
-                    double; exact equality on derived times silently
-                    depends on rounding. Use ordered comparisons, or the
-                    sanctioned sim::same_time() helper when both operands
-                    come from the same computation.
-
-  eager-recompute   Direct Machine::recompute() calls outside the
-                    sanctioned drain path (machine.h/.cc, realloc.cc).
-                    Reallocation is deferred: mutations mark the machine
-                    dirty and the per-simulation ReallocCoordinator drains
-                    the dirty set once per event timestamp. Call
-                    invalidate() after a mutation, settle_now() when a
-                    test needs allocations synchronously, or read through
-                    an accessor (they self-clean via ensure_clean()).
-                    See docs/PERFORMANCE.md.
-
-Suppression: append  // sim-lint: allow(<rule>)  to the offending line
-(or the line directly above it) with a short justification nearby.
-
-Usage:  lint_sim.py [--tests] DIR [DIR...]
-Exit status is non-zero when any finding is reported (blocking CI stage).
+Suppression syntax is unchanged: `// sim-lint: allow(<rule>)` on the
+offending line or the line directly above. For the full suite
+(dimensions, layering, capture-lifetime) run
+scripts/analyze/hybridmr-analyze directly.
 """
 
 from __future__ import annotations
 
-import argparse
-import re
+import subprocess
 import sys
 from pathlib import Path
 
-CXX_SUFFIXES = {".cc", ".cpp", ".cxx", ".h", ".hpp"}
-
-ALLOW_RE = re.compile(r"//\s*sim-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
-
-# ---------------------------------------------------------------- rules ----
-
-# Host time / host randomness. Word-ish boundaries so e.g. next_time( or
-# mig_time( never match bare time(.
-WALL_CLOCK_PATTERNS = [
-    (re.compile(r"std::chrono::(system|steady|high_resolution)_clock"),
-     "host clock (use sim::Simulation::now())"),
-    (re.compile(r"(?<![\w:])gettimeofday\s*\("),
-     "host clock (use sim::Simulation::now())"),
-    (re.compile(r"(?<![\w.>:])(?:std::)?time\s*\(\s*(?:NULL|nullptr|0|&)"),
-     "host clock (use sim::Simulation::now())"),
-    (re.compile(r"(?<![\w.>:])(?:std::)?clock\s*\(\s*\)"),
-     "host clock (use sim::Simulation::now())"),
-    (re.compile(r"(?<![\w.>:])(?:std::)?s?rand\s*\("),
-     "host randomness (use sim::Rng)"),
-    (re.compile(r"std::random_device"),
-     "host randomness (use sim::Rng)"),
-]
-
-# Declarations of unordered containers: captures the variable name that
-# follows the (possibly nested) template argument list.
-UNORDERED_DECL_RE = re.compile(
-    r"\bunordered_(?:map|set|multimap|multiset)\s*<")
-IDENT_RE = re.compile(r"\s*([A-Za-z_]\w*)\s*(?:=|;|\{|,|\))")
-
-# SimTime variable declarations (members, locals, parameters).
-SIMTIME_DECL_RE = re.compile(
-    r"\b(?:sim::)?SimTime\s+(?:&\s*)?([A-Za-z_]\w*)\s*[=;,){]")
-
-# Direct recompute() calls. Only the deferred-reallocation machinery itself
-# may call recompute(); everything else goes through invalidate() /
-# ensure_clean() / settle_now() so bursts coalesce (docs/PERFORMANCE.md).
-EAGER_RECOMPUTE_RE = re.compile(r"(?:\.|->)\s*recompute\s*\(")
-EAGER_RECOMPUTE_SANCTIONED = (
-    "src/cluster/machine.h",
-    "src/cluster/machine.cc",
-    "src/cluster/realloc.h",
-    "src/cluster/realloc.cc",
-)
-
-
-def template_tail_ident(text: str, start: int) -> str | None:
-    """Given text and the index of '<' opening a template argument list,
-    return the first identifier after the matching '>' (the declared
-    variable name), or None when this is not a declaration."""
-    depth = 0
-    i = start
-    while i < len(text):
-        c = text[i]
-        if c == "<":
-            depth += 1
-        elif c == ">":
-            depth -= 1
-            if depth == 0:
-                m = IDENT_RE.match(text, i + 1)
-                return m.group(1) if m else None
-        elif c in ";{":
-            return None
-        i += 1
-    return None
-
-
-class Finding:
-    def __init__(self, path: Path, line: int, rule: str, message: str):
-        self.path = path
-        self.line = line
-        self.rule = rule
-        self.message = message
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-def allowed_rules(lines: list[str], idx: int) -> set[str]:
-    """Rules suppressed for line idx (same line or the line above)."""
-    rules: set[str] = set()
-    for probe in (idx, idx - 1):
-        if 0 <= probe < len(lines):
-            m = ALLOW_RE.search(lines[probe])
-            if m:
-                rules.update(r.strip() for r in m.group(1).split(","))
-    return rules
-
-
-def strip_strings_and_comments(line: str) -> str:
-    """Blanks out string/char literals and // comments (keeps length)."""
-    out = []
-    in_str = None
-    i = 0
-    while i < len(line):
-        c = line[i]
-        if in_str:
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            out.append(" ")
-            if c == in_str:
-                in_str = None
-        elif c in "\"'":
-            in_str = c
-            out.append(" ")
-        elif c == "/" and line[i:i + 2] == "//":
-            break
-        else:
-            out.append(c)
-        i += 1
-    return "".join(out)
-
-
-def lint_file(path: Path) -> list[Finding]:
-    raw_lines = path.read_text(encoding="utf-8").splitlines()
-    code_lines = [strip_strings_and_comments(l) for l in raw_lines]
-    findings: list[Finding] = []
-    recompute_sanctioned = str(path.as_posix()).endswith(
-        EAGER_RECOMPUTE_SANCTIONED)
-
-    # Pass 1: collect per-file declarations.
-    unordered_names: set[str] = set()
-    simtime_names: set[str] = set()
-    for code in code_lines:
-        for m in UNORDERED_DECL_RE.finditer(code):
-            name = template_tail_ident(code, m.end() - 1)
-            if name:
-                unordered_names.add(name)
-        for m in SIMTIME_DECL_RE.finditer(code):
-            simtime_names.add(m.group(1))
-
-    unordered_iter_res = [
-        # for (... : container) — also matches members (foo.bar_, p->m_).
-        re.compile(r"for\s*\([^;)]*:\s*[\w.\->]*\b(%s)\s*\)" %
-                   "|".join(map(re.escape, sorted(unordered_names))))
-        if unordered_names else None,
-        re.compile(r"\b(%s)\s*\.\s*(?:c?begin|c?end)\s*\(" %
-                   "|".join(map(re.escape, sorted(unordered_names))))
-        if unordered_names else None,
-    ]
-    # (?!\s*[.([]|\s*->) keeps member access out: `t.value == x` compares
-    # the member, not the SimTime.
-    simtime_eq_re = (
-        re.compile(
-            r"(\b(%(n)s)\b(?!\s*[.(\[]|\s*->)\s*[=!]=(?!=)"
-            r"|[=!]=\s*\b(%(n)s)\b(?!\s*[.(\[]|\s*->))" %
-            {"n": "|".join(map(re.escape, sorted(simtime_names)))})
-        if simtime_names else None)
-
-    # Pass 2: flag uses.
-    for idx, code in enumerate(code_lines):
-        allow = allowed_rules(raw_lines, idx)
-        lineno = idx + 1
-
-        if "wall-clock" not in allow:
-            for pattern, why in WALL_CLOCK_PATTERNS:
-                if pattern.search(code):
-                    findings.append(Finding(
-                        path, lineno, "wall-clock",
-                        f"nondeterministic {why}"))
-
-        if "unordered-iteration" not in allow:
-            for pattern in unordered_iter_res:
-                if pattern and pattern.search(code):
-                    findings.append(Finding(
-                        path, lineno, "unordered-iteration",
-                        "iteration over an unordered container is "
-                        "order-nondeterministic; iterate a vector/std::map "
-                        "or sort first"))
-                    break
-
-        if ("eager-recompute" not in allow and not recompute_sanctioned
-                and EAGER_RECOMPUTE_RE.search(code)):
-            findings.append(Finding(
-                path, lineno, "eager-recompute",
-                "direct recompute() outside the drain path defeats "
-                "coalescing; use invalidate()/settle_now() or read through "
-                "an accessor (see docs/PERFORMANCE.md)"))
-
-        if "simtime-eq" not in allow and simtime_eq_re:
-            m = simtime_eq_re.search(code)
-            # Skip `==` that is part of <=/>=/!==... handled by regex, and
-            # skip pointer/null checks on the same line only when the match
-            # itself is the SimTime identifier.
-            if m:
-                findings.append(Finding(
-                    path, lineno, "simtime-eq",
-                    "exact ==/!= on SimTime doubles; use ordered "
-                    "comparisons or sim::same_time()"))
-
-    return findings
+ANALYZER = Path(__file__).resolve().parent / "analyze" / "hybridmr-analyze"
 
 
 def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("dirs", nargs="+", type=Path,
-                        help="directories (or files) to lint")
-    args = parser.parse_args()
-
-    files: list[Path] = []
-    for d in args.dirs:
-        if d.is_file():
-            files.append(d)
-        else:
-            files.extend(p for p in sorted(d.rglob("*"))
-                         if p.suffix in CXX_SUFFIXES)
-    if not files:
-        print("lint_sim.py: no C++ sources found", file=sys.stderr)
-        return 2
-
-    findings: list[Finding] = []
-    for f in files:
-        findings.extend(lint_file(f))
-
-    for finding in findings:
-        print(finding)
-    print(f"lint_sim.py: {len(files)} files, {len(findings)} findings")
-    return 1 if findings else 0
+    args = sys.argv[1:]
+    if not args or args[0] in ("-h", "--help"):
+        print(__doc__.strip())
+        return 0 if args else 2
+    cmd = [sys.executable, str(ANALYZER),
+           "--engine", "tokens", "--rules", "determinism", *args]
+    return subprocess.call(cmd)
 
 
 if __name__ == "__main__":

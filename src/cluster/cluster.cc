@@ -27,12 +27,16 @@ std::vector<Machine*> HybridCluster::add_machines(int n,
 }
 
 VirtualMachine* HybridCluster::add_vm(Machine& host, const std::string& name,
-                                      double vcpus, double memory_mb) {
+                                      sim::CoreShare vcpus,
+                                      sim::MegaBytes memory_mb) {
   const std::string n =
       name.empty() ? "vm" + std::to_string(vms_.size()) : name;
   vms_.push_back(std::make_unique<VirtualMachine>(
-      sim_, n, vcpus > 0 ? vcpus : cal_.vm_vcpus,
-      memory_mb > 0 ? memory_mb : cal_.vm_memory_mb, cal_));
+      sim_, n,
+      vcpus > sim::CoreShare{0} ? vcpus : sim::CoreShare{cal_.vm_vcpus},
+      memory_mb > sim::MegaBytes{0} ? memory_mb
+                                    : sim::MegaBytes{cal_.vm_memory_mb},
+      cal_));
   VirtualMachine* vm = vms_.back().get();
   host.attach_vm(vm);
   return vm;
@@ -60,8 +64,9 @@ VirtualMachine* HybridCluster::vm(const std::string& name) const {
   return nullptr;
 }
 
-double HybridCluster::energy_joules(double t0, double t1) const {
-  double total = 0;
+sim::Joules HybridCluster::energy_joules(sim::SimTime t0,
+                                         sim::SimTime t1) const {
+  sim::Joules total;
   for (const auto& m : machines_) total += m->energy().joules(t0, t1);
   return total;
 }

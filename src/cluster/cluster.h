@@ -38,9 +38,11 @@ class HybridCluster {
   /// Adds `n` physical machines named <prefix>0..<prefix>n-1.
   std::vector<Machine*> add_machines(int n, const std::string& prefix = "pm");
 
-  /// Adds a VM on `host` with the calibrated VM shape (or overrides).
+  /// Adds a VM on `host` with the calibrated VM shape (or overrides; a
+  /// negative override falls back to the calibrated value).
   VirtualMachine* add_vm(Machine& host, const std::string& name = "",
-                         double vcpus = -1, double memory_mb = -1);
+                         sim::CoreShare vcpus = sim::CoreShare{-1},
+                         sim::MegaBytes memory_mb = sim::MegaBytes{-1});
 
   /// Adds `count` VMs to `host`.
   std::vector<VirtualMachine*> virtualize(Machine& host, int count);
@@ -69,8 +71,9 @@ class HybridCluster {
 
   // --- cluster-wide metrics ---
 
-  /// Total energy consumed by powered machines over [t0, t1], joules.
-  [[nodiscard]] double energy_joules(double t0, double t1) const;
+  /// Total energy consumed by powered machines over [t0, t1].
+  [[nodiscard]] sim::Joules energy_joules(sim::SimTime t0,
+                                          sim::SimTime t1) const;
 
   /// Mean utilization of one resource across powered machines in [t0, t1].
   [[nodiscard]] double mean_utilization(ResourceKind kind, double t0,

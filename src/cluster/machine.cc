@@ -164,12 +164,12 @@ Resources ExecutionSite::total_allocated() const {
 // ------------------------------------------------------------------ VM ----
 
 VirtualMachine::VirtualMachine(sim::Simulation& sim, std::string name,
-                               double vcpus, double memory_mb,
+                               sim::CoreShare vcpus, sim::MegaBytes memory_mb,
                                const Calibration& cal)
     : ExecutionSite(std::move(name)),
       sim_(sim),
-      vcpus_(vcpus),
-      memory_mb_(memory_mb),
+      vcpus_(vcpus.value()),
+      memory_mb_(memory_mb.value()),
       cal_(cal) {}
 
 Resources VirtualMachine::nominal() const {
@@ -289,12 +289,13 @@ Machine::Machine(sim::Simulation& sim, std::string name, Resources capacity,
       sim_(sim),
       capacity_(capacity),
       cal_(cal),
-      power_model_{cal.pm_idle_watts, cal.pm_peak_watts} {
+      power_model_{sim::Watts{cal.pm_idle_watts},
+                   sim::Watts{cal.pm_peak_watts}} {
   for (auto& series : util_series_) {
     series.set_max_samples(kMaxMachineSeriesSamples);
   }
   energy_.set_max_samples(kMaxMachineSeriesSamples);
-  energy_.record(sim_.now(), power_model_.watts(0));
+  energy_.record(sim_.now(), power_model_.watts(sim::Fraction{0}));
 }
 
 Machine::~Machine() {
@@ -362,7 +363,7 @@ void Machine::reschedule(const WorkloadPtr& workload) {
     return;
   }
   const sim::SimTime target =
-      sim_.now() + workload->remaining() / workload->speed();
+      sim_.now() + (workload->remaining() / workload->speed()).value();
   if (workload->completion_event.valid() &&
       sim::same_time(target, workload->completion_time)) {
     // The recompute left this workload's finish time where it was; keep
@@ -453,7 +454,8 @@ void Machine::recompute() {
       0.7 * utilization(ResourceKind::kCpu) +
       0.3 * std::max(utilization(ResourceKind::kDisk),
                      utilization(ResourceKind::kNet));
-  const double watts = powered_ ? power_model_.watts(blended) : 0.0;
+  const sim::Watts watts =
+      powered_ ? power_model_.watts(sim::Fraction{blended}) : sim::Watts{};
   for (int r = 0; r < kNumResources; ++r) {
     [[maybe_unused]] const auto kind = static_cast<ResourceKind>(r);
     // Conservation: water-filling may never hand out more of a resource
@@ -468,14 +470,14 @@ void Machine::recompute() {
          {"capacity", audit::num(capacity_[kind])}});
   }
   HYBRIDMR_AUDIT_CHECK(
-      powered_ ? (watts >= power_model_.idle_watts - 1e-9 &&
-                  watts <= power_model_.peak_watts + 1e-9)
-               : watts <= 0.0,
+      powered_ ? (watts >= power_model_.idle_watts - sim::Watts{1e-9} &&
+                  watts <= power_model_.peak_watts + sim::Watts{1e-9})
+               : watts <= sim::Watts{0},
       "cluster.machine", "power_within_model_bounds", now,
       {{"machine", name()},
-       {"watts", audit::num(watts)},
-       {"idle_watts", audit::num(power_model_.idle_watts)},
-       {"peak_watts", audit::num(power_model_.peak_watts)}});
+       {"watts", audit::num(watts.value())},
+       {"idle_watts", audit::num(power_model_.idle_watts.value())},
+       {"peak_watts", audit::num(power_model_.peak_watts.value())}});
   energy_.record(now, watts);
   if (tel_cpu_ != nullptr) {
     // Windowed hub metrics aggregate count/sum, so a same-instant revision
@@ -486,7 +488,7 @@ void Machine::recompute() {
     tel_pending_time_ = now;
     tel_pending_cpu_ = utilization(ResourceKind::kCpu);
     tel_pending_disk_ = utilization(ResourceKind::kDisk);
-    tel_pending_watts_ = watts;
+    tel_pending_watts_ = watts.value();
     if (coordinator_ != nullptr) {
       if (!tel_queued_) {
         coordinator_->mark_sample_pending(this);

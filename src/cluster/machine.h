@@ -104,16 +104,20 @@ class ExecutionSite {
 /// Xen-style virtual machine. Owned by HybridCluster; hosted by a Machine.
 class VirtualMachine : public ExecutionSite {
  public:
-  VirtualMachine(sim::Simulation& sim, std::string name, double vcpus,
-                 double memory_mb, const Calibration& cal);
+  VirtualMachine(sim::Simulation& sim, std::string name, sim::CoreShare vcpus,
+                 sim::MegaBytes memory_mb, const Calibration& cal);
 
   [[nodiscard]] sim::Simulation& simulation() override { return sim_; }
   [[nodiscard]] bool is_virtual() const override { return true; }
   [[nodiscard]] Machine* host_machine() override { return host_; }
   [[nodiscard]] Resources nominal() const override;
 
-  [[nodiscard]] double vcpus() const { return vcpus_; }
-  [[nodiscard]] double memory_mb() const { return memory_mb_; }
+  [[nodiscard]] sim::CoreShare vcpus() const {
+    return sim::CoreShare{vcpus_};
+  }
+  [[nodiscard]] sim::MegaBytes memory_mb() const {
+    return sim::MegaBytes{memory_mb_};
+  }
 
   /// Dom-0 placement: near-native taxes (paper Fig. 2(c)).
   void set_dom0(bool dom0) { dom0_ = dom0; }

@@ -9,42 +9,45 @@
 
 namespace hybridmr::cluster {
 
-MigrationPlan MigrationModel::plan(double memory_mb, double dirty_rate_mbps,
-                                   double bw_mbps) const {
+MigrationPlan MigrationModel::plan(sim::MegaBytes memory, sim::MBps dirty_rate,
+                                   sim::MBps bw) const {
+  // The dimensional algebra carries the model: size / rate is a round's
+  // duration, rate * duration is the memory dirtied while it ran.
   MigrationPlan p;
-  if (memory_mb <= 0 || bw_mbps <= 0) return p;
-  double to_send = memory_mb;
+  if (memory <= sim::MegaBytes{0} || bw <= sim::MBps{0}) return p;
+  sim::MegaBytes to_send = memory;
   while (p.rounds < cal_.migration_max_rounds &&
-         to_send > cal_.migration_stop_threshold_mb) {
-    const double t = to_send / bw_mbps;
+         to_send > sim::MegaBytes{cal_.migration_stop_threshold_mb}) {
+    const sim::Duration t = to_send / bw;
     p.precopy_seconds += t;
     p.transferred_mb += to_send;
-    to_send = dirty_rate_mbps * t;
+    to_send = dirty_rate * t;
     ++p.rounds;
     // Diverging: dirtying faster than we can send. Give up pre-copying.
-    if (dirty_rate_mbps >= bw_mbps) {
+    if (dirty_rate >= bw) {
       p.converged = false;
       break;
     }
   }
   p.downtime_seconds =
-      to_send / bw_mbps + cal_.migration_downtime_overhead_s;
+      to_send / bw + sim::Duration{cal_.migration_downtime_overhead_s};
   return p;
 }
 
-double MigrationModel::dirty_rate_mbps(const VirtualMachine& vm) const {
+sim::MBps MigrationModel::dirty_rate_mbps(const VirtualMachine& vm) const {
   double active_mb = 0;
   for (const auto& w : vm.workloads()) {
     if (w->paused()) continue;
     active_mb += std::min(w->demand().memory, w->allocated().memory);
   }
-  return cal_.idle_dirty_rate_mbps + cal_.dirty_rate_per_active_mb * active_mb;
+  return sim::MBps{cal_.idle_dirty_rate_mbps +
+                   cal_.dirty_rate_per_active_mb * active_mb};
 }
 
-double Migrator::jittered_dirty_rate(const VirtualMachine& vm) {
+sim::MBps Migrator::jittered_dirty_rate(const VirtualMachine& vm) {
   // Page-dirtying is bursty; the paper's Fig. 10(c) shows wide per-VM
   // downtime variation. Lognormal jitter reproduces that spread.
-  const double base = model_.dirty_rate_mbps(vm);
+  const sim::MBps base = model_.dirty_rate_mbps(vm);
   return base * std::exp(sim_.rng().normal(0.0, 0.5));
 }
 
@@ -52,9 +55,9 @@ bool Migrator::migrate(VirtualMachine& vm, Machine& dest, DoneFn done) {
   Machine* src = vm.host_machine();
   if (vm.migrating() || src == nullptr || src == &dest) return false;
 
-  const double dirty = jittered_dirty_rate(vm);
-  const MigrationPlan plan =
-      model_.plan(vm.memory_mb(), dirty, cal_.migration_bw_mbps);
+  const sim::MBps dirty = jittered_dirty_rate(vm);
+  const MigrationPlan plan = model_.plan(vm.memory_mb(), dirty,
+                                         sim::MBps{cal_.migration_bw_mbps});
 
   auto record = std::make_shared<MigrationRecord>();
   record->vm = vm.name();
@@ -72,7 +75,7 @@ bool Migrator::migrate(VirtualMachine& vm, Machine& dest, DoneFn done) {
         sim_.now(), telemetry::EventKind::kMigrationStart, vm.name(),
         record->from,
         {{"to", record->to},
-         {"memory_mb", telemetry::json_num(vm.memory_mb())},
+         {"memory_mb", telemetry::json_num(vm.memory_mb().value())},
          {"rounds", telemetry::json_num(record->rounds)}});
   }
 
@@ -94,8 +97,11 @@ bool Migrator::migrate(VirtualMachine& vm, Machine& dest, DoneFn done) {
     if (in_stream->site() != nullptr) {
       in_stream->site()->remove(in_stream.get());
     }
-    record->precopy_seconds = sim_.now() - record->started_at;
+    record->precopy_seconds = sim::Duration{sim_.now() - record->started_at};
     vmp->set_paused(true);
+    // The pending event is the record's only owner until it lands in
+    // history_; the strong capture is the point.
+    // sim-lint: allow(capture-lifetime)
     sim_.after(record->downtime_seconds, [this, vmp, destp, record,
                                           done = std::move(done)]() {
       Machine* from = vmp->host_machine();
@@ -110,17 +116,19 @@ bool Migrator::migrate(VirtualMachine& vm, Machine& dest, DoneFn done) {
       if (tel_ != nullptr) {
         tel_->registry.counter("cluster.migrations").add();
         tel_->registry.counter("cluster.migration_mb", "MB")
-            .add(record->transferred_mb);
+            .add(record->transferred_mb.value());
         tel_->registry
             .histogram("cluster.migration_downtime_s", 0.0, 2.0, "s")
-            .record(record->downtime_seconds);
+            .record(record->downtime_seconds.value());
         tel_->trace.complete(
             record->started_at, sim_.now() - record->started_at,
             telemetry::EventKind::kMigrationEnd, record->vm, record->from,
             {{"to", record->to},
-             {"precopy_s", telemetry::json_num(record->precopy_seconds)},
-             {"downtime_s", telemetry::json_num(record->downtime_seconds)},
-             {"transferred_mb", telemetry::json_num(record->transferred_mb)}});
+             {"precopy_s", telemetry::json_num(record->precopy_seconds.value())},
+             {"downtime_s",
+              telemetry::json_num(record->downtime_seconds.value())},
+             {"transferred_mb",
+              telemetry::json_num(record->transferred_mb.value())}});
       }
       if (done) done(*record);
     });

@@ -22,9 +22,9 @@ struct Hub;
 namespace hybridmr::cluster {
 
 struct MigrationPlan {
-  double precopy_seconds = 0;  // at nominal migration bandwidth
-  double downtime_seconds = 0;
-  double transferred_mb = 0;
+  sim::Duration precopy_seconds;  // at nominal migration bandwidth
+  sim::Duration downtime_seconds;
+  sim::MegaBytes transferred_mb;
   int rounds = 0;
   bool converged = true;
 };
@@ -34,14 +34,14 @@ class MigrationModel {
  public:
   explicit MigrationModel(const Calibration& cal) : cal_(cal) {}
 
-  /// Plans a migration of `memory_mb` of guest memory with the given page
-  /// dirty rate over a link with `bw_mbps` available for migration traffic.
-  [[nodiscard]] MigrationPlan plan(double memory_mb, double dirty_rate_mbps,
-                                   double bw_mbps) const;
+  /// Plans a migration of `memory` of guest memory with the given page
+  /// dirty rate over a link with `bw` available for migration traffic.
+  [[nodiscard]] MigrationPlan plan(sim::MegaBytes memory, sim::MBps dirty_rate,
+                                   sim::MBps bw) const;
 
   /// Estimated page-dirty rate for a VM from its resident workloads'
   /// active memory.
-  [[nodiscard]] double dirty_rate_mbps(const VirtualMachine& vm) const;
+  [[nodiscard]] sim::MBps dirty_rate_mbps(const VirtualMachine& vm) const;
 
  private:
   const Calibration& cal_;
@@ -51,10 +51,10 @@ struct MigrationRecord {
   std::string vm;
   std::string from;
   std::string to;
-  double started_at = 0;
-  double precopy_seconds = 0;  // actual, including network contention
-  double downtime_seconds = 0;
-  double transferred_mb = 0;
+  sim::SimTime started_at = 0;
+  sim::Duration precopy_seconds;  // actual, including network contention
+  sim::Duration downtime_seconds;
+  sim::MegaBytes transferred_mb;
   int rounds = 0;
 };
 
@@ -81,7 +81,7 @@ class Migrator {
 
  private:
   /// Dirty rate with bursty (lognormal) jitter applied.
-  double jittered_dirty_rate(const VirtualMachine& vm);
+  sim::MBps jittered_dirty_rate(const VirtualMachine& vm);
 
   sim::Simulation& sim_;
   const Calibration& cal_;

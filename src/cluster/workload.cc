@@ -7,11 +7,11 @@
 
 namespace hybridmr::cluster {
 
-Workload::Workload(std::string name, Resources demand, double work_seconds)
+Workload::Workload(std::string name, Resources demand, sim::Duration work)
     : name_(std::move(name)),
       demand_(demand),
-      total_work_(work_seconds),
-      remaining_(work_seconds < 0 ? kService : work_seconds) {}
+      total_work_(work.value()),
+      remaining_(work < sim::Duration{0} ? kService.value() : work.value()) {}
 
 void Workload::set_demand(const Resources& demand) {
   demand_ = demand;
@@ -54,9 +54,9 @@ double Workload::speed() const {
   return speed_;
 }
 
-double Workload::remaining() const {
+sim::Duration Workload::remaining() const {
   drain_host(site_);
-  return remaining_;
+  return sim::Duration{remaining_};
 }
 
 double Workload::progress() const {

@@ -14,6 +14,7 @@
 
 #include "cluster/resources.h"
 #include "sim/event_queue.h"
+#include "sim/units.h"
 
 namespace hybridmr::cluster {
 
@@ -22,10 +23,10 @@ class ExecutionSite;
 class Workload {
  public:
   /// Sentinel for service (non-terminating) workloads.
-  static constexpr double kService = -1.0;
+  static constexpr sim::Duration kService{-1.0};
 
-  /// `work_seconds`: seconds of execution at full speed, or kService.
-  Workload(std::string name, Resources demand, double work_seconds);
+  /// `work`: execution time at full speed, or kService.
+  Workload(std::string name, Resources demand, sim::Duration work);
 
   Workload(const Workload&) = delete;
   Workload& operator=(const Workload&) = delete;
@@ -49,11 +50,13 @@ class Workload {
 
   // --- progress ---
   [[nodiscard]] bool finite() const { return total_work_ >= 0; }
-  [[nodiscard]] double total_work() const { return total_work_; }
-  /// Seconds-at-full-speed left. Drains any pending reallocation of the
+  [[nodiscard]] sim::Duration total_work() const {
+    return sim::Duration{total_work_};
+  }
+  /// Work-at-full-speed left. Drains any pending reallocation of the
   /// host machine first (settling accrued progress), like speed().
-  [[nodiscard]] double remaining() const;
-  [[nodiscard]] double done() const { return done_; }
+  [[nodiscard]] sim::Duration remaining() const;
+  [[nodiscard]] bool done() const { return done_; }
   /// Fraction complete in [0,1]; service workloads report 0. Drains any
   /// pending reallocation first (see remaining()).
   [[nodiscard]] double progress() const;
@@ -67,8 +70,12 @@ class Workload {
   // Counters are settled lazily: they are current as of the machine's last
   // reallocation. Call host_machine()->settle_now() first for an exact
   // reading at an arbitrary instant.
-  [[nodiscard]] double cpu_seconds_used() const { return cpu_seconds_; }
-  [[nodiscard]] double io_mb_done() const { return io_mb_; }
+  [[nodiscard]] sim::Duration cpu_seconds_used() const {
+    return sim::Duration{cpu_seconds_};
+  }
+  [[nodiscard]] sim::MegaBytes io_mb_done() const {
+    return sim::MegaBytes{io_mb_};
+  }
   [[nodiscard]] sim::SimTime started_at() const { return started_at_; }
 
   /// Invoked (by the hosting machine) when the work completes; the workload

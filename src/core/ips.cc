@@ -147,8 +147,8 @@ void InterferencePreventionSystem::migrate_batch_vm(
       excluded.push_back(app->site().host_machine());
     }
     Resources needed;
-    needed.cpu = vm->vcpus() * 0.5;
-    needed.memory = vm->memory_mb();
+    needed.cpu = vm->vcpus().value() * 0.5;
+    needed.memory = vm->memory_mb().value();
     Machine* dest = arbiter_.best_fit_host(cluster_, needed, excluded);
     if (dest != nullptr &&
         cluster_.migrator().migrate(*vm, *dest)) {
@@ -201,7 +201,7 @@ void InterferencePreventionSystem::restore_where_healthy() {
   for (auto* app : monitor_.apps()) {
     if (!app->running()) continue;
     const Machine* host = app->site().host_machine();
-    const bool ok = app->response_time_s() <=
+    const bool ok = sim::Duration{app->response_time_s()} <=
                     app->params().sla_s * options_.restore_margin;
     auto it = host_healthy.find(host);
     host_healthy[host] = it == host_healthy.end() ? ok : (it->second && ok);

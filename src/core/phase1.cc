@@ -59,11 +59,11 @@ PhaseOneScheduler::Decision PhaseOneScheduler::place(
 
   // Algorithm 2, lines 6-9: jobs whose virtual-cluster estimate misses the
   // desired completion time go to the physical cluster.
-  if (spec.desired_jct_s > 0) {
+  if (spec.desired_jct_s > sim::Duration{0}) {
     const double production_estimate = d.virtual_production.valid()
                                            ? d.virtual_production.jct_s
                                            : d.virtual_estimate.jct_s;
-    if (production_estimate >= spec.desired_jct_s) {
+    if (sim::Duration{production_estimate} >= spec.desired_jct_s) {
       d.pool = mapred::PlacementPool::kNativeOnly;
       d.reason = "virtual estimate misses desired JCT";
     } else {

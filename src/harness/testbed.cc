@@ -52,19 +52,19 @@ std::vector<cluster::ExecutionSite*> TestBed::add_native_nodes(int count) {
   return out;
 }
 
-std::pair<double, double> TestBed::partitioned_vm_shape(
+std::pair<sim::CoreShare, sim::MegaBytes> TestBed::partitioned_vm_shape(
     int vms_per_host) const {
   const auto& cal = options_.calibration;
   // One vCPU minimum: Xen's credit scheduler is work-conserving, so a
   // lone busy VM can use a full core even at high packing density.
-  const double vcpus = std::max(1.0, cal.pm_cores / vms_per_host);
+  const sim::CoreShare vcpus{std::max(1.0, cal.pm_cores / vms_per_host)};
   // Up to two VMs per host, half of each VM's memory slice goes to the
   // guest (the rest stays with Dom-0 and the page cache): at 2 VMs per
   // dual-core 4 GB server this is exactly the paper's 1 vCPU / 1 GB
   // configuration. Denser packings squeeze Dom-0 instead (0.75 x slice).
-  const double memory = vms_per_host <= 2
-                            ? cal.pm_memory_mb / (2.0 * vms_per_host)
-                            : cal.pm_memory_mb / vms_per_host;
+  const sim::MegaBytes memory{vms_per_host <= 2
+                                  ? cal.pm_memory_mb / (2.0 * vms_per_host)
+                                  : cal.pm_memory_mb / vms_per_host};
   return {vcpus, memory};
 }
 
@@ -90,7 +90,8 @@ std::vector<cluster::ExecutionSite*> TestBed::add_split_nodes(
     // One lean storage VM per host: it only runs the DataNode daemon, so
     // half a vCPU and a small guest heap suffice — its memory is almost
     // entirely page cache (the split architecture's win).
-    auto* dn_vm = cluster_->add_vm(*m, "", 0.5, 512);
+    auto* dn_vm =
+        cluster_->add_vm(*m, "", sim::CoreShare{0.5}, sim::MegaBytes{512});
     hdfs_->add_datanode(*dn_vm);
     // ...and compute VMs shaped like the combined deployment's.
     for (int i = 0; i < compute_vms_per_host; ++i) {
@@ -105,8 +106,9 @@ std::vector<cluster::ExecutionSite*> TestBed::add_dom0_nodes(int count) {
   std::vector<cluster::ExecutionSite*> out;
   const auto& cal = options_.calibration;
   for (auto* m : cluster_->add_machines(count, "dom0-host")) {
-    auto* vm = cluster_->add_vm(*m, m->name() + "-dom0", cal.pm_cores,
-                                cal.pm_memory_mb);
+    auto* vm = cluster_->add_vm(*m, m->name() + "-dom0",
+                                sim::CoreShare{cal.pm_cores},
+                                sim::MegaBytes{cal.pm_memory_mb});
     vm->set_dom0(true);
     out.push_back(register_node(*vm, /*datanode=*/true, /*tracker=*/true));
   }

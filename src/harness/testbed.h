@@ -78,8 +78,8 @@ class TestBed {
       int hosts, int compute_vms_per_host);
 
   /// VM shape for `vms_per_host`-way partitioning of one host.
-  [[nodiscard]] std::pair<double, double> partitioned_vm_shape(
-      int vms_per_host) const;
+  [[nodiscard]] std::pair<sim::CoreShare, sim::MegaBytes>
+  partitioned_vm_shape(int vms_per_host) const;
 
   /// Dom-0 deployment: Hadoop runs in the privileged domain with the full
   /// machine's resources (paper Fig. 2(c)).

@@ -21,11 +21,11 @@ Resources InteractiveApp::offered_demand() const {
   // Peak load the client population could offer if served at the floor
   // latency, times the over-provisioning headroom.
   const double lambda_max =
-      clients_ / (params_.think_time_s + params_.min_response_s);
+      clients_ / (params_.think_time_s + params_.min_response_s).value();
   Resources d;
   d.cpu = lambda_max * params_.cpu_s_per_req * params_.overprovision_factor;
   d.disk = lambda_max * params_.io_mb_per_req * params_.overprovision_factor;
-  d.memory = params_.memory_mb;
+  d.memory = params_.memory_mb.value();
   return d;
 }
 
@@ -58,7 +58,7 @@ void InteractiveApp::set_clients(int clients) {
 void InteractiveApp::refresh() {
   if (!service_) return;
   if (clients_ <= 0) {
-    response_s_ = params_.min_response_s;
+    response_s_ = params_.min_response_s.value();
     throughput_rps_ = 0;
     response_series_.add(sim_.now(), response_s_);
     note_telemetry();
@@ -66,7 +66,7 @@ void InteractiveApp::refresh() {
   }
   const Resources alloc = service_->allocated();
   const double N = clients_;
-  const double Z = params_.think_time_s;
+  const double Z = params_.think_time_s.value();
 
   // Queueing congestion at the shared physical resources: utilization by
   // *other* consumers on the host (collocated VMs, batch tasks) lengthens
@@ -98,8 +98,8 @@ void InteractiveApp::refresh() {
   }
   double s = std::isinf(mu) ? 1e-3 : 1.0 / std::max(mu, 1e-6);
   // Memory pressure inflates service time (paging).
-  if (params_.memory_mb > 0) {
-    const double ratio = alloc.memory / params_.memory_mb;
+  if (params_.memory_mb > sim::MegaBytes{0}) {
+    const double ratio = alloc.memory / params_.memory_mb.value();
     s /= cluster::memory_pressure_factor(
         ratio, cluster::Calibration::standard());
   }
@@ -107,7 +107,7 @@ void InteractiveApp::refresh() {
   // Closed PS station with N clients, think Z:  R^2 + R(Z - s(N+1)) - sZ = 0.
   const double b = Z - s * (N + 1);
   double r = (-b + std::sqrt(b * b + 4.0 * s * Z)) / 2.0;
-  r = std::max(r, params_.min_response_s);
+  r = std::max(r, params_.min_response_s.value());
 
   // Lognormal jitter makes timelines realistic without changing the mean.
   const double jitter =
@@ -139,7 +139,7 @@ void InteractiveApp::note_telemetry() {
         site_->name(),
         {{"state", violated ? "violated" : "recovered"},
          {"response_s", telemetry::json_num(response_s_)},
-         {"sla_s", telemetry::json_num(params_.sla_s)}});
+         {"sla_s", telemetry::json_num(params_.sla_s.value())}});
     was_violated_ = violated;
   }
 }

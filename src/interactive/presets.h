@@ -15,7 +15,7 @@ inline AppParams rubis_params() {
   p.name = "rubis";
   p.cpu_s_per_req = 0.0035;
   p.io_mb_per_req = 0.010;
-  p.memory_mb = 560;
+  p.memory_mb = sim::MegaBytes{560};
   return p;
 }
 
@@ -24,7 +24,7 @@ inline AppParams tpcw_params() {
   p.name = "tpcw";
   p.cpu_s_per_req = 0.0042;
   p.io_mb_per_req = 0.030;
-  p.memory_mb = 640;
+  p.memory_mb = sim::MegaBytes{640};
   return p;
 }
 
@@ -33,7 +33,7 @@ inline AppParams olio_params() {
   p.name = "olio";
   p.cpu_s_per_req = 0.0030;
   p.io_mb_per_req = 0.050;
-  p.memory_mb = 600;
+  p.memory_mb = sim::MegaBytes{600};
   return p;
 }
 

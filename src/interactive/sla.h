@@ -34,7 +34,7 @@ class SlaMonitor {
     for (const auto& s : app.response_series().samples()) {
       if (s.time < t0 || s.time > t1) continue;
       ++total;
-      if (s.value > app.params().sla_s) ++bad;
+      if (sim::Duration{s.value} > app.params().sla_s) ++bad;
     }
     return total > 0 ? static_cast<double>(bad) / total : 0;
   }

@@ -107,7 +107,7 @@ Job* MapReduceEngine::submit(const JobSpec& spec, storage::Hdfs::FileId input,
         spec.name + "-j" + std::to_string(id), kJobTrack,
         {{"maps", telemetry::json_num(n_maps)},
          {"reduces", telemetry::json_num(n_reduces)},
-         {"input_mb", telemetry::json_num(spec.input_mb())}});
+         {"input_mb", telemetry::json_num(spec.input_mb().value())}});
   }
   maybe_start_speculation_monitor();
   dispatch();
@@ -353,6 +353,9 @@ void MapReduceEngine::maybe_start_speculation_monitor() {
       sim_.after(options_.speculation_interval_s, [self]() { (*self)(); });
     }
   };
+  // Deliberate: this one strong capture is what the weak self-reference
+  // above balances against.
+  // sim-lint: allow(capture-lifetime)
   sim_.after(options_.speculation_interval_s, [tick]() { (*tick)(); });
 }
 
@@ -376,7 +379,8 @@ void MapReduceEngine::speculation_scan() {
           continue;
         }
         TaskAttempt* a = t->running_attempt();
-        if (a == nullptr || a->elapsed() < options_.speculation_min_elapsed_s) {
+        if (a == nullptr ||
+            sim::Duration{a->elapsed()} < options_.speculation_min_elapsed_s) {
           continue;
         }
         sum_rate += a->progress_rate();
@@ -397,7 +401,8 @@ void MapReduceEngine::speculation_scan() {
         if (copies_left <= 0) break;
         if (t->completed() || t->speculative_launched) continue;
         TaskAttempt* a = t->running_attempt();
-        if (a == nullptr || a->elapsed() < options_.speculation_min_elapsed_s) {
+        if (a == nullptr ||
+            sim::Duration{a->elapsed()} < options_.speculation_min_elapsed_s) {
           continue;
         }
         if (a->progress() > 0.9) continue;
@@ -465,12 +470,13 @@ void MapReduceEngine::note_attempt_released(const TaskAttempt& attempt) {
 }
 
 void MapReduceEngine::note_shuffle_started(const TaskAttempt& attempt,
-                                           double total_mb, int sources) {
+                                           sim::MegaBytes total_mb,
+                                           int sources) {
   if (tel_ == nullptr) return;
-  tel_shuffle_mb_->add(total_mb);
+  tel_shuffle_mb_->add(total_mb.value());
   tel_->trace.instant(sim_.now(), telemetry::EventKind::kShuffleStart,
                       attempt.label(), attempt.site().name(),
-                      {{"mb", telemetry::json_num(total_mb)},
+                      {{"mb", telemetry::json_num(total_mb.value())},
                        {"sources", telemetry::json_num(sources)}});
 }
 

@@ -27,9 +27,9 @@ class MapReduceEngine {
  public:
   struct Options {
     bool speculative_execution = true;
-    double speculation_interval_s = 5.0;
+    sim::Duration speculation_interval_s{5.0};
     /// Minimum runtime before an attempt can be judged a straggler.
-    double speculation_min_elapsed_s = 30.0;
+    sim::Duration speculation_min_elapsed_s{30.0};
     /// Stock Hadoop-1 behaviour: every slot gets a rigid share of the
     /// node's resources (fixed JVM heap, unmanaged I/O). HybridMR's DRM
     /// replaces these static caps with demand-driven allocations.
@@ -100,8 +100,8 @@ class MapReduceEngine {
   /// Telemetry hooks (no-ops without a hub).
   void note_task_started(const TaskAttempt& attempt);
   void note_attempt_released(const TaskAttempt& attempt);
-  void note_shuffle_started(const TaskAttempt& attempt, double total_mb,
-                            int sources);
+  void note_shuffle_started(const TaskAttempt& attempt,
+                            sim::MegaBytes total_mb, int sources);
   [[nodiscard]] sim::Simulation& sim() { return sim_; }
   [[nodiscard]] storage::Hdfs& hdfs() { return hdfs_; }
   [[nodiscard]] const cluster::Calibration& calibration() const {

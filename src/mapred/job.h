@@ -63,12 +63,12 @@ class Job {
   }
 
   // --- data-flow helpers ---
-  [[nodiscard]] double total_map_output_mb() const {
+  [[nodiscard]] sim::MegaBytes total_map_output_mb() const {
     return spec_.input_mb() * spec_.map_selectivity;
   }
-  [[nodiscard]] double shuffle_mb_per_reducer() const {
+  [[nodiscard]] sim::MegaBytes shuffle_mb_per_reducer() const {
     return reduces_.empty()
-               ? 0
+               ? sim::MegaBytes{0}
                : total_map_output_mb() / static_cast<double>(reduces_.size());
   }
 

@@ -4,6 +4,8 @@
 
 #include <string>
 
+#include "sim/units.h"
+
 namespace hybridmr::mapred {
 
 /// Coarse resource class, as the paper categorizes its benchmarks (§IV).
@@ -29,7 +31,7 @@ struct JobSpec {
   double reduce_output_ratio = 1.0; // output bytes / intermediate bytes
 
   // Memory footprint of one running task (JVM heap + buffers).
-  double task_memory_mb = 300;
+  sim::MegaBytes task_memory_mb{300};
 
   // Number of reduce tasks; 0 = one per TaskTracker.
   int num_reducers = 0;
@@ -38,12 +40,12 @@ struct JobSpec {
   // benchmarks conventionally write with replication 1 (terasort).
   int output_replicas = 0;
 
-  // Input split size override in MB (0 = the cluster's HDFS block size).
+  // Input split size override (0 = the cluster's HDFS block size).
   // Compute-shaped jobs like PiEst use tiny splits over tiny inputs.
-  double split_mb = 0;
+  sim::MegaBytes split_mb{0};
 
   // Completion-time SLO used by the Phase I placement (0 = best effort).
-  double desired_jct_s = 0;
+  sim::Duration desired_jct_s{0};
 
   /// Same job, different input size (paper scales Sort from 1 to 20 GB).
   [[nodiscard]] JobSpec with_input_gb(double gb) const {
@@ -58,13 +60,15 @@ struct JobSpec {
     return s;
   }
 
-  [[nodiscard]] JobSpec with_desired_jct(double seconds) const {
+  [[nodiscard]] JobSpec with_desired_jct(sim::Duration jct) const {
     JobSpec s = *this;
-    s.desired_jct_s = seconds;
+    s.desired_jct_s = jct;
     return s;
   }
 
-  [[nodiscard]] double input_mb() const { return input_gb * 1024.0; }
+  [[nodiscard]] sim::MegaBytes input_mb() const {
+    return sim::MegaBytes{input_gb * 1024.0};
+  }
 };
 
 inline const char* to_string(JobClass c) {

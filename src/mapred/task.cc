@@ -63,8 +63,10 @@ void TaskAttempt::build_phases() {
   const auto& cal = engine_->calibration();
   phases_.clear();
   if (task_->type() == TaskType::kMap) {
-    const double mb = engine_->hdfs().block_size_mb(
-        task_->job().input_file(), task_->index());
+    const double mb = engine_->hdfs()
+                          .block_size_mb(task_->job().input_file(),
+                                         task_->index())
+                          .value();
     // Fetch the first split buffer through HDFS (captures locality), then
     // stream the rest pipelined with record processing, like a real map.
     const double head_mb = 0.15 * mb;
@@ -76,17 +78,18 @@ void TaskAttempt::build_phases() {
     Phase stream{Phase::Kind::kStream, stream_s, {}};
     stream.demand.cpu = std::min(1.0, cpu_s / stream_s);
     stream.demand.disk = body_mb / stream_s;
-    stream.demand.memory = spec.task_memory_mb;
+    stream.demand.memory = spec.task_memory_mb.value();
     phases_.push_back(stream);
     const double out = mb * spec.map_selectivity;
     if (out > 0.01) phases_.push_back({Phase::Kind::kLocalWrite, out, {}});
   } else {
-    const double mb = task_->job().shuffle_mb_per_reducer();
+    const double mb = task_->job().shuffle_mb_per_reducer().value();
     if (mb > 0.01) phases_.push_back({Phase::Kind::kShuffle, mb, {}});
     // Merge-sort passes grow with the spill count: the reduce-phase
     // nonlinearity of Fig. 5(c).
-    const double spills =
-        std::max(1.0, std::log2(1.0 + mb / std::max(1.0, spec.task_memory_mb)));
+    const double spills = std::max(
+        1.0,
+        std::log2(1.0 + mb / std::max(1.0, spec.task_memory_mb.value())));
     const double cpu =
         mb * (spec.reduce_cpu_s_per_mb + spec.sort_cpu_s_per_mb * spills);
     phases_.push_back({Phase::Kind::kCompute, std::max(0.05, cpu), {}});
@@ -142,8 +145,10 @@ void TaskAttempt::next_phase() {
   switch (phase.kind) {
     case Phase::Kind::kRead: {
       phase_flow_total_ = phase.amount;
-      const double block_mb = engine_->hdfs().block_size_mb(
-          task_->job().input_file(), task_->index());
+      const double block_mb = engine_->hdfs()
+                                  .block_size_mb(task_->job().input_file(),
+                                                 task_->index())
+                                  .value();
       auto handle = engine_->hdfs().read_block(
           task_->job().input_file(), task_->index(), site(),
           [this, mb = phase.amount]() { flow_completed(mb); },
@@ -158,10 +163,10 @@ void TaskAttempt::next_phase() {
       Resources d = phase.demand;
       if (phase.kind == Phase::Kind::kCompute) {
         d.cpu = 1.0;
-        d.memory = spec.task_memory_mb;
+        d.memory = spec.task_memory_mb.value();
       }
-      workload_ =
-          std::make_shared<Workload>(label() + ":compute", d, phase.amount);
+      workload_ = std::make_shared<Workload>(label() + ":compute", d,
+                                             sim::Duration{phase.amount});
       workload_->set_caps(caps_);
       workload_->set_paused(paused_);
       workload_->on_complete = [this]() {
@@ -175,7 +180,9 @@ void TaskAttempt::next_phase() {
       Resources d;
       d.disk = cal.hdfs_stream_disk_mbps;
       workload_ = std::make_shared<Workload>(
-          label() + ":spill", d, phase.amount / cal.hdfs_stream_disk_mbps);
+          label() + ":spill", d,
+          sim::MegaBytes{phase.amount} /
+              sim::MBps{cal.hdfs_stream_disk_mbps});
       workload_->set_caps(caps_);
       workload_->set_paused(paused_);
       workload_->on_complete = [this]() {
@@ -191,7 +198,7 @@ void TaskAttempt::next_phase() {
     case Phase::Kind::kWrite: {
       phase_flow_total_ = phase.amount;
       auto handle = engine_->hdfs().write(
-          site(), phase.amount,
+          site(), sim::MegaBytes{phase.amount},
           [this, mb = phase.amount]() { flow_completed(mb); },
           spec.output_replicas);
       if (paused_) handle.set_paused(true);
@@ -241,7 +248,7 @@ void TaskAttempt::begin_shuffle(double total_mb) {
     phase_finished();
     return;
   }
-  engine_->note_shuffle_started(*this, total_mb,
+  engine_->note_shuffle_started(*this, sim::MegaBytes{total_mb},
                                 static_cast<int>(shuffle_queue_.size()));
   pump_shuffle();
 }
@@ -251,7 +258,8 @@ void TaskAttempt::pump_shuffle() {
          shuffle_next_ < shuffle_queue_.size()) {
     auto [src, mb] = shuffle_queue_[shuffle_next_++];
     auto handle = engine_->hdfs().transfer(
-        *src, site(), mb, [this, mb]() { flow_completed(mb); });
+        *src, site(), sim::MegaBytes{mb},
+        [this, mb]() { flow_completed(mb); });
     if (paused_) handle.set_paused(true);
     handle.set_caps(caps_);
     flows_.push_back({handle, mb});

@@ -16,6 +16,7 @@
 #include "sim/event_queue.h"
 #include "sim/log.h"
 #include "sim/rng.h"
+#include "sim/units.h"
 
 namespace hybridmr::sim {
 
@@ -76,6 +77,12 @@ class Simulation {
     return at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
   }
 
+  /// Strongly-typed span overload: after(bytes / rate, ...) composes
+  /// without unwrapping at every call site.
+  EventId after(Duration delay, std::function<void()> fn) {
+    return after(delay.value(), std::move(fn));
+  }
+
   /// Cancels a pending event. Returns false if it already fired.
   bool cancel(EventId id) { return queue_.cancel(id); }
 
@@ -83,6 +90,12 @@ class Simulation {
   /// `initial_delay` (defaults to one period). Cancel via the handle.
   PeriodicHandle every(SimTime period, std::function<void()> fn,
                        SimTime initial_delay = -1);
+
+  /// Strongly-typed span overload of every().
+  PeriodicHandle every(Duration period, std::function<void()> fn,
+                       Duration initial_delay = Duration{-1}) {
+    return every(period.value(), std::move(fn), initial_delay.value());
+  }
 
   /// Runs until the event queue drains. Returns events processed.
   std::size_t run();

@@ -11,23 +11,27 @@ struct TaskClock {
   double end = 0;
 };
 
-DfsIoResult summarize(const std::vector<TaskClock>& clocks, double file_mb) {
+DfsIoResult summarize(const std::vector<TaskClock>& clocks,
+                      sim::MegaBytes file_mb) {
   DfsIoResult r;
   double sum_rate = 0;
   double sum_time = 0;
+  double wall = 0;
   for (const auto& c : clocks) {
     const double t = c.end - c.start;
     if (t <= 0) continue;
-    sum_rate += file_mb / t;
+    sum_rate += file_mb.value() / t;
     sum_time += t;
-    r.wall_seconds = std::max(r.wall_seconds, c.end);
+    wall = std::max(wall, c.end);
   }
+  r.wall_seconds = sim::Duration{wall};
   if (!clocks.empty()) {
-    r.avg_io_rate_mbps = sum_rate / static_cast<double>(clocks.size());
+    r.avg_io_rate_mbps =
+        sim::MBps{sum_rate / static_cast<double>(clocks.size())};
   }
   if (sum_time > 0) {
-    r.throughput_mbps =
-        file_mb * static_cast<double>(clocks.size()) / sum_time;
+    r.throughput_mbps = sim::MBps{
+        file_mb.value() * static_cast<double>(clocks.size()) / sum_time};
   }
   return r;
 }
@@ -35,7 +39,8 @@ DfsIoResult summarize(const std::vector<TaskClock>& clocks, double file_mb) {
 }  // namespace
 
 DfsIoResult DfsIoBenchmark::run_write(
-    const std::vector<cluster::ExecutionSite*>& sites, double file_mb) {
+    const std::vector<cluster::ExecutionSite*>& sites,
+    sim::MegaBytes file_mb) {
   auto clocks = std::make_shared<std::vector<TaskClock>>(sites.size());
   for (std::size_t i = 0; i < sites.size(); ++i) {
     (*clocks)[i].start = sim_.now();
@@ -48,7 +53,8 @@ DfsIoResult DfsIoBenchmark::run_write(
 }
 
 DfsIoResult DfsIoBenchmark::run_read(
-    const std::vector<cluster::ExecutionSite*>& sites, double file_mb) {
+    const std::vector<cluster::ExecutionSite*>& sites,
+    sim::MegaBytes file_mb) {
   auto clocks = std::make_shared<std::vector<TaskClock>>(sites.size());
   for (std::size_t i = 0; i < sites.size(); ++i) {
     const auto file =

@@ -13,9 +13,9 @@
 namespace hybridmr::storage {
 
 struct DfsIoResult {
-  double avg_io_rate_mbps = 0;
-  double throughput_mbps = 0;
-  double wall_seconds = 0;
+  sim::MBps avg_io_rate_mbps;
+  sim::MBps throughput_mbps;
+  sim::Duration wall_seconds;
 };
 
 class DfsIoBenchmark {
@@ -25,12 +25,12 @@ class DfsIoBenchmark {
   /// One writer per site, each writing `file_mb`. Runs the simulation
   /// until all writers finish.
   DfsIoResult run_write(const std::vector<cluster::ExecutionSite*>& sites,
-                        double file_mb);
+                        sim::MegaBytes file_mb);
 
   /// One reader per site, each reading a freshly staged `file_mb` file
   /// block-by-block.
   DfsIoResult run_read(const std::vector<cluster::ExecutionSite*>& sites,
-                       double file_mb);
+                       sim::MegaBytes file_mb);
 
  private:
   sim::Simulation& sim_;

@@ -79,9 +79,9 @@ bool Hdfs::remove_datanode(ExecutionSite& site) {
       auto& reps = file.block_replicas[b];
       auto pos = std::find(reps.begin(), reps.end(), leaving);
       if (pos == reps.end()) continue;
-      const double mb = block_mb_of(file.size_mb, static_cast<int>(b),
-                                    static_cast<int>(file.block_replicas.size()),
-                                    file.block_mb);
+      const sim::MegaBytes mb{block_mb_of(
+          file.size_mb, static_cast<int>(b),
+          static_cast<int>(file.block_replicas.size()), file.block_mb)};
       // Pick a surviving target not already holding the block.
       DataNode* target = nullptr;
       std::size_t probe = sim_.rng().index(datanodes_.size());
@@ -110,7 +110,7 @@ bool Hdfs::remove_datanode(ExecutionSite& site) {
       }
       *pos = target;
       target->add_stored(mb);
-      re_replicated_mb_ += mb;
+      re_replicated_mb_ += mb.value();
       transfer(*source, *target->site(), mb, nullptr);
     }
   }
@@ -119,15 +119,16 @@ bool Hdfs::remove_datanode(ExecutionSite& site) {
   return true;
 }
 
-Hdfs::FileId Hdfs::stage_file(const std::string& name, double size_mb,
-                              double block_mb) {
+Hdfs::FileId Hdfs::stage_file(const std::string& name, sim::MegaBytes size_mb,
+                              sim::MegaBytes block_mb) {
   assert(!datanodes_.empty() && "stage_file needs at least one datanode");
   File file;
   file.name = name;
-  file.size_mb = size_mb;
-  file.block_mb = block_mb > 0 ? block_mb : cal_.hdfs_block_mb;
+  file.size_mb = size_mb.value();
+  file.block_mb =
+      block_mb > sim::MegaBytes{0} ? block_mb.value() : cal_.hdfs_block_mb;
   const int blocks = std::max(
-      1, static_cast<int>(std::ceil(size_mb / file.block_mb)));
+      1, static_cast<int>(std::ceil(file.size_mb / file.block_mb)));
   file.block_replicas.reserve(static_cast<std::size_t>(blocks));
   for (int b = 0; b < blocks; ++b) {
     // Random primary with a rotating offset: spreads blocks evenly like
@@ -149,7 +150,8 @@ Hdfs::FileId Hdfs::stage_file(const std::string& name, double size_mb,
         reps.push_back(candidate);
       }
     }
-    const double mb = block_mb_of(size_mb, b, blocks, file.block_mb);
+    const sim::MegaBytes mb{block_mb_of(file.size_mb, b, blocks,
+                                        file.block_mb)};
     for (DataNode* dn : reps) dn->add_stored(mb);
     file.block_replicas.push_back(std::move(reps));
   }
@@ -169,10 +171,11 @@ double Hdfs::block_mb_of(double size_mb, int block, int blocks,
   return tail > 0 ? tail : size_mb;
 }
 
-double Hdfs::block_size_mb(FileId file, int block) const {
+sim::MegaBytes Hdfs::block_size_mb(FileId file, int block) const {
   const File& f = files_[file];
-  return block_mb_of(f.size_mb, block,
-                     static_cast<int>(f.block_replicas.size()), f.block_mb);
+  return sim::MegaBytes{block_mb_of(
+      f.size_mb, block, static_cast<int>(f.block_replicas.size()),
+      f.block_mb)};
 }
 
 const std::vector<DataNode*>& Hdfs::replicas(FileId file, int block) const {
@@ -250,7 +253,7 @@ FlowHandle Hdfs::run_flow(ExecutionSite& primary_site, WorkloadPtr primary,
 
 FlowHandle Hdfs::read_block(FileId file, int block, ExecutionSite& reader,
                             DoneFn done, double fraction) {
-  const double mb = block_size_mb(file, block) * fraction;
+  const sim::MegaBytes mb = block_size_mb(file, block) * fraction;
   const auto& reps = replicas(file, block);
   assert(!reps.empty());
 
@@ -272,14 +275,14 @@ FlowHandle Hdfs::read_block(FileId file, int block, ExecutionSite& reader,
     chosen = reps[sim_.rng().index(reps.size())];
   }
 
-  const double disk_rate = cal_.hdfs_stream_disk_mbps;
-  const double net_rate = cal_.hdfs_stream_net_mbps;
+  const sim::MBps disk_rate{cal_.hdfs_stream_disk_mbps};
+  const sim::MBps net_rate{cal_.hdfs_stream_net_mbps};
 
   switch (locality) {
     case Locality::kNodeLocal: {
-      read_local_mb_ += mb;
+      read_local_mb_ += mb.value();
       Resources d;
-      d.disk = disk_rate;
+      d.disk = disk_rate.value();
       d.cpu = cal_.hdfs_serve_cpu_per_stream;
       return run_flow(
           reader, std::make_shared<Workload>("hdfs-read", d, mb / disk_rate),
@@ -288,9 +291,9 @@ FlowHandle Hdfs::read_block(FileId file, int block, ExecutionSite& reader,
     case Locality::kHostLocal: {
       // Served by a sibling VM over the Xen loopback: disk on the serving
       // datanode paces the flow; no physical NIC usage.
-      read_local_mb_ += mb;
+      read_local_mb_ += mb.value();
       Resources d;
-      d.disk = disk_rate;
+      d.disk = disk_rate.value();
       d.cpu = cal_.hdfs_serve_cpu_per_stream;
       return run_flow(
           *chosen->site(),
@@ -298,13 +301,13 @@ FlowHandle Hdfs::read_block(FileId file, int block, ExecutionSite& reader,
           std::move(done));
     }
     case Locality::kRemote: {
-      read_remote_mb_ += mb;
+      read_remote_mb_ += mb.value();
       Resources reader_d;
-      reader_d.net = net_rate;
+      reader_d.net = net_rate.value();
       reader_d.cpu = cal_.hdfs_read_cpu_per_stream;
       Resources server_d;
-      server_d.disk = net_rate;  // disk paced by the network stream
-      server_d.net = net_rate;
+      server_d.disk = net_rate.value();  // disk paced by the network stream
+      server_d.net = net_rate.value();
       server_d.cpu = cal_.hdfs_serve_cpu_per_stream;
       auto primary =
           std::make_shared<Workload>("hdfs-read-remote", reader_d,
@@ -347,15 +350,15 @@ std::vector<DataNode*> Hdfs::pick_replicas(const ExecutionSite* origin,
   return out;
 }
 
-FlowHandle Hdfs::write(ExecutionSite& writer, double mb, DoneFn done,
+FlowHandle Hdfs::write(ExecutionSite& writer, sim::MegaBytes mb, DoneFn done,
                        int replicas) {
   const int want =
       std::min<int>(replicas > 0 ? replicas : cal_.hdfs_replicas,
                     std::max<int>(1, datanodes_.size()));
   const auto reps = pick_replicas(&writer, want);
-  const double disk_rate = cal_.hdfs_stream_disk_mbps;
-  const double net_rate = cal_.hdfs_stream_net_mbps;
-  written_mb_ += mb;
+  const sim::MBps disk_rate{cal_.hdfs_stream_disk_mbps};
+  const sim::MBps net_rate{cal_.hdfs_stream_net_mbps};
+  written_mb_ += mb.value();
   for (DataNode* dn : reps) dn->add_stored(mb);
 
   // The pipeline is paced by its slowest stage; each replica is charged
@@ -363,39 +366,40 @@ FlowHandle Hdfs::write(ExecutionSite& writer, double mb, DoneFn done,
   // touches disk when it hosts the first replica — a split-architecture
   // TaskTracker VM just pushes the stream to its sibling storage VM.
   Resources writer_d;
-  writer_d.disk = !reps.empty() && reps[0]->site() == &writer ? disk_rate : 0;
+  writer_d.disk =
+      !reps.empty() && reps[0]->site() == &writer ? disk_rate.value() : 0;
   writer_d.cpu = cal_.hdfs_serve_cpu_per_stream;
   bool writer_has_remote_hop = false;
   std::vector<std::pair<ExecutionSite*, WorkloadPtr>> secs;
   for (DataNode* dn : reps) {
     if (dn->site() == &writer) continue;
     Resources rep_d;
-    rep_d.disk = disk_rate;
+    rep_d.disk = disk_rate.value();
     rep_d.cpu = cal_.hdfs_serve_cpu_per_stream;
     if (!same_host(*dn->site(), writer)) {
-      rep_d.net = net_rate;
+      rep_d.net = net_rate.value();
       writer_has_remote_hop = true;
     }
     secs.emplace_back(dn->site(),
                       std::make_shared<Workload>("hdfs-replica", rep_d,
                                                  Workload::kService));
   }
-  if (writer_has_remote_hop) writer_d.net = net_rate;
-  const double rate = writer_has_remote_hop ? std::min(disk_rate, net_rate)
-                                            : disk_rate;
+  if (writer_has_remote_hop) writer_d.net = net_rate.value();
+  const sim::MBps rate = writer_has_remote_hop ? std::min(disk_rate, net_rate)
+                                               : disk_rate;
   return run_flow(
       writer, std::make_shared<Workload>("hdfs-write", writer_d, mb / rate),
       std::move(secs), std::move(done));
 }
 
-FlowHandle Hdfs::transfer(ExecutionSite& src, ExecutionSite& dst, double mb,
-                    DoneFn done) {
-  const double disk_rate = cal_.hdfs_stream_disk_mbps;
-  const double net_rate = cal_.hdfs_stream_net_mbps;
+FlowHandle Hdfs::transfer(ExecutionSite& src, ExecutionSite& dst,
+                          sim::MegaBytes mb, DoneFn done) {
+  const sim::MBps disk_rate{cal_.hdfs_stream_disk_mbps};
+  const sim::MBps net_rate{cal_.hdfs_stream_net_mbps};
   if (&src == &dst) {
     // Local fetch: just the disk read.
     Resources d;
-    d.disk = disk_rate;
+    d.disk = disk_rate.value();
     d.cpu = cal_.hdfs_read_cpu_per_stream;
     return run_flow(
         dst, std::make_shared<Workload>("fetch-local", d, mb / disk_rate), {},
@@ -403,20 +407,20 @@ FlowHandle Hdfs::transfer(ExecutionSite& src, ExecutionSite& dst, double mb,
   }
   if (same_host(src, dst)) {
     // Loopback: disk at the source paces it, capped by the loopback rate.
-    const double rate = std::min(disk_rate, cal_.loopback_mbps);
+    const sim::MBps rate = std::min(disk_rate, sim::MBps{cal_.loopback_mbps});
     Resources d;
-    d.disk = disk_rate;
+    d.disk = disk_rate.value();
     d.cpu = cal_.hdfs_serve_cpu_per_stream;
     return run_flow(
         src, std::make_shared<Workload>("fetch-loopback", d, mb / rate), {},
         std::move(done));
   }
   Resources dst_d;
-  dst_d.net = net_rate;
+  dst_d.net = net_rate.value();
   dst_d.cpu = cal_.hdfs_read_cpu_per_stream;
   Resources src_d;
-  src_d.disk = net_rate;
-  src_d.net = net_rate;
+  src_d.disk = net_rate.value();
+  src_d.net = net_rate.value();
   src_d.cpu = cal_.hdfs_serve_cpu_per_stream;
   std::vector<std::pair<ExecutionSite*, WorkloadPtr>> secs;
   secs.emplace_back(&src, std::make_shared<Workload>("fetch-serve", src_d,

@@ -27,8 +27,10 @@ class DataNode {
   explicit DataNode(cluster::ExecutionSite& site) : site_(&site) {}
 
   [[nodiscard]] cluster::ExecutionSite* site() const { return site_; }
-  [[nodiscard]] double stored_mb() const { return stored_mb_; }
-  void add_stored(double mb) { stored_mb_ += mb; }
+  [[nodiscard]] sim::MegaBytes stored_mb() const {
+    return sim::MegaBytes{stored_mb_};
+  }
+  void add_stored(sim::MegaBytes mb) { stored_mb_ += mb.value(); }
 
  private:
   cluster::ExecutionSite* site_;
@@ -108,8 +110,10 @@ class Hdfs {
   /// datanode or it is the last one.
   bool remove_datanode(cluster::ExecutionSite& site);
 
-  /// MB of re-replication traffic caused by decommissions.
-  [[nodiscard]] double re_replicated_mb() const { return re_replicated_mb_; }
+  /// Re-replication traffic caused by decommissions.
+  [[nodiscard]] sim::MegaBytes re_replicated_mb() const {
+    return sim::MegaBytes{re_replicated_mb_};
+  }
   [[nodiscard]] const std::vector<std::unique_ptr<DataNode>>& datanodes()
       const {
     return datanodes_;
@@ -123,11 +127,11 @@ class Hdfs {
   /// `replicas` copies each (no simulated I/O; the data is already there,
   /// like a staged benchmark input). `block_mb` overrides the cluster
   /// block size when positive.
-  FileId stage_file(const std::string& name, double size_mb,
-                    double block_mb = 0);
+  FileId stage_file(const std::string& name, sim::MegaBytes size_mb,
+                    sim::MegaBytes block_mb = sim::MegaBytes{0});
 
   [[nodiscard]] int num_blocks(FileId file) const;
-  [[nodiscard]] double block_size_mb(FileId file, int block) const;
+  [[nodiscard]] sim::MegaBytes block_size_mb(FileId file, int block) const;
   [[nodiscard]] const std::vector<DataNode*>& replicas(FileId file,
                                                        int block) const;
   /// Best achievable locality when `site` reads this block.
@@ -145,18 +149,24 @@ class Hdfs {
   /// Writes `mb` with the replication pipeline (local first, then remote
   /// replicas), charging disk at every replica and network for remote
   /// hops. `replicas` overrides the cluster default when positive.
-  FlowHandle write(cluster::ExecutionSite& writer, double mb, DoneFn done,
-                   int replicas = 0);
+  FlowHandle write(cluster::ExecutionSite& writer, sim::MegaBytes mb,
+                   DoneFn done, int replicas = 0);
 
   /// Raw transfer of `mb` from `src` to `dst` (shuffle traffic): disk read
   /// at src plus network unless the sites share a physical host.
-  FlowHandle transfer(cluster::ExecutionSite& src,
-                      cluster::ExecutionSite& dst, double mb, DoneFn done);
+  FlowHandle transfer(cluster::ExecutionSite& src, cluster::ExecutionSite& dst,
+                      sim::MegaBytes mb, DoneFn done);
 
   // --- metrics ---
-  [[nodiscard]] double bytes_read_local_mb() const { return read_local_mb_; }
-  [[nodiscard]] double bytes_read_remote_mb() const { return read_remote_mb_; }
-  [[nodiscard]] double bytes_written_mb() const { return written_mb_; }
+  [[nodiscard]] sim::MegaBytes bytes_read_local_mb() const {
+    return sim::MegaBytes{read_local_mb_};
+  }
+  [[nodiscard]] sim::MegaBytes bytes_read_remote_mb() const {
+    return sim::MegaBytes{read_remote_mb_};
+  }
+  [[nodiscard]] sim::MegaBytes bytes_written_mb() const {
+    return sim::MegaBytes{written_mb_};
+  }
 
  private:
   struct File {

@@ -55,7 +55,7 @@ void RunReport::to_json(std::ostream& os) const {
        << ",\"jct_s\":" << json_num(j.jct_s)
        << ",\"map_phase_s\":" << json_num(j.map_phase_s)
        << ",\"reduce_phase_s\":" << json_num(j.reduce_phase_s)
-       << ",\"shuffle_mb\":" << json_num(j.shuffle_mb) << "}";
+       << ",\"shuffle_mb\":" << json_num(j.shuffle_mb.value()) << "}";
   }
   os << "\n  ],\n  \"machines\":[";
   first = true;
@@ -68,8 +68,8 @@ void RunReport::to_json(std::ostream& os) const {
        << ",\"mean_memory_util\":" << json_num(m.mean_memory)
        << ",\"mean_disk_util\":" << json_num(m.mean_disk)
        << ",\"mean_net_util\":" << json_num(m.mean_net)
-       << ",\"energy_joules\":" << json_num(m.energy_joules)
-       << ",\"mean_watts\":" << json_num(m.mean_watts)
+       << ",\"energy_joules\":" << json_num(m.energy_joules.value())
+       << ",\"mean_watts\":" << json_num(m.mean_watts.value())
        << ",\"cpu_util_series\":";
     write_series(os, m.cpu_series);
     os << ",\"power_watts_series\":";
@@ -82,7 +82,7 @@ void RunReport::to_json(std::ostream& os) const {
     if (!first) os << ",";
     first = false;
     os << "\n    {\"name\":" << json_str(a.name)
-       << ",\"sla_s\":" << json_num(a.sla_s)
+       << ",\"sla_s\":" << json_num(a.sla_s.value())
        << ",\"samples\":" << json_num(double(a.samples))
        << ",\"mean_s\":" << json_num(a.mean_s)
        << ",\"p50_s\":" << json_num(a.p50_s)
@@ -109,7 +109,8 @@ void RunReport::to_csv(std::ostream& os) const {
     os << j.id << "," << csv(j.name) << "," << csv(j.state) << "," << j.maps
        << "," << j.reduces << "," << csv(j.submit_s) << ","
        << csv(j.finish_s) << "," << csv(j.jct_s) << "," << csv(j.map_phase_s)
-       << "," << csv(j.reduce_phase_s) << "," << csv(j.shuffle_mb) << "\n";
+       << "," << csv(j.reduce_phase_s) << "," << csv(j.shuffle_mb.value())
+       << "\n";
   }
   os << "\n# machines\n"
      << "name,vms,powered,mean_cpu_util,mean_memory_util,mean_disk_util,"
@@ -118,13 +119,15 @@ void RunReport::to_csv(std::ostream& os) const {
     os << csv(m.name) << "," << m.vms << "," << (m.powered ? 1 : 0) << ","
        << csv(m.mean_cpu) << "," << csv(m.mean_memory) << ","
        << csv(m.mean_disk) << "," << csv(m.mean_net) << ","
-       << csv(m.energy_joules) << "," << csv(m.mean_watts) << "\n";
+       << csv(m.energy_joules.value()) << "," << csv(m.mean_watts.value())
+       << "\n";
   }
   os << "\n# apps\n"
      << "name,sla_s,samples,mean_s,p50_s,p95_s,p99_s,max_s,"
         "violation_fraction\n";
   for (const auto& a : apps) {
-    os << csv(a.name) << "," << csv(a.sla_s) << "," << a.samples << ","
+    os << csv(a.name) << "," << csv(a.sla_s.value()) << "," << a.samples
+       << ","
        << csv(a.mean_s) << "," << csv(a.p50_s) << "," << csv(a.p95_s) << ","
        << csv(a.p99_s) << "," << csv(a.max_s) << ","
        << csv(a.violation_fraction) << "\n";

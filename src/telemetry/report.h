@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/units.h"
+
 namespace hybridmr::telemetry {
 
 class Registry;
@@ -35,7 +37,7 @@ struct RunReport {
     double jct_s = -1;
     double map_phase_s = -1;
     double reduce_phase_s = -1;
-    double shuffle_mb = 0;  // total shuffle volume of the job
+    sim::MegaBytes shuffle_mb;  // total shuffle volume of the job
   };
 
   /// Per-machine utilization means, energy integral and resampled series.
@@ -47,8 +49,8 @@ struct RunReport {
     double mean_memory = 0;
     double mean_disk = 0;
     double mean_net = 0;
-    double energy_joules = 0;
-    double mean_watts = 0;
+    sim::Joules energy_joules;
+    sim::Watts mean_watts;
     std::vector<SeriesPoint> cpu_series;
     std::vector<SeriesPoint> power_series;
   };
@@ -56,7 +58,7 @@ struct RunReport {
   /// Per-interactive-app latency distribution vs. its SLA.
   struct AppRow {
     std::string name;
-    double sla_s = 0;
+    sim::Duration sla_s;
     std::size_t samples = 0;
     double mean_s = 0;
     double p50_s = 0;

@@ -18,7 +18,7 @@ JobSpec twitter() {
   s.reduce_cpu_s_per_mb = 0.08;
   s.map_selectivity = 0.40;
   s.reduce_output_ratio = 0.20;
-  s.task_memory_mb = 800;
+  s.task_memory_mb = sim::MegaBytes{800};
   return s;
 }
 
@@ -31,7 +31,7 @@ JobSpec wcount() {
   s.reduce_cpu_s_per_mb = 0.03;
   s.map_selectivity = 0.25;
   s.reduce_output_ratio = 0.30;
-  s.task_memory_mb = 700;
+  s.task_memory_mb = sim::MegaBytes{700};
   return s;
 }
 
@@ -43,12 +43,12 @@ JobSpec pi_est() {
   // tasks) with all the cost in compute, like hadoop-examples pi. Having
   // more tasks than cluster slots keeps every wave full.
   s.input_gb = 0.125;
-  s.split_mb = 1;
+  s.split_mb = sim::MegaBytes{1};
   s.map_cpu_s_per_mb = 9.6;
   s.reduce_cpu_s_per_mb = 0.01;
   s.map_selectivity = 0.001;
   s.reduce_output_ratio = 1.0;
-  s.task_memory_mb = 200;
+  s.task_memory_mb = sim::MegaBytes{200};
   s.num_reducers = 1;
   return s;
 }
@@ -62,7 +62,7 @@ JobSpec dist_grep() {
   s.reduce_cpu_s_per_mb = 0.01;
   s.map_selectivity = 0.002;
   s.reduce_output_ratio = 1.0;
-  s.task_memory_mb = 300;
+  s.task_memory_mb = sim::MegaBytes{300};
   s.num_reducers = 1;
   return s;
 }
@@ -78,7 +78,7 @@ JobSpec sort_job() {
   s.map_selectivity = 1.0;
   s.reduce_output_ratio = 1.0;
   s.output_replicas = 1;  // terasort convention
-  s.task_memory_mb = 400;
+  s.task_memory_mb = sim::MegaBytes{400};
   return s;
 }
 
@@ -91,7 +91,7 @@ JobSpec kmeans() {
   s.reduce_cpu_s_per_mb = 0.10;
   s.map_selectivity = 0.05;
   s.reduce_output_ratio = 0.50;
-  s.task_memory_mb = 500;
+  s.task_memory_mb = sim::MegaBytes{500};
   return s;
 }
 

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""ctest driver for scripts/analyze/hybridmr-analyze.
+
+Four checks:
+
+  1. fixtures   The known-violation tree under tests/analyze/fixtures/
+                produces EXACTLY the expected (rule, file, line) set —
+                nothing missing (a rule went no-op), nothing extra (a
+                rule regressed into noise), suppressed/clean decoys
+                absent.
+  2. clean src  The real src/ tree with the committed baseline reports
+                zero findings and exits 0 — the state CI gates on.
+  3. loud fail  --engine libclang on a machine without the clang python
+                bindings must abort with a nonzero exit and an explicit
+                refusal, never silently skip (skipped when the bindings
+                are actually importable).
+  4. wrapper    scripts/lint_sim.py still finds determinism violations
+                when handed a fixture file directly (the delegation path
+                ci.sh's lint stage uses).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+ANALYZE = REPO / "scripts" / "analyze" / "hybridmr-analyze"
+LINT_SIM = REPO / "scripts" / "lint_sim.py"
+FIXTURES = REPO / "tests" / "analyze" / "fixtures"
+
+# (rule, fixture-relative file, 1-based line). Keep in sync with the
+# `// line N:` markers inside the fixture sources.
+EXPECTED = sorted([
+    ("dim-raw-double", "src/cluster/dim_bad.h", 12),
+    ("dim-raw-double", "src/cluster/dim_bad.h", 13),
+    ("dim-raw-double", "src/cluster/dim_bad.h", 14),
+    ("dim-raw-double", "src/cluster/dim_bad.h", 15),
+    ("layer-upward-include", "src/sim/layer_bad.cc", 4),
+    ("layer-upward-include", "src/storage/cycle_bad.cc", 5),
+    # cycle_bad.cc (storage->mapred) + cycle_other.cc (mapred->storage):
+    ("layer-cycle", "src/mapred/cycle_other.cc", 6),
+    # layer_bad.cc (sim->cluster) + capture_bad.cc (cluster->sim):
+    ("layer-cycle", "src/cluster/capture_bad.cc", 6),
+    ("capture-lifetime", "src/cluster/capture_bad.cc", 14),
+    ("capture-lifetime", "src/cluster/capture_bad.cc", 28),
+    ("capture-lifetime", "src/cluster/capture_bad.cc", 35),
+    ("wall-clock", "src/sim/determ_bad.cc", 9),
+    ("unordered-iteration", "src/sim/determ_bad.cc", 17),
+    ("unordered-accumulation", "src/sim/determ_bad.cc", 18),
+    ("unordered-accumulation", "src/sim/determ_bad.cc", 23),
+    ("simtime-eq", "src/sim/determ_bad.cc", 29),
+    ("eager-recompute", "src/sim/determ_bad.cc", 34),
+])
+
+failures: list[str] = []
+
+
+def check(label: str, ok: bool, detail: str = "") -> None:
+    print(f"{'ok  ' if ok else 'FAIL'} {label}" + (f": {detail}" if detail and not ok else ""))
+    if not ok:
+        failures.append(label)
+
+
+def run(*argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run([sys.executable, *argv],
+                          capture_output=True, text=True)
+
+
+# --- 1. fixture tree: exact findings -----------------------------------
+with tempfile.TemporaryDirectory() as td:
+    out = Path(td) / "findings.json"
+    p = run(str(ANALYZE), "--root", str(FIXTURES), "--no-baseline",
+            "--engine", "tokens", "--json", str(out), str(FIXTURES / "src"))
+    check("fixtures exit status is 1", p.returncode == 1,
+          f"got {p.returncode}\n{p.stdout}\n{p.stderr}")
+    payload = json.loads(out.read_text(encoding="utf-8"))
+    got = sorted((f["rule"], f["file"], f["line"])
+                 for f in payload["findings"])
+    missing = [e for e in EXPECTED if e not in got]
+    extra = [g for g in got if g not in EXPECTED]
+    check("fixture findings match expected set", not missing and not extra,
+          f"missing={missing} extra={extra}")
+    check("fixture run reports its engine", payload["engine"] in
+          ("tokens", "libclang"), str(payload.get("engine")))
+
+# --- 2. real src/ is clean under the committed baseline ----------------
+p = run(str(ANALYZE), "--engine", "tokens", str(REPO / "src"))
+check("src/ clean with committed baseline (exit 0)", p.returncode == 0,
+      f"exit {p.returncode}\n{p.stdout}")
+check("src/ summary says 0 findings", "0 findings" in p.stdout, p.stdout)
+
+# --- 3. explicit libclang without bindings fails loudly ----------------
+probe = run("-c", "import clang.cindex")
+if probe.returncode != 0:
+    p = run(str(ANALYZE), "--engine", "libclang", str(REPO / "src"))
+    check("--engine libclang aborts when bindings missing",
+          p.returncode not in (0, 1), f"exit {p.returncode}")
+    check("libclang abort message is explicit",
+          "Refusing to silently skip" in p.stderr, p.stderr)
+else:
+    print("skip --engine libclang abort checks (bindings present)")
+
+# --- 4. lint_sim.py wrapper delegation ---------------------------------
+p = run(str(LINT_SIM), str(FIXTURES / "src" / "sim" / "determ_bad.cc"))
+check("lint_sim.py wrapper finds determinism violations (exit 1)",
+      p.returncode == 1, f"exit {p.returncode}\n{p.stdout}\n{p.stderr}")
+check("wrapper reports wall-clock", "[wall-clock]" in p.stdout, p.stdout)
+check("wrapper omits src-only rules", "[dim-raw-double]" not in p.stdout
+      and "[capture-lifetime]" not in p.stdout, p.stdout)
+
+p = run(str(LINT_SIM), str(REPO / "src"), str(REPO / "tests"),
+        str(REPO / "bench"), str(REPO / "examples"))
+check("lint_sim.py clean over src/tests/bench/examples (exit 0)",
+      p.returncode == 0, f"exit {p.returncode}\n{p.stdout}")
+
+if failures:
+    print(f"\n{len(failures)} check(s) failed: {failures}")
+    sys.exit(1)
+print("\nall analyze checks passed")

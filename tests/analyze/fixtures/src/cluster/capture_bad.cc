@@ -1,0 +1,44 @@
+// Fixture: capture-lifetime. Strong self-captures in EventQueue
+// registrations, plus the clean weak-capture / stored-handle idioms that
+// must NOT be flagged.
+#include <memory>
+
+#include "sim/simulation.h"
+
+namespace cluster {
+
+struct Watcher : std::enable_shared_from_this<Watcher> {
+  void fire();
+  void arm(sim::Simulation& sim) {
+    // line 14: shared_from_this() in the capture list
+    sim.after(sim::Duration{5.0}, [self = shared_from_this()]() { self->fire(); });
+  }
+  void arm_weak(sim::Simulation& sim) {
+    std::weak_ptr<Watcher> weak = weak_from_this();
+    // clean: weak capture, locked inside
+    sim.after(sim::Duration{5.0}, [weak]() {
+      if (auto self = weak.lock()) self->fire();
+    });
+  }
+};
+
+void register_job(sim::Simulation& sim) {
+  std::shared_ptr<int> job = std::make_shared<int>(7);
+  // line 28: by-copy capture of a shared_ptr-declared name
+  sim.at(9.0, [job]() { (void)*job; });
+}
+
+struct Poller {
+  void poll();
+  void start(sim::Simulation& sim) {
+    // line 35: this-capturing every() whose PeriodicHandle is discarded
+    sim.every(sim::Duration{1.0}, [this]() { poll(); });
+  }
+  void start_stored(sim::Simulation& sim) {
+    // clean: the handle is kept, so the ticker can be cancelled
+    ticker_ = sim.every(sim::Duration{1.0}, [this]() { poll(); });
+  }
+  sim::PeriodicHandle ticker_;
+};
+
+}  // namespace cluster

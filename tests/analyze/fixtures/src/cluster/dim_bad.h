@@ -1,0 +1,21 @@
+// Fixture: dim-raw-double. Deliberate violations — never built, only fed
+// to hybridmr-analyze by tests/analyze/analyze_driver.py, which pins the
+// expected rule IDs and line numbers. Keep line numbers stable or update
+// the driver.
+#pragma once
+
+#include <vector>
+
+namespace cluster {
+
+struct DimBad {
+  double block_mb = 64.0;              // line 12: unit-suffixed field
+  float idle_watts = 0.0F;             // line 13: float counts too
+  std::vector<double> sizes_mb;        // line 14: container of raw doubles
+  void set_deadline(double deadline);  // line 15: unit-word parameter
+  double shuffle_ratio = 0.5;          // clean: dimensionless name
+  // sim-lint: allow(dim-raw-double)
+  double legacy_mbps = 0.0;            // clean: suppressed on line above
+};
+
+}  // namespace cluster

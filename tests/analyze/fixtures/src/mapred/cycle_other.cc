@@ -1,0 +1,6 @@
+// Fixture: the legal half of the storage <-> mapred cycle. mapred may
+// include storage, so this line alone is clean — but together with
+// ../storage/cycle_bad.cc it forms a two-layer strongly connected
+// component that layer-cycle must report (anchored here, at the
+// alphabetically-first participating edge).
+#include "storage/hdfs.h"  // line 6: legal edge, completes the cycle

@@ -1,0 +1,37 @@
+// Fixture: determinism rules (wall-clock, unordered-iteration,
+// unordered-accumulation, simtime-eq, eager-recompute).
+#include <chrono>
+#include <unordered_map>
+
+namespace sim {
+
+double wall_now() {
+  auto t = std::chrono::steady_clock::now();  // line 9: wall-clock
+  (void)t;
+  return 0.0;
+}
+
+double sum_loads() {
+  std::unordered_map<int, double> load;
+  double total = 0.0;
+  for (const auto& kv : load) {  // line 17: unordered-iteration
+    total += kv.second;          // line 18: unordered-accumulation
+  }
+  // clean: suppressed iteration, but the accumulation inside still fires
+  // sim-lint: allow(unordered-iteration)
+  for (const auto& kv : load) {  // suppressed
+    total -= kv.second;          // line 23: unordered-accumulation
+  }
+  return total;
+}
+
+bool same_instant(SimTime a, SimTime b) {
+  return a == b;  // line 29: simtime-eq
+}
+
+template <typename M>
+void poke(M& machine) {
+  machine.recompute();  // line 34: eager-recompute
+}
+
+}  // namespace sim

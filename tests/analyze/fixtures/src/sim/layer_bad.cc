@@ -1,0 +1,4 @@
+// Fixture: layer-upward-include. sim is near the bottom of the DAG and
+// may only include audit; cluster is two layers up.
+#include "audit/audit.h"    // clean: sim -> audit is allowed
+#include "cluster/machine.h"  // line 4: sim -> cluster is upward

@@ -1,0 +1,5 @@
+// Fixture: one half of a storage <-> mapred layer cycle. This include is
+// upward (storage may not see mapred) and, combined with
+// ../mapred/cycle_other.cc's legal include of storage, closes a cycle in
+// the observed layer graph for the layer-cycle pass.
+#include "mapred/engine.h"  // line 5: storage -> mapred is upward

@@ -17,7 +17,7 @@ WorkloadPtr make_cpu_work(double cores, double seconds,
                           const std::string& name = "w") {
   Resources d;
   d.cpu = cores;
-  return std::make_shared<Workload>(name, d, seconds);
+  return std::make_shared<Workload>(name, d, sim::Duration{seconds});
 }
 
 class ClusterTest : public ::testing::Test {
@@ -89,7 +89,7 @@ TEST_F(ClusterTest, SingleWorkloadRunsAtFullSpeed) {
 
 TEST_F(ClusterTest, ZeroDemandWorkloadIsPureDelay) {
   Machine* m = cluster.add_machine();
-  auto w = std::make_shared<Workload>("delay", Resources{}, 7.0);
+  auto w = std::make_shared<Workload>("delay", Resources{}, sim::Duration{7.0});
   bool done = false;
   w->on_complete = [&] { done = true; };
   m->add(w);
@@ -151,7 +151,7 @@ TEST_F(ClusterTest, RemoveCancelsCompletion) {
   sim.at(3.0, [&] { m->remove(w.get()); });
   sim.run();
   EXPECT_FALSE(completed);
-  EXPECT_NEAR(w->remaining(), 7.0, 1e-9);
+  EXPECT_NEAR(w->remaining().value(), 7.0, 1e-9);
   EXPECT_EQ(w->site(), nullptr);
 }
 
@@ -159,8 +159,8 @@ TEST_F(ClusterTest, DiskContentionSharesBandwidth) {
   Machine* m = cluster.add_machine();
   Resources d;
   d.disk = 80;  // full disk each
-  auto a = std::make_shared<Workload>("a", d, 10.0);
-  auto b = std::make_shared<Workload>("b", d, 10.0);
+  auto a = std::make_shared<Workload>("a", d, sim::Duration{10.0});
+  auto b = std::make_shared<Workload>("b", d, sim::Duration{10.0});
   m->add(a);
   m->add(b);
   sim.run();
@@ -178,8 +178,9 @@ TEST_F(ClusterTest, VmCpuTaxSlowsWork) {
 
 TEST_F(ClusterTest, Dom0NearNative) {
   Machine* m = cluster.add_machine();
-  VirtualMachine* vm = cluster.add_vm(*m, "dom0", cal().pm_cores,
-                                      cal().pm_memory_mb);
+  VirtualMachine* vm =
+      cluster.add_vm(*m, "dom0", sim::CoreShare{cal().pm_cores},
+                     sim::MegaBytes{cal().pm_memory_mb});
   vm->set_dom0(true);
   auto w = make_cpu_work(1.0, 100.0);
   vm->add(w);
@@ -194,7 +195,7 @@ TEST_F(ClusterTest, VmIoTaxExceedsCpuTax) {
   VirtualMachine* vm1 = cluster.add_vm(*m1);
   Resources io;
   io.disk = 40;
-  auto w = std::make_shared<Workload>("io", io, 10.0);
+  auto w = std::make_shared<Workload>("io", io, sim::Duration{10.0});
   vm1->add(w);
   sim.run();
   const double io_time = sim.now();
@@ -211,8 +212,8 @@ TEST_F(ClusterTest, CollocatedIoVmsContendBeyondSharing) {
   VirtualMachine* vm2 = cluster.add_vm(*m);
   Resources io;
   io.disk = 30;
-  auto a = std::make_shared<Workload>("a", io, 10.0);
-  auto b = std::make_shared<Workload>("b", io, 10.0);
+  auto a = std::make_shared<Workload>("a", io, sim::Duration{10.0});
+  auto b = std::make_shared<Workload>("b", io, sim::Duration{10.0});
   vm1->add(a);
   vm2->add(b);
   double single_eff = vm1->io_efficiency(1);
@@ -249,7 +250,8 @@ TEST_F(ClusterTest, EnergyIdleIntegratesIdlePower) {
   Machine* m = cluster.add_machine();
   sim.at(100.0, [] {});
   sim.run();
-  EXPECT_NEAR(m->energy().joules(0, 100), cal().pm_idle_watts * 100, 1e-6);
+  EXPECT_NEAR(m->energy().joules(0, 100).value(), cal().pm_idle_watts * 100,
+              1e-6);
 }
 
 TEST_F(ClusterTest, EnergyRisesWithLoad) {
@@ -259,7 +261,7 @@ TEST_F(ClusterTest, EnergyRisesWithLoad) {
   sim.run();
   EXPECT_GT(busy->energy().joules(0, 100), idle->energy().joules(0, 100));
   // Fully CPU-loaded: blended utilization 0.7 -> 180 + 80*0.7 = 236 W.
-  EXPECT_NEAR(busy->energy().mean_watts(0, 100), 236.0, 1.0);
+  EXPECT_NEAR(busy->energy().mean_watts(0, 100).value(), 236.0, 1.0);
 }
 
 TEST_F(ClusterTest, PoweredOffMachineConsumesNothing) {
@@ -267,7 +269,7 @@ TEST_F(ClusterTest, PoweredOffMachineConsumesNothing) {
   m->set_powered(false);
   sim.at(50.0, [] {});
   sim.run();
-  EXPECT_NEAR(m->energy().joules(0, 50), 0, 1e-9);
+  EXPECT_NEAR(m->energy().joules(0, 50).value(), 0, 1e-9);
 }
 
 TEST_F(ClusterTest, PowerOffIdleSkipsBusyMachines) {
@@ -281,17 +283,21 @@ TEST_F(ClusterTest, PowerOffIdleSkipsBusyMachines) {
 
 TEST(MigrationModel, PlanScalesWithMemory) {
   MigrationModel model(cal());
-  const auto small = model.plan(512, 0.0, 10);
-  const auto large = model.plan(1024, 0.0, 10);
-  EXPECT_NEAR(small.precopy_seconds, 51.2, 1e-9);
-  EXPECT_NEAR(large.precopy_seconds, 102.4, 1e-9);
+  const auto small =
+      model.plan(sim::MegaBytes{512}, sim::MBps{0.0}, sim::MBps{10});
+  const auto large =
+      model.plan(sim::MegaBytes{1024}, sim::MBps{0.0}, sim::MBps{10});
+  EXPECT_NEAR(small.precopy_seconds.value(), 51.2, 1e-9);
+  EXPECT_NEAR(large.precopy_seconds.value(), 102.4, 1e-9);
   EXPECT_GT(large.precopy_seconds, small.precopy_seconds);
 }
 
 TEST(MigrationModel, DirtyRateLengthensPrecopyAndDowntime) {
   MigrationModel model(cal());
-  const auto idle = model.plan(1024, 0.2, 10);
-  const auto busy = model.plan(1024, 4.0, 10);
+  const auto idle =
+      model.plan(sim::MegaBytes{1024}, sim::MBps{0.2}, sim::MBps{10});
+  const auto busy =
+      model.plan(sim::MegaBytes{1024}, sim::MBps{4.0}, sim::MBps{10});
   EXPECT_GT(busy.precopy_seconds, idle.precopy_seconds);
   EXPECT_GT(busy.downtime_seconds, idle.downtime_seconds);
   EXPECT_TRUE(busy.converged);
@@ -299,9 +305,10 @@ TEST(MigrationModel, DirtyRateLengthensPrecopyAndDowntime) {
 
 TEST(MigrationModel, DivergentDirtyRateBails) {
   MigrationModel model(cal());
-  const auto plan = model.plan(1024, 20.0, 10);
+  const auto plan =
+      model.plan(sim::MegaBytes{1024}, sim::MBps{20.0}, sim::MBps{10});
   EXPECT_FALSE(plan.converged);
-  EXPECT_GT(plan.downtime_seconds, 1.0);  // big stop-and-copy
+  EXPECT_GT(plan.downtime_seconds, sim::Duration{1.0});  // big stop-and-copy
 }
 
 TEST_F(ClusterTest, LiveMigrationMovesVmAndPreservesWork) {
@@ -320,8 +327,8 @@ TEST_F(ClusterTest, LiveMigrationMovesVmAndPreservesWork) {
                                              migrated = true;
                                              EXPECT_EQ(r.from, "src");
                                              EXPECT_EQ(r.to, "dst");
-                                             EXPECT_GT(r.precopy_seconds, 0);
-                                             EXPECT_GT(r.downtime_seconds, 0);
+                                             EXPECT_GT(r.precopy_seconds.value(), 0);
+                                             EXPECT_GT(r.downtime_seconds.value(), 0);
                                            }));
   });
   sim.run();
@@ -354,15 +361,15 @@ TEST_F(ClusterTest, LoadedVmMigratesSlowerThanIdle) {
   Resources mem_heavy;
   mem_heavy.cpu = 0.5;
   mem_heavy.memory = 800;
-  busy_vm->add(std::make_shared<Workload>("hot", mem_heavy, 1e6));
+  busy_vm->add(std::make_shared<Workload>("hot", mem_heavy, sim::Duration{1e6}));
 
   double idle_time = -1;
   double busy_time = -1;
   cluster.migrator().migrate(*idle_vm, *b, [&](const MigrationRecord& r) {
-    idle_time = r.precopy_seconds;
+    idle_time = r.precopy_seconds.value();
   });
   cluster.migrator().migrate(*busy_vm, *d, [&](const MigrationRecord& r) {
-    busy_time = r.precopy_seconds;
+    busy_time = r.precopy_seconds.value();
   });
   sim.run_until(10000);
   ASSERT_GT(idle_time, 0);

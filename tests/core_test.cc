@@ -165,10 +165,10 @@ TEST(PhaseOne, DesiredJctRuleOverridesThreshold) {
   config.auto_train = false;
   PhaseOneScheduler phase1(profiler, config);
   // SLO tighter than the virtual estimate -> native despite low overhead.
-  auto d = phase1.place(workload::sort_job().with_desired_jct(105));
+  auto d = phase1.place(workload::sort_job().with_desired_jct(sim::Duration{105}));
   EXPECT_EQ(d.pool, mapred::PlacementPool::kNativeOnly);
   // Loose SLO -> virtual.
-  d = phase1.place(workload::sort_job().with_desired_jct(200));
+  d = phase1.place(workload::sort_job().with_desired_jct(sim::Duration{200}));
   EXPECT_EQ(d.pool, mapred::PlacementPool::kVirtualOnly);
 }
 
@@ -356,7 +356,7 @@ TEST(Ips, ThrottlesInterferersAndRestores) {
   EXPECT_GT(ips.stats().violations_seen, 0);
   EXPECT_GT(ips.stats().throttles, 0);
   // And the app must end healthy.
-  EXPECT_LT(app.response_time_s(), app.params().sla_s);
+  EXPECT_LT(app.response_time_s(), app.params().sla_s.value());
   app.stop();
   ips.stop();
 }

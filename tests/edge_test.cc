@@ -31,7 +31,7 @@ TEST(WorkloadEdge, ServiceWorkloadNeverCompletes) {
   EXPECT_FALSE(w->finite());
   EXPECT_DOUBLE_EQ(w->progress(), 0);
   // But it accrued usage.
-  EXPECT_NEAR(w->cpu_seconds_used(), 500, 1e-6);
+  EXPECT_NEAR(w->cpu_seconds_used().value(), 500, 1e-6);
 }
 
 TEST(WorkloadEdge, CapsOnServiceWorkloadLimitAllocation) {
@@ -55,7 +55,8 @@ TEST(WorkloadEdge, PowerOffStallsWork) {
   sim::Simulation sim(1);
   cluster::HybridCluster hc(sim);
   auto* m = hc.add_machine();
-  auto w = std::make_shared<Workload>("w", Resources{1, 0, 0, 0}, 10.0);
+  auto w = std::make_shared<Workload>("w", Resources{1, 0, 0, 0},
+                                     sim::Duration{10.0});
   m->add(w);
   sim.at(3.0, [&] { m->set_powered(false); });
   sim.at(8.0, [&] { m->set_powered(true); });
@@ -70,7 +71,7 @@ TEST(HdfsEdge, TransferToSelfIsLocalRead) {
   storage::Hdfs hdfs(sim, cluster::Calibration::standard());
   auto* m = hc.add_machine();
   bool done = false;
-  hdfs.transfer(*m, *m, 60, [&] { done = true; });
+  hdfs.transfer(*m, *m, sim::MegaBytes{60}, [&] { done = true; });
   sim.run();
   EXPECT_TRUE(done);
   EXPECT_NEAR(sim.now(), 1.0, 1e-9);  // 60 MB at the 60 MB/s disk stream
@@ -83,7 +84,7 @@ TEST(HdfsEdge, CancelledFlowFiresNoCallback) {
   auto* a = hc.add_machine();
   auto* b = hc.add_machine();
   bool done = false;
-  auto flow = hdfs.transfer(*a, *b, 500, [&] { done = true; });
+  auto flow = hdfs.transfer(*a, *b, sim::MegaBytes{500}, [&] { done = true; });
   sim.at(1.0, [&] { flow.cancel(); });
   sim.run();
   EXPECT_FALSE(done);
@@ -119,7 +120,7 @@ TEST(MapReduceEdge, ZeroSelectivityJobSkipsShuffleWork) {
   mapred::Job* job = bed.mr().submit(spec);
   bed.sim().run();
   ASSERT_TRUE(job->finished());
-  EXPECT_NEAR(job->shuffle_mb_per_reducer(), 0, 1e-9);
+  EXPECT_NEAR(job->shuffle_mb_per_reducer().value(), 0, 1e-9);
 }
 
 TEST(MapReduceEdge, ManySmallJobsDrainCompletely) {
@@ -163,7 +164,7 @@ TEST(InteractiveEdge, ZeroClientsIsHarmless) {
   interactive::InteractiveApp app(sim, *vm, interactive::rubis_params(), 0);
   app.start();
   sim.run_until(30);
-  EXPECT_LE(app.response_time_s(), app.params().sla_s);
+  EXPECT_LE(app.response_time_s(), app.params().sla_s.value());
   EXPECT_GE(app.throughput_rps(), 0);
   app.stop();
 }
@@ -182,7 +183,7 @@ TEST(InteractiveEdge, ClientSurgeAndRecovery) {
   EXPECT_GT(app.response_time_s(), calm * 5);
   app.set_clients(300);
   sim.run_until(90);
-  EXPECT_LT(app.response_time_s(), app.params().sla_s);
+  EXPECT_LT(app.response_time_s(), app.params().sla_s.value());
   app.stop();
 }
 
@@ -203,8 +204,8 @@ TEST(ClusterEdge, EnergyWindowBeforeCreationIsZero) {
   auto* m = hc.add_machine();
   sim.at(200, [] {});
   sim.run();
-  EXPECT_NEAR(m->energy().joules(0, 100), 0, 1e-9);
-  EXPECT_GT(m->energy().joules(100, 200), 0);
+  EXPECT_NEAR(m->energy().joules(0, 100).value(), 0, 1e-9);
+  EXPECT_GT(m->energy().joules(100, 200).value(), 0);
 }
 
 }  // namespace

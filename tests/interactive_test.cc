@@ -27,7 +27,7 @@ TEST_F(InteractiveTest, LightLoadMeetsSla) {
   auto app = make_rubis(sim, *vm, 300);
   app->start();
   sim.run_until(60);
-  EXPECT_LT(app->response_time_s(), app->params().sla_s);
+  EXPECT_LT(app->response_time_s(), app->params().sla_s.value());
   EXPECT_GT(app->throughput_rps(), 0);
   app->stop();
 }
@@ -136,7 +136,7 @@ TEST_F(InteractiveTest, StopRemovesServiceWorkload) {
 TEST_F(InteractiveTest, PresetsDiffer) {
   EXPECT_LT(rubis_params().io_mb_per_req, tpcw_params().io_mb_per_req);
   EXPECT_LT(tpcw_params().io_mb_per_req, olio_params().io_mb_per_req);
-  EXPECT_EQ(rubis_params().sla_s, 2.0);
+  EXPECT_EQ(rubis_params().sla_s, sim::Duration{2.0});
 }
 
 }  // namespace

@@ -232,8 +232,8 @@ TEST(MapReduce, JobRecordsLocalityBenefit) {
   TestBed bed;
   bed.add_native_nodes(4);
   bed.run_job(small_sort(1.0));
-  const double local = bed.hdfs().bytes_read_local_mb();
-  const double remote = bed.hdfs().bytes_read_remote_mb();
+  const double local = bed.hdfs().bytes_read_local_mb().value();
+  const double remote = bed.hdfs().bytes_read_remote_mb().value();
   // The scheduler prefers data-local maps; most input reads stay local.
   EXPECT_GT(local, remote);
 }

@@ -85,7 +85,7 @@ TEST_P(MachineProperty, AllocationsNeverExceedCapacity) {
     d.disk = rng.uniform(0, 70);
     d.net = rng.uniform(0, 70);
     auto w = std::make_shared<Workload>("w" + std::to_string(i), d,
-                                        rng.uniform(5, 50));
+                                        sim::Duration{rng.uniform(5, 50)});
     workloads.push_back(w);
     if (i % 3 == 0) {
       machine->add(w);
@@ -117,7 +117,7 @@ TEST_P(MachineProperty, SpeedNeverExceedsOne) {
     Resources d;
     d.cpu = rng.uniform(0.1, 2.0);
     d.disk = rng.uniform(0, 60);
-    auto w = std::make_shared<Workload>("w", d, 10);
+    auto w = std::make_shared<Workload>("w", d, sim::Duration{10});
     machine->add(w);
     for (const auto& each : machine->workloads()) {
       EXPECT_LE(each->speed(), 1.0 + 1e-9);
@@ -231,10 +231,10 @@ class MigrationMemorySweep : public ::testing::TestWithParam<double> {};
 TEST_P(MigrationMemorySweep, PrecopyMonotoneInMemory) {
   const cluster::MigrationModel model(cluster::Calibration::standard());
   const double mb = GetParam();
-  const auto smaller = model.plan(mb, 1.0, 10);
-  const auto larger = model.plan(mb * 2, 1.0, 10);
+  const auto smaller = model.plan(sim::MegaBytes{mb}, sim::MBps{1.0}, sim::MBps{10});
+  const auto larger = model.plan(sim::MegaBytes{mb * 2}, sim::MBps{1.0}, sim::MBps{10});
   EXPECT_GT(larger.precopy_seconds, smaller.precopy_seconds);
-  EXPECT_GT(smaller.precopy_seconds, 0);
+  EXPECT_GT(smaller.precopy_seconds.value(), 0);
   EXPECT_TRUE(smaller.converged);
 }
 
@@ -256,8 +256,8 @@ TEST_P(ClientSweep, ThroughputScalesWithClientsUntilSaturation) {
   sim.run_until(30);
   EXPECT_GT(app.throughput_rps(), 0);
   // Closed-loop identity: X = N / (R + Z).
-  const double expected = GetParam() / (app.response_time_s() +
-                                        app.params().think_time_s);
+  const double expected =
+      GetParam() / (app.response_time_s() + app.params().think_time_s.value());
   EXPECT_NEAR(app.throughput_rps(), expected, expected * 0.01);
   app.stop();
 }
@@ -292,7 +292,7 @@ TEST_P(EnergySweep, EnergyBoundedByIdleAndPeak) {
   bed.add_native_nodes(GetParam());
   bed.run_job(workload::sort_job().with_input_gb(1));
   const double end = bed.sim().now();
-  const double joules = bed.cluster().energy_joules(0, end);
+  const double joules = bed.cluster().energy_joules(0, end).value();
   const auto& cal = bed.calibration();
   const double idle_floor = GetParam() * cal.pm_idle_watts * end;
   const double peak_ceiling = GetParam() * cal.pm_peak_watts * end;

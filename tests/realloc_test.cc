@@ -19,11 +19,11 @@
 namespace hybridmr::cluster {
 namespace {
 
-WorkloadPtr make_cpu_work(double cores, double seconds,
+WorkloadPtr make_cpu_work(double cores, sim::Duration work,
                           const std::string& name = "w") {
   Resources d;
   d.cpu = cores;
-  return std::make_shared<Workload>(name, d, seconds);
+  return std::make_shared<Workload>(name, d, work);
 }
 
 class ReallocTest : public ::testing::Test {
@@ -86,14 +86,14 @@ TEST_F(ReallocTest, RescheduleSkipsUnchangedFinishTime) {
   Machine* m = cluster.add_machine();
 
   // w1 finishes in 10s; the machine has capacity to spare.
-  auto w1 = make_cpu_work(1.0, 10.0, "w1");
+  auto w1 = make_cpu_work(1.0, sim::Duration{10.0}, "w1");
   m->add(w1);
   sim.flush();  // schedules w1's completion
   const std::uint64_t skips0 = m->reschedule_skips();
 
   // Adding w2 recomputes the machine, but w1's share (and finish time) is
   // unchanged — the completion event must be left in place.
-  auto w2 = make_cpu_work(1.0, 20.0, "w2");
+  auto w2 = make_cpu_work(1.0, sim::Duration{20.0}, "w2");
   m->add(w2);
   sim.flush();
   EXPECT_GT(m->reschedule_skips(), skips0);
@@ -200,12 +200,12 @@ TEST(TimeSeriesBound, EnergyMeterHistoryIsBounded) {
   EnergyMeter meter;
   meter.set_max_samples(16);
   for (int i = 0; i < 1000; ++i) {
-    meter.record(static_cast<double>(i), 180.0 + (i % 3));
+    meter.record(static_cast<double>(i), sim::Watts{180.0 + (i % 3)});
   }
   EXPECT_LE(meter.series().size(), 16u);
   // Energy accounting stays consistent despite compaction: mean power of
   // a ~181 W trace must still be ~181 W.
-  EXPECT_NEAR(meter.mean_watts(0, 999), 181.0, 1.0);
+  EXPECT_NEAR(meter.mean_watts(0, 999).value(), 181.0, 1.0);
 }
 
 }  // namespace

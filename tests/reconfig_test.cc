@@ -29,7 +29,7 @@ TEST(Decommission, RemoveTrackerRefusesWhileBusy) {
 TEST(Decommission, RemoveDatanodeReReplicatesBlocks) {
   TestBed bed;
   auto nodes = bed.add_native_nodes(4);
-  const auto file = bed.hdfs().stage_file("data", 1024);  // 8 blocks x 2
+  const auto file = bed.hdfs().stage_file("data", sim::MegaBytes{1024});  // 8 blocks x 2
   EXPECT_TRUE(bed.hdfs().remove_datanode(*nodes[0]));
   bed.sim().run();  // drain the re-replication transfers
   EXPECT_EQ(bed.hdfs().datanodes().size(), 3u);
@@ -43,13 +43,13 @@ TEST(Decommission, RemoveDatanodeReReplicatesBlocks) {
   }
   // A file of 1 GB x 2 replicas over 4 nodes: the leaving node held about
   // half a GB; that much re-replication traffic was charged.
-  EXPECT_GT(bed.hdfs().re_replicated_mb(), 128);
+  EXPECT_GT(bed.hdfs().re_replicated_mb(), sim::MegaBytes{128});
 }
 
 TEST(Decommission, LastDatanodeIsProtected) {
   TestBed bed;
   auto nodes = bed.add_native_nodes(1);
-  bed.hdfs().stage_file("data", 128);
+  bed.hdfs().stage_file("data", sim::MegaBytes{128});
   EXPECT_FALSE(bed.hdfs().remove_datanode(*nodes[0]));
 }
 
@@ -58,7 +58,7 @@ TEST(Decommission, JobsStillRunAfterDatanodeRemoval) {
   auto nodes = bed.add_native_nodes(4);
   // Remove one datanode (but keep its tracker), then run a job: reads of
   // re-homed blocks must still succeed.
-  bed.hdfs().stage_file("warmup", 512);
+  bed.hdfs().stage_file("warmup", sim::MegaBytes{512});
   ASSERT_TRUE(bed.hdfs().remove_datanode(*nodes[3]));
   const double jct = bed.run_job(workload::sort_job().with_input_gb(1));
   EXPECT_GT(jct, 0);
@@ -67,7 +67,7 @@ TEST(Decommission, JobsStillRunAfterDatanodeRemoval) {
 TEST(Reconfigurator, VirtualizeIdleNode) {
   TestBed bed;
   auto nodes = bed.add_native_nodes(4);
-  bed.hdfs().stage_file("data", 512);
+  bed.hdfs().stage_file("data", sim::MegaBytes{512});
   Reconfigurator reconfig(bed.cluster(), bed.hdfs(), bed.mr());
 
   auto* machine = static_cast<cluster::Machine*>(nodes[0]);
@@ -92,7 +92,7 @@ TEST(Reconfigurator, NativizeVirtualHost) {
   TestBed bed;
   bed.add_native_nodes(2);
   bed.add_virtual_nodes(1, 2);
-  bed.hdfs().stage_file("data", 512);
+  bed.hdfs().stage_file("data", sim::MegaBytes{512});
   Reconfigurator reconfig(bed.cluster(), bed.hdfs(), bed.mr());
 
   cluster::Machine* vhost = bed.cluster().machine("vhost0");
@@ -124,7 +124,7 @@ TEST(Reconfigurator, RefusesBusyMachines) {
 TEST(Reconfigurator, RoundTripPreservesCapacity) {
   TestBed bed;
   auto nodes = bed.add_native_nodes(3);
-  bed.hdfs().stage_file("data", 256);
+  bed.hdfs().stage_file("data", sim::MegaBytes{256});
   Reconfigurator reconfig(bed.cluster(), bed.hdfs(), bed.mr());
   auto* machine = static_cast<cluster::Machine*>(nodes[2]);
 

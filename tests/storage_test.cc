@@ -25,25 +25,25 @@ class HdfsTest : public ::testing::Test {
 TEST_F(HdfsTest, StageFileSplitsIntoBlocks) {
   Machine* m = cluster.add_machine();
   hdfs.add_datanode(*m);
-  const auto f = hdfs.stage_file("in", 300);
+  const auto f = hdfs.stage_file("in", sim::MegaBytes{300});
   EXPECT_EQ(hdfs.num_blocks(f), 3);  // 128 + 128 + 44
-  EXPECT_DOUBLE_EQ(hdfs.block_size_mb(f, 0), 128);
-  EXPECT_DOUBLE_EQ(hdfs.block_size_mb(f, 1), 128);
-  EXPECT_NEAR(hdfs.block_size_mb(f, 2), 44, 1e-9);
+  EXPECT_DOUBLE_EQ(hdfs.block_size_mb(f, 0).value(), 128);
+  EXPECT_DOUBLE_EQ(hdfs.block_size_mb(f, 1).value(), 128);
+  EXPECT_NEAR(hdfs.block_size_mb(f, 2).value(), 44, 1e-9);
 }
 
 TEST_F(HdfsTest, TinyFileIsOneBlock) {
   Machine* m = cluster.add_machine();
   hdfs.add_datanode(*m);
-  const auto f = hdfs.stage_file("tiny", 5);
+  const auto f = hdfs.stage_file("tiny", sim::MegaBytes{5});
   EXPECT_EQ(hdfs.num_blocks(f), 1);
-  EXPECT_DOUBLE_EQ(hdfs.block_size_mb(f, 0), 5);
+  EXPECT_DOUBLE_EQ(hdfs.block_size_mb(f, 0).value(), 5);
 }
 
 TEST_F(HdfsTest, ReplicationUsesDistinctNodes) {
   auto machines = cluster.add_machines(4);
   for (auto* m : machines) hdfs.add_datanode(*m);
-  const auto f = hdfs.stage_file("in", 1024);
+  const auto f = hdfs.stage_file("in", sim::MegaBytes{1024});
   for (int b = 0; b < hdfs.num_blocks(f); ++b) {
     const auto& reps = hdfs.replicas(f, b);
     ASSERT_EQ(reps.size(), 2u);  // calibrated replica count
@@ -54,14 +54,14 @@ TEST_F(HdfsTest, ReplicationUsesDistinctNodes) {
 TEST_F(HdfsTest, PlacementSpreadsAcrossDatanodes) {
   auto machines = cluster.add_machines(4);
   for (auto* m : machines) hdfs.add_datanode(*m);
-  const auto f = hdfs.stage_file("in", 128 * 16);
+  const auto f = hdfs.stage_file("in", sim::MegaBytes{128 * 16});
   EXPECT_EQ(hdfs.num_blocks(f), 16);
   // Randomized placement: no datanode hoards the file, total is 2 replicas.
   double total = 0;
   double max_mb = 0;
   for (const auto& dn : hdfs.datanodes()) {
-    total += dn->stored_mb();
-    max_mb = std::max(max_mb, dn->stored_mb());
+    total += dn->stored_mb().value();
+    max_mb = std::max(max_mb, dn->stored_mb().value());
   }
   EXPECT_NEAR(total, 2 * 128 * 16, 1e-6);
   EXPECT_LE(max_mb, 0.6 * total);
@@ -70,15 +70,15 @@ TEST_F(HdfsTest, PlacementSpreadsAcrossDatanodes) {
 TEST_F(HdfsTest, LocalReadUsesDiskOnly) {
   Machine* m = cluster.add_machine();
   hdfs.add_datanode(*m);
-  const auto f = hdfs.stage_file("in", 60);
+  const auto f = hdfs.stage_file("in", sim::MegaBytes{60});
   bool done = false;
   hdfs.read_block(f, 0, *m, [&] { done = true; });
   sim.run();
   EXPECT_TRUE(done);
   // 60 MB at the 60 MB/s stream rate.
   EXPECT_NEAR(sim.now(), 1.0, 1e-9);
-  EXPECT_NEAR(hdfs.bytes_read_local_mb(), 60, 1e-9);
-  EXPECT_NEAR(hdfs.bytes_read_remote_mb(), 0, 1e-9);
+  EXPECT_NEAR(hdfs.bytes_read_local_mb().value(), 60, 1e-9);
+  EXPECT_NEAR(hdfs.bytes_read_remote_mb().value(), 0, 1e-9);
 }
 
 TEST_F(HdfsTest, RemoteReadSlowerThanLocal) {
@@ -87,13 +87,13 @@ TEST_F(HdfsTest, RemoteReadSlowerThanLocal) {
   Machine* c = cluster.add_machine("c");
   hdfs.add_datanode(*a);
   hdfs.add_datanode(*b);
-  const auto f = hdfs.stage_file("in", 50);
+  const auto f = hdfs.stage_file("in", sim::MegaBytes{50});
   bool done = false;
   hdfs.read_block(f, 0, *c, [&] { done = true; });  // c has no replica
   sim.run();
   EXPECT_TRUE(done);
   EXPECT_NEAR(sim.now(), 1.0, 1e-9);  // 50 MB at the 50 MB/s net stream
-  EXPECT_NEAR(hdfs.bytes_read_remote_mb(), 50, 1e-9);
+  EXPECT_NEAR(hdfs.bytes_read_remote_mb().value(), 50, 1e-9);
 }
 
 TEST_F(HdfsTest, LocalityDetection) {
@@ -102,7 +102,7 @@ TEST_F(HdfsTest, LocalityDetection) {
   auto* vm2 = cluster.add_vm(*host);
   Machine* other = cluster.add_machine();
   hdfs.add_datanode(*vm1);
-  const auto f = hdfs.stage_file("in", 10);
+  const auto f = hdfs.stage_file("in", sim::MegaBytes{10});
   EXPECT_EQ(hdfs.locality_of(f, 0, vm1), Locality::kNodeLocal);
   EXPECT_EQ(hdfs.locality_of(f, 0, vm2), Locality::kHostLocal);
   EXPECT_EQ(hdfs.locality_of(f, 0, other), Locality::kRemote);
@@ -112,12 +112,12 @@ TEST_F(HdfsTest, WriteReplicatesToStoredState) {
   auto machines = cluster.add_machines(3);
   for (auto* m : machines) hdfs.add_datanode(*m);
   bool done = false;
-  hdfs.write(*machines[0], 120, [&] { done = true; });
+  hdfs.write(*machines[0], sim::MegaBytes{120}, [&] { done = true; });
   sim.run();
   EXPECT_TRUE(done);
-  EXPECT_NEAR(hdfs.bytes_written_mb(), 120, 1e-9);
+  EXPECT_NEAR(hdfs.bytes_written_mb().value(), 120, 1e-9);
   double total_stored = 0;
-  for (const auto& dn : hdfs.datanodes()) total_stored += dn->stored_mb();
+  for (const auto& dn : hdfs.datanodes()) total_stored += dn->stored_mb().value();
   EXPECT_NEAR(total_stored, 240, 1e-9);  // 2 replicas
   // Remote pipeline hop paces at min(disk, net) = 50 MB/s.
   EXPECT_NEAR(sim.now(), 120.0 / 50.0, 1e-9);
@@ -131,13 +131,13 @@ TEST_F(HdfsTest, TransferLoopbackAvoidsNetwork) {
   auto* vm3 = cluster.add_vm(*remote_host);
 
   bool loop_done = false;
-  hdfs.transfer(*vm1, *vm2, 60, [&] { loop_done = true; });
+  hdfs.transfer(*vm1, *vm2, sim::MegaBytes{60}, [&] { loop_done = true; });
   sim.run();
   const double loop_time = sim.now();
   EXPECT_TRUE(loop_done);
 
   bool remote_done = false;
-  hdfs.transfer(*vm1, *vm3, 60, [&] { remote_done = true; });
+  hdfs.transfer(*vm1, *vm3, sim::MegaBytes{60}, [&] { remote_done = true; });
   sim.run();
   const double remote_time = sim.now() - loop_time;
   EXPECT_TRUE(remote_done);
@@ -147,7 +147,7 @@ TEST_F(HdfsTest, TransferLoopbackAvoidsNetwork) {
 TEST_F(HdfsTest, FlowCancelStopsWork) {
   Machine* m = cluster.add_machine();
   hdfs.add_datanode(*m);
-  const auto f = hdfs.stage_file("in", 600);
+  const auto f = hdfs.stage_file("in", sim::MegaBytes{600});
   bool done = false;
   auto flow = hdfs.read_block(f, 0, *m, [&] { done = true; });
   EXPECT_TRUE(flow.active());
@@ -161,7 +161,7 @@ TEST_F(HdfsTest, FlowCancelStopsWork) {
 TEST_F(HdfsTest, FlowProgressAdvances) {
   Machine* m = cluster.add_machine();
   hdfs.add_datanode(*m);
-  const auto f = hdfs.stage_file("in", 120);  // one block: 2s at 60 MB/s
+  const auto f = hdfs.stage_file("in", sim::MegaBytes{120});  // one block: 2s at 60 MB/s
   auto flow = hdfs.read_block(f, 0, *m, [] {});
   sim.at(1.0, [&] {
     // Progress is settled lazily; nudge the machine to settle.
@@ -180,11 +180,11 @@ TEST_F(HdfsTest, DfsIoWriteAndReadProduceRates) {
     sites.push_back(m);
   }
   DfsIoBenchmark bench(sim, hdfs);
-  const auto w = bench.run_write(sites, 256);
-  EXPECT_GT(w.avg_io_rate_mbps, 0);
-  EXPECT_GT(w.throughput_mbps, 0);
-  const auto r = bench.run_read(sites, 256);
-  EXPECT_GT(r.avg_io_rate_mbps, 0);
+  const auto w = bench.run_write(sites, sim::MegaBytes{256});
+  EXPECT_GT(w.avg_io_rate_mbps.value(), 0);
+  EXPECT_GT(w.throughput_mbps.value(), 0);
+  const auto r = bench.run_read(sites, sim::MegaBytes{256});
+  EXPECT_GT(r.avg_io_rate_mbps.value(), 0);
   // Reads are mostly local; writes pay the replication pipeline.
   EXPECT_GT(r.avg_io_rate_mbps, w.avg_io_rate_mbps * 0.8);
 }
@@ -209,8 +209,8 @@ TEST_F(HdfsTest, VirtualDfsIoSlowerThanNative) {
 
   DfsIoBenchmark nat(sim, hdfs);
   DfsIoBenchmark virt(vsim, vhdfs);
-  const auto nw = nat.run_write(native_sites, 512);
-  const auto vw = virt.run_write(vm_sites, 512);
+  const auto nw = nat.run_write(native_sites, sim::MegaBytes{512});
+  const auto vw = virt.run_write(vm_sites, sim::MegaBytes{512});
   EXPECT_LT(vw.throughput_mbps, nw.throughput_mbps);
 }
 

@@ -1,0 +1,44 @@
+// Negative-compile fixture for sim/units.h: each CASE is one deliberately
+// mis-dimensioned expression that MUST fail to compile. CMake registers one
+// ctest per case with WILL_FAIL, invoking the compiler in -fsyntax-only
+// mode; a case that compiles cleanly fails the suite.
+//
+// Keep each case to a single expression so a failure pinpoints the operator
+// that went missing — or the careless overload that snuck in.
+#include "sim/units.h"
+
+using namespace hybridmr::sim;
+
+#ifndef CASE
+#error "compile with -DCASE=<n>"
+#endif
+
+void bad() {
+#if CASE == 1
+  // Power times size has no dimension here.
+  auto x = Watts{180} * MegaBytes{64};
+#elif CASE == 2
+  // A rate plus a time span is meaningless.
+  auto x = MBps{50} + Seconds{2};
+#elif CASE == 3
+  // Sizes and rates do not add.
+  auto x = MegaBytes{64} + MBps{50};
+#elif CASE == 4
+  // Energy is not power.
+  Watts x = Watts{1};
+  x = Joules{3600} / MegaBytes{1};
+#elif CASE == 5
+  // No implicit construction from a bare double.
+  MegaBytes x = 64.0;
+#elif CASE == 6
+  // No implicit decay back to double.
+  double x = MegaBytes{64};
+#elif CASE == 7
+  // Cross-dimension assignment.
+  Seconds x{1};
+  x = MegaBytes{1};
+#else
+#error "unknown CASE"
+#endif
+  (void)x;
+}

@@ -46,8 +46,8 @@ TEST(Benchmarks, WithHelpersDeriveSpecs) {
   const auto base = workload::sort_job();
   EXPECT_DOUBLE_EQ(base.with_input_gb(3).input_gb, 3);
   EXPECT_EQ(base.with_reducers(7).num_reducers, 7);
-  EXPECT_DOUBLE_EQ(base.with_desired_jct(120).desired_jct_s, 120);
-  EXPECT_NEAR(base.with_input_gb(3).input_mb(), 3072, 1e-9);
+  EXPECT_DOUBLE_EQ(base.with_desired_jct(sim::Duration{120}).desired_jct_s.value(), 120);
+  EXPECT_NEAR(base.with_input_gb(3).input_mb().value(), 3072, 1e-9);
 }
 
 TEST(Mix, RespectsInteractiveFraction) {
@@ -136,13 +136,13 @@ TEST(TablePrinter, CsvEscapesSpecialCells) {
 TEST(TestBedShapes, PartitionedVmShapesMatchPaperAtDensityTwo) {
   harness::TestBed bed;
   const auto [vcpus, memory] = bed.partitioned_vm_shape(2);
-  EXPECT_DOUBLE_EQ(vcpus, 1.0);     // the paper's 1 vCPU guest
-  EXPECT_DOUBLE_EQ(memory, 1024);   // ... with 1 GB of memory
+  EXPECT_DOUBLE_EQ(vcpus.value(), 1.0);     // the paper's 1 vCPU guest
+  EXPECT_DOUBLE_EQ(memory.value(), 1024);   // ... with 1 GB of memory
   const auto [v1, m1] = bed.partitioned_vm_shape(1);
-  EXPECT_DOUBLE_EQ(v1, 2.0);
+  EXPECT_DOUBLE_EQ(v1.value(), 2.0);
   const auto [v4, m4] = bed.partitioned_vm_shape(4);
-  EXPECT_DOUBLE_EQ(v4, 1.0);  // work-conserving credit scheduler minimum
-  EXPECT_DOUBLE_EQ(m4, 1024); // full overcommit, like the paper's 4x1GB
+  EXPECT_DOUBLE_EQ(v4.value(), 1.0);  // work-conserving credit scheduler minimum
+  EXPECT_DOUBLE_EQ(m4.value(), 1024); // full overcommit, like the paper's 4x1GB
 }
 
 TEST(TestBedShapes, NodeRegistrationCounts) {
