@@ -105,7 +105,7 @@ int main() {
       "\nconversions: %d virtualized, %d nativized; re-replicated %.0f MB "
       "of HDFS data along the way\n",
       reconfig.stats().virtualized, reconfig.stats().nativized,
-      bed.hdfs().re_replicated_mb());
+      bed.hdfs().re_replicated_mb().value());
   for (auto* app : apps) app->stop();
   return 0;
 }

@@ -73,6 +73,6 @@ int main(int argc, char** argv) {
               bed.cluster().mean_utilization(cluster::ResourceKind::kCpu, 0,
                                              end) *
                   100,
-              bed.cluster().energy_joules(0, end) / 3600.0);
+              bed.cluster().energy_joules(0, end).value() / 3600.0);
   return 0;
 }

@@ -79,7 +79,7 @@ int main() {
 
   std::printf("\nInteractive tenant %s: response time %.0f ms (SLA %.0f ms)\n",
               rubis.name().c_str(), rubis.response_time_s() * 1000,
-              rubis.params().sla_s * 1000);
+              rubis.params().sla_s.value() * 1000);
   std::printf("Simulated time: %.0f s, events processed: %zu\n",
               bed.sim().now(), bed.sim().events_processed());
 

@@ -37,9 +37,11 @@ ALLOWED_DEPS: dict[str, set[str]] = {
     "storage": {"cluster"},
     "interactive": {"cluster"},
     "mapred": {"storage", "cluster"},
+    "faults": {"mapred", "storage", "cluster"},
     "workload": {"mapred", "interactive"},
     "core": {"workload", "mapred", "interactive"},
-    "harness": {"core", "workload", "mapred", "interactive", "storage"},
+    "harness": {"core", "workload", "mapred", "faults", "interactive",
+                "storage"},
 }
 
 # Anchored at line start and matched against the RAW line: the quoted

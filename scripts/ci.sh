@@ -17,6 +17,8 @@
 #                teardown paths are leak-clean and must stay that way
 #   audit        -DHYBRIDMR_AUDIT=ON build + ctest: every runtime invariant
 #                checkpoint compiled in and exercised by the suite
+#   chaos        bench_faults seeded chaos scenario in the sanitize and
+#                audit trees, determinism-diffed across two same-seed runs
 #   determinism  two same-seed quickstart runs; telemetry artifacts must be
 #                byte-identical
 #   perf         Release bench_micro + bench_scale runs gated by
@@ -125,6 +127,37 @@ build_and_test sanitize -DHYBRIDMR_SANITIZE=address,undefined || true
 
 # --- runtime invariant audit -------------------------------------------------
 build_and_test audit -DHYBRIDMR_AUDIT=ON || true
+
+# --- chaos smoke: seeded fault schedule under sanitizers + audit --------------
+# bench_faults runs the batch under machine crashes, bounded retries and an
+# aborted live migration. It exits non-zero if any job hangs short of a
+# terminal state or the faults stop biting; running it in the sanitize tree
+# proves crash teardown is leak-clean, in the audit tree that every
+# invariant checkpoint holds mid-recovery. Same-seed runs must produce
+# byte-identical chaos reports.
+echo "=== [chaos] bench_faults under sanitize + audit trees ==="
+chaos_result=PASS
+chaos_dir="$root/chaos"
+mkdir -p "$chaos_dir"
+for tree in sanitize audit; do
+  cb="$root/$tree/bench/bench_faults"
+  if [ ! -x "$cb" ]; then
+    echo "chaos: $cb missing ($tree build failed?)"
+    chaos_result=FAIL
+    continue
+  fi
+  if ! ("$cb" --seed 7 --out "$chaos_dir/$tree-a.json" > /dev/null &&
+        "$cb" --seed 7 --out "$chaos_dir/$tree-b.json" > /dev/null); then
+    echo "chaos: bench_faults failed in the $tree tree"
+    chaos_result=FAIL
+    continue
+  fi
+  if ! cmp -s "$chaos_dir/$tree-a.json" "$chaos_dir/$tree-b.json"; then
+    echo "chaos: same-seed chaos reports differ in the $tree tree"
+    chaos_result=FAIL
+  fi
+done
+note_stage chaos "$chaos_result"
 
 # --- determinism: same seed => byte-identical telemetry artifacts ------------
 echo "=== [determinism] two same-seed quickstart runs ==="

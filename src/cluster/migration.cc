@@ -24,10 +24,14 @@ MigrationPlan MigrationModel::plan(sim::MegaBytes memory, sim::MBps dirty_rate,
     to_send = dirty_rate * t;
     ++p.rounds;
     // Diverging: dirtying faster than we can send. Give up pre-copying.
-    if (dirty_rate >= bw) {
-      p.converged = false;
-      break;
-    }
+    if (dirty_rate >= bw) break;
+  }
+  // Converged means the final stop-and-copy moves at most the threshold.
+  // Both early exits — divergence and the round cap — leave more than that
+  // behind and must report non-convergence (the round-cap exit used to slip
+  // through as converged).
+  if (to_send > sim::MegaBytes{cal_.migration_stop_threshold_mb}) {
+    p.converged = false;
   }
   p.downtime_seconds =
       to_send / bw + sim::Duration{cal_.migration_downtime_overhead_s};
@@ -35,20 +39,27 @@ MigrationPlan MigrationModel::plan(sim::MegaBytes memory, sim::MBps dirty_rate,
 }
 
 sim::MBps MigrationModel::dirty_rate_mbps(const VirtualMachine& vm) const {
-  double active_mb = 0;
+  sim::MegaBytes active_mb{0};
   for (const auto& w : vm.workloads()) {
     if (w->paused()) continue;
-    active_mb += std::min(w->demand().memory, w->allocated().memory);
+    active_mb += sim::MegaBytes{
+        std::min(w->demand().memory, w->allocated().memory)};
   }
   return sim::MBps{cal_.idle_dirty_rate_mbps +
-                   cal_.dirty_rate_per_active_mb * active_mb};
+                   cal_.dirty_rate_per_active_mb * active_mb.value()};
+}
+
+double unit_mean_lognormal(sim::Rng& rng, double sigma) {
+  return std::exp(rng.normal(-0.5 * sigma * sigma, sigma));
 }
 
 sim::MBps Migrator::jittered_dirty_rate(const VirtualMachine& vm) {
   // Page-dirtying is bursty; the paper's Fig. 10(c) shows wide per-VM
-  // downtime variation. Lognormal jitter reproduces that spread.
+  // downtime variation. Unit-mean lognormal jitter reproduces that spread
+  // without running every migration ~13 % hotter than the calibrated model
+  // (the mean of exp(N(0, 0.5))).
   const sim::MBps base = model_.dirty_rate_mbps(vm);
-  return base * std::exp(sim_.rng().normal(0.0, 0.5));
+  return base * unit_mean_lognormal(sim_.rng(), kDirtyRateJitterSigma);
 }
 
 bool Migrator::migrate(VirtualMachine& vm, Machine& dest, DoneFn done) {
@@ -89,54 +100,115 @@ bool Migrator::migrate(VirtualMachine& vm, Machine& dest, DoneFn done) {
   auto in_stream = std::make_shared<Workload>(
       "migrate-in:" + vm.name(), stream_demand, plan.precopy_seconds);
 
-  VirtualMachine* vmp = &vm;
-  Machine* destp = &dest;
-  out_stream->on_complete = [this, vmp, destp, in_stream, record,
-                             done = std::move(done)]() {
+  auto flight = std::make_shared<InFlight>();
+  flight->record = record;
+  flight->vm = &vm;
+  flight->src = src;
+  flight->dest = &dest;
+  flight->out_stream = out_stream;
+  flight->in_stream = in_stream;
+  flight->done = std::move(done);
+  active_.push_back(flight);
+
+  // The flight is alive in active_ until complete() or abort_involving()
+  // erases it, so the strong capture cannot outlive the migrator's view.
+  // sim-lint: allow(capture-lifetime)
+  out_stream->on_complete = [this, flight]() {
     // Pre-copy finished: drop the receive stream, take the downtime.
-    if (in_stream->site() != nullptr) {
-      in_stream->site()->remove(in_stream.get());
+    if (auto in = flight->in_stream.lock()) {
+      if (in->site() != nullptr) in->site()->remove(in.get());
     }
-    record->precopy_seconds = sim::Duration{sim_.now() - record->started_at};
-    vmp->set_paused(true);
-    // The pending event is the record's only owner until it lands in
-    // history_; the strong capture is the point.
-    // sim-lint: allow(capture-lifetime)
-    sim_.after(record->downtime_seconds, [this, vmp, destp, record,
-                                          done = std::move(done)]() {
-      Machine* from = vmp->host_machine();
-      if (from != nullptr) from->detach_vm(vmp);
-      destp->attach_vm(vmp);
-      vmp->set_paused(false);
-      vmp->set_migrating(false);
-      --in_flight_;
-      history_.push_back(*record);
-      sim::log_info(sim_.now(), "migrator",
-                    record->vm + ": " + record->from + " -> " + record->to);
-      if (tel_ != nullptr) {
-        tel_->registry.counter("cluster.migrations").add();
-        tel_->registry.counter("cluster.migration_mb", "MB")
-            .add(record->transferred_mb.value());
-        tel_->registry
-            .histogram("cluster.migration_downtime_s", 0.0, 2.0, "s")
-            .record(record->downtime_seconds.value());
-        tel_->trace.complete(
-            record->started_at, sim_.now() - record->started_at,
-            telemetry::EventKind::kMigrationEnd, record->vm, record->from,
-            {{"to", record->to},
-             {"precopy_s", telemetry::json_num(record->precopy_seconds.value())},
-             {"downtime_s",
-              telemetry::json_num(record->downtime_seconds.value())},
-             {"transferred_mb",
-              telemetry::json_num(record->transferred_mb.value())}});
-      }
-      if (done) done(*record);
-    });
+    flight->record->precopy_seconds =
+        sim::Duration{sim_.now() - flight->record->started_at};
+    flight->vm->set_paused(true);
+    flight->in_downtime = true;
+    flight->downtime_event = sim_.after(
+        flight->record->downtime_seconds,
+        // sim-lint: allow(capture-lifetime)
+        [this, flight]() { complete(flight); });
   };
 
   src->add(std::move(out_stream));
   dest.add(std::move(in_stream));
   return true;
+}
+
+void Migrator::complete(const std::shared_ptr<InFlight>& flight) {
+  const auto& record = flight->record;
+  VirtualMachine* vmp = flight->vm;
+  Machine* from = vmp->host_machine();
+  if (from != nullptr) from->detach_vm(vmp);
+  flight->dest->attach_vm(vmp);
+  vmp->set_paused(false);
+  vmp->set_migrating(false);
+  --in_flight_;
+  history_.push_back(*record);
+  sim::log_info(sim_.now(), "migrator",
+                record->vm + ": " + record->from + " -> " + record->to);
+  if (tel_ != nullptr) {
+    tel_->registry.counter("cluster.migrations").add();
+    tel_->registry.counter("cluster.migration_mb", "MB")
+        .add(record->transferred_mb.value());
+    tel_->registry.histogram("cluster.migration_downtime_s", 0.0, 2.0, "s")
+        .record(record->downtime_seconds.value());
+    tel_->trace.complete(
+        record->started_at, sim_.now() - record->started_at,
+        telemetry::EventKind::kMigrationEnd, record->vm, record->from,
+        {{"to", record->to},
+         {"precopy_s", telemetry::json_num(record->precopy_seconds.value())},
+         {"downtime_s", telemetry::json_num(record->downtime_seconds.value())},
+         {"transferred_mb",
+          telemetry::json_num(record->transferred_mb.value())}});
+  }
+  DoneFn done = std::move(flight->done);
+  drop_flight(flight);
+  if (done) done(*record);
+}
+
+void Migrator::drop_flight(const std::shared_ptr<InFlight>& flight) {
+  active_.erase(std::remove(active_.begin(), active_.end(), flight),
+                active_.end());
+}
+
+int Migrator::abort_involving(Machine& machine) {
+  // Snapshot: aborting mutates active_.
+  std::vector<std::shared_ptr<InFlight>> doomed;
+  for (const auto& f : active_) {
+    if (f->src == &machine || f->dest == &machine) doomed.push_back(f);
+  }
+  for (const auto& flight : doomed) {
+    // Tear the pre-copy streams down without firing their completions.
+    if (auto out = flight->out_stream.lock()) {
+      out->on_complete = nullptr;
+      if (out->site() != nullptr) out->site()->remove(out.get());
+    }
+    if (auto in = flight->in_stream.lock()) {
+      if (in->site() != nullptr) in->site()->remove(in.get());
+    }
+    if (flight->in_downtime) {
+      sim_.cancel(flight->downtime_event);
+    } else {
+      flight->record->precopy_seconds =
+          sim::Duration{sim_.now() - flight->record->started_at};
+    }
+    // The VM never left its source: roll back to a plain running state.
+    flight->vm->set_paused(false);
+    flight->vm->set_migrating(false);
+    --in_flight_;
+    flight->record->aborted = true;
+    history_.push_back(*flight->record);
+    sim::log_info(sim_.now(), "migrator",
+                  flight->record->vm + ": aborted " + flight->record->from +
+                      " -> " + flight->record->to);
+    if (tel_ != nullptr) {
+      tel_->registry.counter("cluster.migrations_aborted").add();
+      tel_->trace.instant(sim_.now(), telemetry::EventKind::kMigrationAbort,
+                          flight->record->vm, flight->record->from,
+                          {{"to", flight->record->to}});
+    }
+    drop_flight(flight);
+  }
+  return static_cast<int>(doomed.size());
 }
 
 void Migrator::set_telemetry(telemetry::Hub* hub) { tel_ = hub; }

@@ -27,12 +27,19 @@ TestBed::TestBed(Options options) : options_(std::move(options)) {
   hdfs_ = std::make_unique<storage::Hdfs>(*sim_, options_.calibration);
   mapred::MapReduceEngine::Options mr_options;
   mr_options.speculative_execution = options_.speculative_execution;
+  mr_options.max_attempts = options_.max_task_attempts;
   mr_ = std::make_unique<mapred::MapReduceEngine>(
       *sim_, *hdfs_, options_.calibration,
       mapred::make_scheduler(options_.scheduler), mr_options);
   if (tel_) {
     cluster_->set_telemetry(tel_.get());
     mr_->set_telemetry(tel_.get());
+  }
+  if (!options_.faults.empty()) {
+    faults_ = std::make_unique<faults::FaultInjector>(
+        *sim_, *cluster_, *hdfs_, *mr_, options_.faults);
+    if (tel_) faults_->set_telemetry(tel_.get());
+    faults_->arm();
   }
 }
 

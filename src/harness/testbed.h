@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "faults/injector.h"
 #include "interactive/app.h"
 #include "mapred/engine.h"
 #include "sim/simulation.h"
@@ -34,6 +35,11 @@ class TestBed {
     /// determinism-equivalence test (same seed, both modes, byte-identical
     /// reports).
     bool eager_reallocation = false;
+    /// Retry bound forwarded to MapReduceEngine::Options::max_attempts.
+    int max_task_attempts = 4;
+    /// Fault plan executed against the run; an empty schedule (default)
+    /// constructs no injector at all.
+    faults::FaultSchedule faults{};
     cluster::Calibration calibration = cluster::Calibration::standard();
   };
 
@@ -44,6 +50,8 @@ class TestBed {
   [[nodiscard]] cluster::HybridCluster& cluster() { return *cluster_; }
   [[nodiscard]] storage::Hdfs& hdfs() { return *hdfs_; }
   [[nodiscard]] mapred::MapReduceEngine& mr() { return *mr_; }
+  /// The armed fault injector; null when Options::faults was empty.
+  [[nodiscard]] faults::FaultInjector* faults() { return faults_.get(); }
   [[nodiscard]] const cluster::Calibration& calibration() const {
     return options_.calibration;
   }
@@ -120,6 +128,7 @@ class TestBed {
   std::unique_ptr<cluster::HybridCluster> cluster_;
   std::unique_ptr<storage::Hdfs> hdfs_;
   std::unique_ptr<mapred::MapReduceEngine> mr_;
+  std::unique_ptr<faults::FaultInjector> faults_;
   std::vector<cluster::ExecutionSite*> nodes_;
 };
 

@@ -151,6 +151,7 @@ void MapReduceEngine::dispatch() {
     while (progressed) {
       progressed = false;
       for (const auto& tr : trackers_) {
+        if (tr->blacklisted_) continue;
         if (host_gated(*tr)) continue;
         for (TaskType type : {TaskType::kMap, TaskType::kReduce}) {
           if (tr->free_slots(type) <= 0) continue;
@@ -169,7 +170,8 @@ void MapReduceEngine::dispatch() {
 void MapReduceEngine::requeue(TaskAttempt& attempt, bool ban_tracker) {
   if (!attempt.running()) return;
   Task& task = attempt.task();
-  if (ban_tracker) task.banned_trackers.insert(&attempt.tracker());
+  TaskTracker* evicted_from = &attempt.tracker();
+  if (ban_tracker) task.banned_trackers.insert(evicted_from);
   if (tel_ != nullptr) {
     tel_tasks_killed_->add();
     tel_->trace.instant(sim_.now(), telemetry::EventKind::kTaskKilled,
@@ -179,15 +181,181 @@ void MapReduceEngine::requeue(TaskAttempt& attempt, bool ban_tracker) {
   attempt.kill();
   ++requeue_count_;
   // If every tracker is now banned, forgive the bans so the task can still
-  // finish somewhere.
+  // finish somewhere — except the most recent one: re-dispatching straight
+  // back onto the tracker the attempt was just evicted from would undo the
+  // IPS eviction the ban encodes. That last ban expires after a short
+  // grace period instead.
   if (task.banned_trackers.size() >= trackers_.size()) {
+    const TaskTracker* recent = ban_tracker ? evicted_from : nullptr;
     task.banned_trackers.clear();
+    if (recent != nullptr) {
+      task.banned_trackers.insert(recent);
+      Task* tp = &task;
+      sim_.after(options_.requeue_ban_grace_s, [this, tp, recent]() {
+        if (tp->completed() || tp->job().finished()) return;
+        if (tp->banned_trackers.erase(recent) > 0) dispatch();
+      });
+    }
   }
   dispatch();
 }
 
+bool MapReduceEngine::fail_attempt(TaskAttempt& attempt, bool ban_tracker) {
+  if (!attempt.running()) return true;
+  Task& task = attempt.task();
+  ++task.failed_attempts_;
+  ++attempt_failures_;
+  if (tel_ != nullptr) {
+    tel_tasks_failed_->add();
+    tel_->trace.instant(
+        sim_.now(), telemetry::EventKind::kTaskFailed, attempt.label(),
+        attempt.site().name(),
+        {{"failures", telemetry::json_num(task.failed_attempts_)},
+         {"max_attempts", telemetry::json_num(options_.max_attempts)}});
+  }
+  if (task.failed_attempts_ >= options_.max_attempts) {
+    attempt.kill();
+    fail_job(task.job(), attempt.label() + " failed " +
+                             std::to_string(task.failed_attempts_) +
+                             " attempts");
+    return false;
+  }
+  requeue(attempt, ban_tracker);
+  return true;
+}
+
+void MapReduceEngine::fail_job(Job& job, const std::string& reason) {
+  if (job.finished()) return;
+  job.state_ = JobState::kFailed;
+  job.finish_time_ = sim_.now();
+  --active_jobs_;
+  ++jobs_failed_;
+  for (TaskType type : {TaskType::kMap, TaskType::kReduce}) {
+    auto& tasks = type == TaskType::kMap ? job.maps_ : job.reduces_;
+    for (auto& t : tasks) {
+      for (auto& a : t->attempts_) {
+        if (a->running()) a->kill();
+      }
+    }
+  }
+  sim::log_info(sim_.now(), "jobtracker",
+                job.spec().name + ": FAILED (" + reason + ")");
+  if (tel_ != nullptr) {
+    tel_jobs_failed_->add();
+    tel_->trace.instant(sim_.now(), telemetry::EventKind::kJobFailed,
+                        job.spec().name + "-j" + std::to_string(job.id()),
+                        kJobTrack, {{"reason", reason}});
+  }
+  audit_verify_job(job);
+  if (job.on_complete) job.on_complete(job);
+  dispatch();
+}
+
+bool MapReduceEngine::mark_tracker_lost(cluster::ExecutionSite& site) {
+  TaskTracker* tr = tracker_on(site);
+  if (tr == nullptr || tr->blacklisted_) return false;
+  // Blacklist first so the requeues below cannot redispatch onto the dead
+  // tracker mid-teardown.
+  tr->blacklisted_ = true;
+  sim::log_info(sim_.now(), "jobtracker", "tracker lost: " + site.name());
+  if (tel_ != nullptr) {
+    tel_->trace.instant(sim_.now(), telemetry::EventKind::kTrackerLost,
+                        site.name(), site.name());
+  }
+  // Running attempts die with the heartbeat, and reducers elsewhere that
+  // were fetching (or queued to fetch) map output from this site must
+  // restart. Both are KILLED, not FAILED: lost-tracker attempts do not
+  // count against max_attempts, as in Hadoop.
+  requeue_attempts_depending_on(site);
+  // Completed map outputs stored here are gone; Hadoop 1 re-executes them.
+  reexecute_lost_map_outputs(site);
+#if defined(HYBRIDMR_AUDIT_ENABLED)
+  // Crash teardown must leave no slot leaked on the dead tracker.
+  HYBRIDMR_AUDIT_CHECK(
+      tr->running().empty() &&
+          tr->free_slots(TaskType::kMap) == tr->map_slots() &&
+          tr->free_slots(TaskType::kReduce) == tr->reduce_slots(),
+      "mapred.engine", "no_slot_leak_on_tracker_loss", sim_.now(),
+      {{"site", site.name()},
+       {"running", audit::num(static_cast<double>(tr->running().size()))},
+       {"free_map_slots", audit::num(tr->free_slots(TaskType::kMap))},
+       {"free_reduce_slots", audit::num(tr->free_slots(TaskType::kReduce))}});
+#endif
+  dispatch();
+  return true;
+}
+
+bool MapReduceEngine::restore_tracker(cluster::ExecutionSite& site) {
+  TaskTracker* tr = tracker_on(site);
+  if (tr == nullptr || !tr->blacklisted_) return false;
+  tr->blacklisted_ = false;
+  sim::log_info(sim_.now(), "jobtracker", "tracker restored: " + site.name());
+  if (tel_ != nullptr) {
+    tel_->trace.instant(sim_.now(), telemetry::EventKind::kTrackerRestored,
+                        site.name(), site.name());
+  }
+  dispatch();
+  return true;
+}
+
+int MapReduceEngine::requeue_attempts_depending_on(
+    const cluster::ExecutionSite& site) {
+  int n = 0;
+  // Snapshot: requeue() mutates the trackers' running lists.
+  for (TaskAttempt* a : running_attempts()) {
+    if (!a->running()) continue;  // killed earlier in this sweep
+    if (!a->depends_on(site)) continue;
+    requeue(*a, false);
+    ++n;
+  }
+  return n;
+}
+
+int MapReduceEngine::reexecute_lost_map_outputs(
+    const cluster::ExecutionSite& site) {
+  int total = 0;
+  for (const auto& job : jobs_) {
+    if (job->finished()) continue;
+    int lost = 0;
+    for (const auto& t : job->maps_) {
+      if (!t->completed() || t->output_site_ != &site) continue;
+      // Revert to pending: the next dispatch launches a fresh attempt.
+      t->completed_ = false;
+      t->duration_ = -1;
+      t->output_site_ = nullptr;
+      t->speculative_launched = false;
+      --job->maps_done_;
+      ++lost;
+    }
+    if (lost == 0) continue;
+    total += lost;
+    maps_reexecuted_ += lost;
+    if (job->state_ == JobState::kReducing) {
+      // Back to the map phase until the lost outputs are regenerated;
+      // already-running reducers that do not touch the dead site keep
+      // going, requeued ones wait for the phase to come back.
+      job->state_ = JobState::kMapping;
+      job->map_phase_end_ = -1;
+    }
+    sim::log_info(sim_.now(), "jobtracker",
+                  job->spec().name + ": " + std::to_string(lost) +
+                      " map output(s) lost on " + site.name() +
+                      ", re-executing");
+    if (tel_ != nullptr) {
+      tel_maps_reexecuted_->add(lost);
+      tel_->trace.instant(
+          sim_.now(), telemetry::EventKind::kMapOutputLost,
+          job->spec().name + "-j" + std::to_string(job->id()), kJobTrack,
+          {{"site", site.name()}, {"maps", telemetry::json_num(lost)}});
+    }
+    audit_verify_job(*job);
+  }
+  return total;
+}
+
 void MapReduceEngine::attempt_finished(TaskAttempt& attempt) {
   Task& task = attempt.task();
+  if (task.job().finished()) return;  // terminal jobs take no completions
   if (task.completed_) return;  // a sibling already won (defensive)
   task.completed_ = true;
   task.duration_ = attempt.elapsed();
@@ -208,7 +376,8 @@ void MapReduceEngine::attempt_finished(TaskAttempt& attempt) {
   Job& job = task.job();
   if (task.type() == TaskType::kMap) {
     ++job.maps_done_;
-    if (job.maps_done_ == static_cast<int>(job.maps_.size())) {
+    if (job.state_ == JobState::kMapping &&
+        job.maps_done_ == static_cast<int>(job.maps_.size())) {
       job.map_phase_end_ = sim_.now();
       job.state_ = JobState::kReducing;
       sim::log_debug(sim_.now(), "jobtracker",
@@ -217,6 +386,14 @@ void MapReduceEngine::attempt_finished(TaskAttempt& attempt) {
   } else {
     ++job.reduces_done_;
     if (job.reduces_done_ == static_cast<int>(job.reduces_.size())) {
+      // Every reducer has its data, so the job is done even if a lost map
+      // output was mid-re-execution (state downgraded to kMapping); any
+      // re-executed map still running is moot — kill it.
+      for (auto& t : job.maps_) {
+        for (auto& a : t->attempts_) {
+          if (a->running()) a->kill();
+        }
+      }
       job.finish_time_ = sim_.now();
       job.state_ = JobState::kDone;
       --active_jobs_;
@@ -318,6 +495,7 @@ TaskTracker* MapReduceEngine::tracker_with_free_slot(
   double best_load = 1e300;
   for (const auto& tr : trackers_) {
     if (tr.get() == exclude) continue;
+    if (tr->blacklisted_) continue;
     if (task.banned_trackers.contains(tr.get())) continue;
     if (!task.job().pool_allows(tr->site().is_virtual())) continue;
     if (tr->free_slots(type) <= 0) continue;
@@ -439,7 +617,9 @@ void MapReduceEngine::set_telemetry(telemetry::Hub* hub) {
   tel_ = hub;
   if (hub == nullptr) {
     tel_jobs_submitted_ = tel_jobs_finished_ = tel_tasks_finished_ =
-        tel_tasks_killed_ = tel_speculative_ = tel_shuffle_mb_ = nullptr;
+        tel_tasks_killed_ = tel_speculative_ = tel_shuffle_mb_ =
+            tel_tasks_failed_ = tel_jobs_failed_ = tel_maps_reexecuted_ =
+                nullptr;
     tel_running_ = nullptr;
     tel_map_task_s_ = tel_reduce_task_s_ = nullptr;
     return;
@@ -451,6 +631,9 @@ void MapReduceEngine::set_telemetry(telemetry::Hub* hub) {
   tel_tasks_killed_ = &reg.counter("mapred.tasks_killed");
   tel_speculative_ = &reg.counter("mapred.speculative_launches");
   tel_shuffle_mb_ = &reg.counter("mapred.shuffle_mb", "MB");
+  tel_tasks_failed_ = &reg.counter("mapred.tasks_failed");
+  tel_jobs_failed_ = &reg.counter("mapred.jobs_failed");
+  tel_maps_reexecuted_ = &reg.counter("mapred.maps_reexecuted");
   tel_running_ = &reg.gauge("mapred.running_attempts", "tasks");
   tel_map_task_s_ = &reg.histogram("mapred.map_task_s", 0.0, 600.0, "s");
   tel_reduce_task_s_ = &reg.histogram("mapred.reduce_task_s", 0.0, 600.0, "s");

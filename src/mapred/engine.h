@@ -34,6 +34,12 @@ class MapReduceEngine {
     /// node's resources (fixed JVM heap, unmanaged I/O). HybridMR's DRM
     /// replaces these static caps with demand-driven allocations.
     bool static_slot_shares = true;
+    /// Hadoop's mapred.map.max.attempts: a task whose attempts genuinely
+    /// fail this many times takes its whole job down.
+    int max_attempts = 4;
+    /// When a saturated ban set is forgiven on requeue, the most recent
+    /// tracker stays banned for this long before being forgiven too.
+    sim::Duration requeue_ban_grace_s{3.0};
   };
 
   MapReduceEngine(sim::Simulation& sim, storage::Hdfs& hdfs,
@@ -90,6 +96,27 @@ class MapReduceEngine {
   /// treats it like a failed speculative copy: correctness is unaffected.
   void requeue(TaskAttempt& attempt, bool ban_tracker);
 
+  /// Records a genuine attempt failure (bad record, JVM crash — injected
+  /// by the fault layer). Counts against Options::max_attempts; within the
+  /// bound the task is requeued (banning the tracker when asked), past it
+  /// the whole job fails, like Hadoop. Returns true if the job survived.
+  bool fail_attempt(TaskAttempt& attempt, bool ban_tracker = false);
+
+  /// Fails an active job outright: kills its running attempts, marks it
+  /// kFailed, fires on_complete. No-op (returns) on terminal jobs.
+  void fail_job(Job& job, const std::string& reason);
+
+  /// Heartbeat timeout / host crash for the tracker on `site`: blacklists
+  /// it, requeues its running attempts and every attempt that depends on
+  /// the site (in-flight shuffle fetches), and schedules completed map
+  /// outputs stored there for re-execution (Hadoop 1 semantics). Returns
+  /// false when no tracker is registered on `site`.
+  bool mark_tracker_lost(cluster::ExecutionSite& site);
+
+  /// Clears the blacklist for the tracker on `site` (heartbeats resumed /
+  /// host rebooted) and redispatches. Returns false when unknown.
+  bool restore_tracker(cluster::ExecutionSite& site);
+
   /// Attaches the engine to a telemetry hub (null detaches); counters are
   /// registered and cached here so per-task recording is map-lookup-free.
   void set_telemetry(telemetry::Hub* hub);
@@ -113,11 +140,21 @@ class MapReduceEngine {
   // --- stats ---
   [[nodiscard]] int speculative_launched() const { return speculative_count_; }
   [[nodiscard]] int requeued() const { return requeue_count_; }
+  [[nodiscard]] int jobs_failed() const { return jobs_failed_; }
+  [[nodiscard]] int attempt_failures() const { return attempt_failures_; }
+  [[nodiscard]] int maps_reexecuted() const { return maps_reexecuted_; }
   [[nodiscard]] const TaskScheduler& scheduler() const { return *scheduler_; }
 
  private:
   void maybe_start_speculation_monitor();
   void speculation_scan();
+  /// Reverts completed maps whose output lived on `site` to pending and
+  /// downgrades kReducing jobs back to kMapping (Hadoop 1 re-execution of
+  /// lost map outputs). Returns the number of maps reverted.
+  int reexecute_lost_map_outputs(const cluster::ExecutionSite& site);
+  /// Requeues (without banning) every running attempt that depends_on the
+  /// site. Returns the number requeued.
+  int requeue_attempts_depending_on(const cluster::ExecutionSite& site);
   /// Audit checkpoint (no-op unless HYBRIDMR_AUDIT): task-state exclusivity
   /// and map/reduce completion-count conservation for one job.
   void audit_verify_job(const Job& job) const;
@@ -136,6 +173,9 @@ class MapReduceEngine {
   bool speculation_monitor_running_ = false;
   int speculative_count_ = 0;
   int requeue_count_ = 0;
+  int jobs_failed_ = 0;
+  int attempt_failures_ = 0;
+  int maps_reexecuted_ = 0;
   bool dispatching_ = false;
   // Telemetry hub plus cached metric handles (all null when detached).
   telemetry::Hub* tel_ = nullptr;
@@ -145,6 +185,9 @@ class MapReduceEngine {
   telemetry::Counter* tel_tasks_killed_ = nullptr;
   telemetry::Counter* tel_speculative_ = nullptr;
   telemetry::Counter* tel_shuffle_mb_ = nullptr;
+  telemetry::Counter* tel_tasks_failed_ = nullptr;
+  telemetry::Counter* tel_jobs_failed_ = nullptr;
+  telemetry::Counter* tel_maps_reexecuted_ = nullptr;
   telemetry::Gauge* tel_running_ = nullptr;
   telemetry::Histogram* tel_map_task_s_ = nullptr;
   telemetry::Histogram* tel_reduce_task_s_ = nullptr;

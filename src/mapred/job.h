@@ -11,7 +11,7 @@
 
 namespace hybridmr::mapred {
 
-enum class JobState { kPending, kMapping, kReducing, kDone };
+enum class JobState { kPending, kMapping, kReducing, kDone, kFailed };
 
 /// Where a job's tasks may run — set by HybridMR's Phase I placement.
 enum class PlacementPool { kAny, kNativeOnly, kVirtualOnly };
@@ -25,7 +25,12 @@ class Job {
   [[nodiscard]] int id() const { return id_; }
   [[nodiscard]] const JobSpec& spec() const { return spec_; }
   [[nodiscard]] JobState state() const { return state_; }
-  [[nodiscard]] bool finished() const { return state_ == JobState::kDone; }
+  /// Terminal either way: completed or failed past its retry bound.
+  [[nodiscard]] bool finished() const {
+    return state_ == JobState::kDone || state_ == JobState::kFailed;
+  }
+  [[nodiscard]] bool succeeded() const { return state_ == JobState::kDone; }
+  [[nodiscard]] bool failed() const { return state_ == JobState::kFailed; }
 
   [[nodiscard]] const std::vector<std::unique_ptr<Task>>& maps() const {
     return maps_;
@@ -121,6 +126,8 @@ inline const char* to_string(JobState s) {
       return "reducing";
     case JobState::kDone:
       return "done";
+    case JobState::kFailed:
+      return "failed";
   }
   return "?";
 }

@@ -262,7 +262,7 @@ void TaskAttempt::pump_shuffle() {
         [this, mb]() { flow_completed(mb); });
     if (paused_) handle.set_paused(true);
     handle.set_caps(caps_);
-    flows_.push_back({handle, mb});
+    flows_.push_back({handle, mb, src});
   }
 }
 
@@ -349,6 +349,22 @@ Resources TaskAttempt::current_demand() const {
     if (p != nullptr && p->site() == &site()) sum += p->effective_demand();
   }
   return sum;
+}
+
+bool TaskAttempt::depends_on(const cluster::ExecutionSite& s) const {
+  if (!running()) return false;
+  if (&site() == &s) return true;
+  for (const auto& f : flows_) {
+    if (f.src == &s) return true;
+    const cluster::Workload* p = f.handle.primary();
+    if (p != nullptr && p->site() == &s) return true;
+  }
+  // Queued-but-unfetched shuffle sources: the map output lives on `s` and
+  // is about to be read from there.
+  for (std::size_t i = shuffle_next_; i < shuffle_queue_.size(); ++i) {
+    if (shuffle_queue_[i].first == &s) return true;
+  }
+  return false;
 }
 
 void TaskAttempt::teardown() {

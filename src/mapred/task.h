@@ -59,12 +59,17 @@ class Task {
   /// Trackers this task must not run on again (IPS re-queue exclusions).
   std::set<const TaskTracker*> banned_trackers;
 
+  /// Attempts that ended in genuine failure (not kills): compared against
+  /// the engine's max_attempts bound, like Hadoop's mapred.map.max.attempts.
+  [[nodiscard]] int failed_attempts() const { return failed_attempts_; }
+
  private:
   friend class MapReduceEngine;
   friend class TaskTracker;
   Job* job_;
   TaskType type_;
   int index_;
+  int failed_attempts_ = 0;
   bool completed_ = false;
   double duration_ = -1;
   cluster::ExecutionSite* output_site_ = nullptr;
@@ -131,6 +136,12 @@ class TaskAttempt {
   /// Stable display name, e.g. "sort-j0-m3" (job name, job id, task).
   [[nodiscard]] std::string label() const;
 
+  /// True if this running attempt depends on `site` for anything beyond
+  /// its own slot: it runs there, has an in-flight flow sourced or served
+  /// there, or still has shuffle fetches queued from map outputs there.
+  /// Used by the crash path to decide which attempts to requeue.
+  [[nodiscard]] bool depends_on(const cluster::ExecutionSite& s) const;
+
  private:
   struct Phase {
     enum class Kind { kRead, kStream, kCompute, kLocalWrite, kShuffle,
@@ -163,6 +174,9 @@ class TaskAttempt {
   struct ActiveFlow {
     storage::FlowHandle handle;
     double amount_mb = 0;
+    // Remote site the flow pulls from (shuffle fetches); null for HDFS
+    // reads/writes whose endpoints the storage layer picked.
+    cluster::ExecutionSite* src = nullptr;
   };
   std::vector<ActiveFlow> flows_;  // in-flight HDFS flows of this phase
   // Shuffle fetch queue, drained with bounded parallelism (Hadoop's

@@ -40,17 +40,23 @@ class TaskTracker {
   /// Bookkeeping when an attempt finishes or is killed.
   void release(TaskAttempt* attempt);
 
+  /// Blacklisted trackers hold their slots but receive no new work
+  /// (heartbeat timeout / crashed host). Set by the engine.
+  [[nodiscard]] bool blacklisted() const { return blacklisted_; }
+
   /// Audit checkpoint (no-op unless HYBRIDMR_AUDIT): per-type running
   /// counts stay within [0, slots] and sum to the running list's size.
   void audit_verify_slots() const;
 
  private:
+  friend class MapReduceEngine;  // blacklist management
   MapReduceEngine* engine_;
   cluster::ExecutionSite* site_;
   int map_slots_;
   int reduce_slots_;
   int running_maps_ = 0;
   int running_reduces_ = 0;
+  bool blacklisted_ = false;
   std::vector<TaskAttempt*> running_;
 };
 

@@ -44,9 +44,14 @@ void Hdfs::audit_verify_placement() const {
             {"datanodes", audit::num(static_cast<double>(datanodes_.size()))},
             {"problem", what}};
       };
-      HYBRIDMR_AUDIT_CHECK(!reps.empty(), "storage.hdfs",
+      // A block may be empty only when a crash destroyed its last replica
+      // (and then it must be marked lost): "no replicas" and "lost" are
+      // the same condition seen from two ledgers.
+      const bool lost = b < file.block_lost.size() && file.block_lost[b] != 0;
+      HYBRIDMR_AUDIT_CHECK(reps.empty() == lost, "storage.hdfs",
                            "replicas_match_placement", -1,
-                           detail("block has no replicas"));
+                           detail(lost ? "lost block still has replicas"
+                                       : "block has no replicas"));
       HYBRIDMR_AUDIT_CHECK(reps.size() <= datanodes_.size(), "storage.hdfs",
                            "replicas_match_placement", -1,
                            detail("more replicas than datanodes"));
@@ -110,13 +115,99 @@ bool Hdfs::remove_datanode(ExecutionSite& site) {
       }
       *pos = target;
       target->add_stored(mb);
-      re_replicated_mb_ += mb.value();
+      re_replicated_mb_ += mb;
       transfer(*source, *target->site(), mb, nullptr);
     }
   }
   datanodes_.erase(it);
   audit_verify_placement();
   return true;
+}
+
+int Hdfs::crash_datanodes(const std::vector<ExecutionSite*>& sites) {
+  std::vector<DataNode*> dying;
+  for (ExecutionSite* s : sites) {
+    DataNode* dn = datanode_on(s);
+    if (dn != nullptr &&
+        std::find(dying.begin(), dying.end(), dn) == dying.end()) {
+      dying.push_back(dn);
+    }
+  }
+  if (dying.empty()) return 0;
+  auto is_dying = [&](const DataNode* dn) {
+    return std::find(dying.begin(), dying.end(), dn) != dying.end();
+  };
+
+  for (auto& file : files_) {
+    for (std::size_t b = 0; b < file.block_replicas.size(); ++b) {
+      auto& reps = file.block_replicas[b];
+      const std::size_t before = reps.size();
+      reps.erase(std::remove_if(reps.begin(), reps.end(), is_dying),
+                 reps.end());
+      const std::size_t killed = before - reps.size();
+      if (killed == 0) continue;
+      if (reps.empty()) {
+        // The crash took the last copy; nothing to re-replicate from.
+        file.block_lost[b] = 1;
+        ++blocks_lost_;
+        continue;
+      }
+      // Restore the replication factor from a surviving copy. The replica
+      // map is updated immediately (NameNode bookkeeping); the copy
+      // traffic is injected asynchronously, as in the decommission path.
+      const sim::MegaBytes mb{block_mb_of(
+          file.size_mb, static_cast<int>(b),
+          static_cast<int>(file.block_replicas.size()), file.block_mb)};
+      ExecutionSite* source = reps.front()->site();
+      for (std::size_t i = 0; i < killed; ++i) {
+        DataNode* target = nullptr;
+        std::size_t probe = sim_.rng().index(datanodes_.size());
+        for (std::size_t k = 0; k < datanodes_.size(); ++k) {
+          DataNode* candidate =
+              datanodes_[(probe + k) % datanodes_.size()].get();
+          if (is_dying(candidate)) continue;
+          if (std::find(reps.begin(), reps.end(), candidate) != reps.end()) {
+            continue;
+          }
+          target = candidate;
+          break;
+        }
+        if (target == nullptr) break;  // every healthy node already holds it
+        reps.push_back(target);
+        target->add_stored(mb);
+        re_replicated_mb_ += mb;
+        transfer(*source, *target->site(), mb, nullptr);
+      }
+    }
+  }
+  datanodes_.erase(
+      std::remove_if(datanodes_.begin(), datanodes_.end(),
+                     [&](const auto& dn) { return is_dying(dn.get()); }),
+      datanodes_.end());
+  audit_verify_placement();
+  return static_cast<int>(dying.size());
+}
+
+int Hdfs::crash_datanode(ExecutionSite& site) {
+  return crash_datanodes({&site});
+}
+
+bool Hdfs::has_lost_block(FileId file) const {
+  const File& f = files_[file];
+  return std::any_of(f.block_lost.begin(), f.block_lost.end(),
+                     [](char lost) { return lost != 0; });
+}
+
+int Hdfs::min_replication() const {
+  int min_reps = -1;
+  for (const auto& file : files_) {
+    for (std::size_t b = 0; b < file.block_replicas.size(); ++b) {
+      if (b < file.block_lost.size() && file.block_lost[b] != 0) continue;
+      const int n = static_cast<int>(file.block_replicas[b].size());
+      if (min_reps < 0 || n < min_reps) min_reps = n;
+    }
+  }
+  return min_reps;
 }
 
 Hdfs::FileId Hdfs::stage_file(const std::string& name, sim::MegaBytes size_mb,
@@ -155,6 +246,7 @@ Hdfs::FileId Hdfs::stage_file(const std::string& name, sim::MegaBytes size_mb,
     for (DataNode* dn : reps) dn->add_stored(mb);
     file.block_replicas.push_back(std::move(reps));
   }
+  file.block_lost.assign(file.block_replicas.size(), 0);
   files_.push_back(std::move(file));
   audit_verify_placement();
   return files_.size() - 1;
@@ -280,7 +372,7 @@ FlowHandle Hdfs::read_block(FileId file, int block, ExecutionSite& reader,
 
   switch (locality) {
     case Locality::kNodeLocal: {
-      read_local_mb_ += mb.value();
+      read_local_mb_ += mb;
       Resources d;
       d.disk = disk_rate.value();
       d.cpu = cal_.hdfs_serve_cpu_per_stream;
@@ -291,7 +383,7 @@ FlowHandle Hdfs::read_block(FileId file, int block, ExecutionSite& reader,
     case Locality::kHostLocal: {
       // Served by a sibling VM over the Xen loopback: disk on the serving
       // datanode paces the flow; no physical NIC usage.
-      read_local_mb_ += mb.value();
+      read_local_mb_ += mb;
       Resources d;
       d.disk = disk_rate.value();
       d.cpu = cal_.hdfs_serve_cpu_per_stream;
@@ -301,7 +393,7 @@ FlowHandle Hdfs::read_block(FileId file, int block, ExecutionSite& reader,
           std::move(done));
     }
     case Locality::kRemote: {
-      read_remote_mb_ += mb.value();
+      read_remote_mb_ += mb;
       Resources reader_d;
       reader_d.net = net_rate.value();
       reader_d.cpu = cal_.hdfs_read_cpu_per_stream;
@@ -358,7 +450,7 @@ FlowHandle Hdfs::write(ExecutionSite& writer, sim::MegaBytes mb, DoneFn done,
   const auto reps = pick_replicas(&writer, want);
   const sim::MBps disk_rate{cal_.hdfs_stream_disk_mbps};
   const sim::MBps net_rate{cal_.hdfs_stream_net_mbps};
-  written_mb_ += mb.value();
+  written_mb_ += mb;
   for (DataNode* dn : reps) dn->add_stored(mb);
 
   // The pipeline is paced by its slowest stage; each replica is charged

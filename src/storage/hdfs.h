@@ -27,14 +27,12 @@ class DataNode {
   explicit DataNode(cluster::ExecutionSite& site) : site_(&site) {}
 
   [[nodiscard]] cluster::ExecutionSite* site() const { return site_; }
-  [[nodiscard]] sim::MegaBytes stored_mb() const {
-    return sim::MegaBytes{stored_mb_};
-  }
-  void add_stored(sim::MegaBytes mb) { stored_mb_ += mb.value(); }
+  [[nodiscard]] sim::MegaBytes stored_mb() const { return stored_mb_; }
+  void add_stored(sim::MegaBytes mb) { stored_mb_ += mb; }
 
  private:
   cluster::ExecutionSite* site_;
-  double stored_mb_ = 0;
+  sim::MegaBytes stored_mb_;
 };
 
 /// Locality of one read, for metrics and placement decisions.
@@ -110,9 +108,29 @@ class Hdfs {
   /// datanode or it is the last one.
   bool remove_datanode(cluster::ExecutionSite& site);
 
-  /// Re-replication traffic caused by decommissions.
+  /// Abruptly kills the DataNodes on `sites` (host crash): unlike
+  /// remove_datanode, the dying nodes cannot serve as re-replication
+  /// sources — their replicas are simply gone. Every lost replica with a
+  /// surviving copy is re-replicated from that copy onto a healthy node
+  /// (never one of the dying ones, which is why simultaneous crashes must
+  /// go through one call); a block whose last replica died is marked lost
+  /// and counted in blocks_lost(). Returns the number of datanodes killed.
+  int crash_datanodes(const std::vector<cluster::ExecutionSite*>& sites);
+  /// Single-site convenience wrapper around crash_datanodes().
+  int crash_datanode(cluster::ExecutionSite& site);
+
+  /// Blocks whose last replica was destroyed by a crash (never recovers).
+  [[nodiscard]] int blocks_lost() const { return blocks_lost_; }
+  /// True when any block of `file` is lost (readers of the file assert).
+  [[nodiscard]] bool has_lost_block(FileId file) const;
+  /// Minimum replica count over all non-lost blocks; -1 with no blocks.
+  /// After crash recovery this should re-converge to the replication
+  /// factor (the audit's replica invariant builds on it).
+  [[nodiscard]] int min_replication() const;
+
+  /// Re-replication traffic caused by decommissions and crashes.
   [[nodiscard]] sim::MegaBytes re_replicated_mb() const {
-    return sim::MegaBytes{re_replicated_mb_};
+    return re_replicated_mb_;
   }
   [[nodiscard]] const std::vector<std::unique_ptr<DataNode>>& datanodes()
       const {
@@ -159,13 +177,13 @@ class Hdfs {
 
   // --- metrics ---
   [[nodiscard]] sim::MegaBytes bytes_read_local_mb() const {
-    return sim::MegaBytes{read_local_mb_};
+    return read_local_mb_;
   }
   [[nodiscard]] sim::MegaBytes bytes_read_remote_mb() const {
-    return sim::MegaBytes{read_remote_mb_};
+    return read_remote_mb_;
   }
   [[nodiscard]] sim::MegaBytes bytes_written_mb() const {
-    return sim::MegaBytes{written_mb_};
+    return written_mb_;
   }
 
  private:
@@ -174,6 +192,9 @@ class Hdfs {
     double size_mb;
     double block_mb;
     std::vector<std::vector<DataNode*>> block_replicas;
+    // 1 for blocks whose last replica died in a crash (indexed like
+    // block_replicas; the audit pairs "no replicas" with "marked lost").
+    std::vector<char> block_lost;
   };
 
   /// Runs a flow: `primary` paces the transfer; `secondaries` model the load
@@ -204,10 +225,11 @@ class Hdfs {
   std::vector<std::unique_ptr<DataNode>> datanodes_;
   std::vector<File> files_;
   std::size_t placement_cursor_ = 0;
-  double read_local_mb_ = 0;
-  double read_remote_mb_ = 0;
-  double written_mb_ = 0;
-  double re_replicated_mb_ = 0;
+  int blocks_lost_ = 0;
+  sim::MegaBytes read_local_mb_;
+  sim::MegaBytes read_remote_mb_;
+  sim::MegaBytes written_mb_;
+  sim::MegaBytes re_replicated_mb_;
 };
 
 /// True when the two sites run on the same physical machine.

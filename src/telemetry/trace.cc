@@ -36,6 +36,24 @@ const char* to_string(EventKind kind) {
       return "sla_violation";
     case EventKind::kReconfiguration:
       return "reconfiguration";
+    case EventKind::kTaskFailed:
+      return "task_failed";
+    case EventKind::kJobFailed:
+      return "job_failed";
+    case EventKind::kMapOutputLost:
+      return "map_output_lost";
+    case EventKind::kTrackerLost:
+      return "tracker_lost";
+    case EventKind::kTrackerRestored:
+      return "tracker_restored";
+    case EventKind::kMachineCrash:
+      return "machine_crash";
+    case EventKind::kMachineReboot:
+      return "machine_reboot";
+    case EventKind::kMigrationAbort:
+      return "migration_abort";
+    case EventKind::kReplicaLoss:
+      return "replica_loss";
   }
   return "?";
 }
@@ -65,6 +83,21 @@ const char* category(EventKind kind) {
       return "sla";
     case EventKind::kReconfiguration:
       return "reconfig";
+    case EventKind::kTaskFailed:
+      return "task";
+    case EventKind::kJobFailed:
+      return "job";
+    case EventKind::kMapOutputLost:
+      return "task";
+    case EventKind::kTrackerLost:
+    case EventKind::kTrackerRestored:
+    case EventKind::kMachineCrash:
+    case EventKind::kMachineReboot:
+      return "fault";
+    case EventKind::kMigrationAbort:
+      return "migration";
+    case EventKind::kReplicaLoss:
+      return "storage";
   }
   return "?";
 }

@@ -32,6 +32,16 @@ enum class EventKind {
   kPhase1Placement,
   kSlaViolation,
   kReconfiguration,
+  // Fault injection & recovery (src/faults + engine/storage hooks).
+  kTaskFailed,
+  kJobFailed,
+  kMapOutputLost,
+  kTrackerLost,
+  kTrackerRestored,
+  kMachineCrash,
+  kMachineReboot,
+  kMigrationAbort,
+  kReplicaLoss,
 };
 
 /// Stable event-kind identifier used in the JSONL export.

@@ -1,6 +1,7 @@
 // Tests for the machine/VM allocation engine, power and migration models.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <memory>
 
 #include "cluster/cluster.h"
@@ -375,6 +376,107 @@ TEST_F(ClusterTest, LoadedVmMigratesSlowerThanIdle) {
   ASSERT_GT(idle_time, 0);
   ASSERT_GT(busy_time, 0);
   EXPECT_GT(busy_time, idle_time);
+}
+
+TEST(MigrationModel, RoundCapExitReportsNonConvergence) {
+  MigrationModel model(cal());
+  // Dirtying at 95% of bandwidth shrinks the residual by only 5% per
+  // round: 1024 MB * 0.95^30 is still ~220 MB when the round cap hits.
+  // This exit used to slip through with converged == true.
+  const auto capped =
+      model.plan(sim::MegaBytes{1024}, sim::MBps{9.5}, sim::MBps{10});
+  EXPECT_EQ(capped.rounds, cal().migration_max_rounds);
+  EXPECT_FALSE(capped.converged);
+  // The big residual becomes stop-and-copy downtime.
+  EXPECT_GT(capped.downtime_seconds, sim::Duration{10.0});
+
+  // The genuine-convergence exit still reports converged with a downtime
+  // bounded by the stop threshold.
+  const auto fine =
+      model.plan(sim::MegaBytes{1024}, sim::MBps{0.5}, sim::MBps{10});
+  EXPECT_LT(fine.rounds, cal().migration_max_rounds);
+  EXPECT_TRUE(fine.converged);
+  EXPECT_LE(fine.downtime_seconds,
+            sim::Duration{cal().migration_stop_threshold_mb / 10 +
+                          cal().migration_downtime_overhead_s + 1e-9});
+}
+
+TEST(MigrationModel, DirtyRateJitterIsUnitMean) {
+  // exp(N(0, sigma)) has mean exp(sigma^2/2) ~ 1.13 at sigma = 0.5 — the
+  // old jitter silently ran every migration 13% hotter. The unit-mean
+  // form exp(N(-sigma^2/2, sigma)) must average to 1.
+  sim::Rng rng{1234};
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += unit_mean_lognormal(rng, Migrator::kDirtyRateJitterSigma);
+  }
+  const double mean = sum / n;
+  // Standard error of the mean is ~sqrt((e^{0.25}-1))/sqrt(n) ~ 0.0038;
+  // +-0.02 is over 5 sigma, so this cannot flap, but it would have
+  // failed the old 1.13-mean jitter by a mile.
+  EXPECT_NEAR(mean, 1.0, 0.02);
+}
+
+TEST_F(ClusterTest, AbortDuringPrecopyRollsBackToSource) {
+  Machine* src = cluster.add_machine("src");
+  Machine* dst = cluster.add_machine("dst");
+  VirtualMachine* vm = cluster.add_vm(*src);
+  auto w = make_cpu_work(0.5, 500.0);
+  vm->add(w);
+
+  bool done_fired = false;
+  ASSERT_TRUE(cluster.migrator().migrate(
+      *vm, *dst, [&](const MigrationRecord&) { done_fired = true; }));
+  // Mid pre-copy (an idle 1 GB guest pre-copies for ~100 s): the
+  // destination host dies.
+  sim.at(5.0, [&] {
+    EXPECT_EQ(cluster.migrator().abort_involving(*dst), 1);
+  });
+  sim.run_until(400.0);
+
+  EXPECT_FALSE(done_fired);  // completion must not fire after an abort
+  EXPECT_EQ(vm->host_machine(), src);
+  EXPECT_FALSE(vm->migrating());
+  EXPECT_FALSE(vm->paused());
+  EXPECT_FALSE(w->paused());  // guest work keeps running on the source
+  // Both pre-copy streams are gone from their hosts.
+  EXPECT_TRUE(src->workloads().empty());
+  EXPECT_TRUE(dst->workloads().empty());
+  ASSERT_EQ(cluster.migrator().history().size(), 1u);
+  const MigrationRecord& rec = cluster.migrator().history().front();
+  EXPECT_TRUE(rec.aborted);
+  EXPECT_NEAR(rec.precopy_seconds.value(), 5.0, 1e-9);
+  // A fresh migration of the same VM is allowed afterwards.
+  EXPECT_TRUE(cluster.migrator().migrate(*vm, *dst));
+}
+
+TEST_F(ClusterTest, AbortDuringDowntimeCancelsCompletion) {
+  Machine* src = cluster.add_machine("src");
+  Machine* dst = cluster.add_machine("dst");
+  VirtualMachine* vm = cluster.add_vm(*src);
+
+  bool done_fired = false;
+  ASSERT_TRUE(cluster.migrator().migrate(
+      *vm, *dst, [&](const MigrationRecord&) { done_fired = true; }));
+  // Poll for the stop-and-copy pause (its start time is jittered); the
+  // fixed downtime overhead is 50 ms, so a 10 ms poll always catches it.
+  std::function<void()> poll = [&] {
+    if (vm->paused()) {
+      EXPECT_EQ(cluster.migrator().abort_involving(*src), 1);
+    } else if (vm->migrating()) {
+      sim.after(sim::Duration{0.01}, poll);
+    }
+  };
+  sim.after(sim::Duration{0.01}, poll);
+  sim.run_until(2000.0);
+
+  EXPECT_FALSE(done_fired);
+  EXPECT_EQ(vm->host_machine(), src);  // the cutover never happened
+  EXPECT_FALSE(vm->migrating());
+  EXPECT_FALSE(vm->paused());
+  ASSERT_EQ(cluster.migrator().history().size(), 1u);
+  EXPECT_TRUE(cluster.migrator().history().front().aborted);
 }
 
 TEST_F(ClusterTest, ResourcesHelpers) {
