@@ -20,7 +20,13 @@
 #   chaos        bench_faults seeded chaos scenario in the sanitize and
 #                audit trees, determinism-diffed across two same-seed runs
 #   determinism  two same-seed quickstart runs; telemetry artifacts must be
-#                byte-identical
+#                byte-identical — once plain and once with HYBRIDMR_PROFILE=1
+#                (the profiler's wall-clock data must never leak into the
+#                reports, so profiled runs must stay byte-identical too)
+#   profile      simulation-profiler smoke in the sanitize tree: bench_scale
+#                scale/24 with --profile + armed watchdog, hotspot table via
+#                scripts/profile_report.py, and a work-counter fingerprint
+#                diff across two same-seed profiled runs
 #   perf         Release bench_micro + bench_scale runs gated by
 #                scripts/perf_gate.py against the committed BENCH_micro.json
 #                / BENCH_scale.json baselines (see docs/PERFORMANCE.md)
@@ -176,6 +182,28 @@ if [ -x "$qs" ]; then
         det_result=FAIL
       fi
     done
+    # Same property with the profiler live: its wall-clock readings are
+    # wall-only by construction, so profiled artifacts must also be
+    # byte-identical run to run (and the report gains a "profile" section).
+    rm -rf "$root/det-pa" "$root/det-pb"
+    mkdir -p "$root/det-pa" "$root/det-pb"
+    if (cd "$root/det-pa" && HYBRIDMR_PROFILE=1 "$qs" > stdout.txt 2>&1) &&
+        (cd "$root/det-pb" && HYBRIDMR_PROFILE=1 "$qs" > stdout.txt 2>&1); then
+      for f in quickstart_trace.json quickstart_report.json \
+               quickstart_report.csv stdout.txt; do
+        if ! cmp -s "$root/det-pa/$f" "$root/det-pb/$f"; then
+          echo "determinism: $f differs between same-seed PROFILED runs"
+          det_result=FAIL
+        fi
+      done
+      if ! grep -q '"profile"' "$root/det-pa/quickstart_report.json"; then
+        echo "determinism: profiled report lacks a profile section"
+        det_result=FAIL
+      fi
+    else
+      echo "determinism: profiled quickstart run failed"
+      det_result=FAIL
+    fi
   else
     echo "determinism: quickstart run failed"
   fi
@@ -183,6 +211,43 @@ else
   echo "determinism: quickstart binary missing ($qs)"
 fi
 note_stage determinism "$det_result"
+
+# --- profile: profiler smoke under sanitizers ---------------------------------
+# bench_scale scale/24 with the profiler and watchdog armed, in the ASan/
+# UBSan tree: proves the instrumentation hot paths are sanitizer-clean,
+# prints the hotspot table through scripts/profile_report.py, and checks
+# that two same-seed profiled runs produce the same deterministic
+# work-counter fingerprint. The generous wall budget only catches hangs.
+echo "=== [profile] bench_scale --profile smoke in the sanitize tree ==="
+profile_result=FAIL
+profile_dir="$root/profile"
+sb="$root/sanitize/bench/bench_scale"
+if [ -x "$sb" ]; then
+  mkdir -p "$profile_dir"
+  if "$sb" --sizes 24 --out "$profile_dir/scale-a.json" \
+        --profile "$profile_dir/scale-a.profile.json" \
+        --heartbeat-s 30 --wall-budget-s 900 &&
+      "$sb" --sizes 24 --out "$profile_dir/scale-b.json" \
+        --profile "$profile_dir/scale-b.profile.json" \
+        --heartbeat-s 30 --wall-budget-s 900 > /dev/null &&
+      python3 "$repo/scripts/profile_report.py" top \
+        "$profile_dir/scale-a.profile.json" &&
+      fp_a="$(python3 "$repo/scripts/profile_report.py" fingerprint \
+        "$profile_dir/scale-a.profile.json")" &&
+      fp_b="$(python3 "$repo/scripts/profile_report.py" fingerprint \
+        "$profile_dir/scale-b.profile.json")"; then
+    if [ "$fp_a" = "$fp_b" ]; then
+      profile_result=PASS
+    else
+      echo "profile: work-counter fingerprints differ between same-seed runs"
+      echo "  a: $fp_a"
+      echo "  b: $fp_b"
+    fi
+  fi
+else
+  echo "profile: $sb missing (sanitize build failed?)"
+fi
+note_stage profile "$profile_result"
 
 # --- perf: bench runs gated against the committed baselines -------------------
 # Uses the release tree built above. Micro benches run a filtered subset at a

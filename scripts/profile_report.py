@@ -1,0 +1,274 @@
+#!/usr/bin/env python3
+"""Offline analysis of HybridMR simulation-profiler JSON.
+
+Consumes any of the three profile shapes the codebase emits:
+
+  * a bench_scale --profile file: {"scale/24": {...}, "scale/96": {...}}
+    with one full profile (work + wall) per sweep point,
+  * a single Profiler::to_json() object: {"enabled":..., "work":..., ...},
+  * a RunReport with a "profile" section (deterministic work counters only,
+    no wall data — wall-dependent subcommands explain what is missing).
+
+Subcommands:
+
+  top FILE [--point P] [-n N]
+      Rank wall-clock hotspots (scope table, sorted by total time) and
+      print the work-attribution counters that explain them.
+
+  flame FILE [--point P] [-o OUT]
+      Emit collapsed call stacks ("path;to;scope <self_time_us>" lines)
+      from the calling-context tree — the input format of the standard
+      flamegraph.pl / speedscope "collapsed" importers. Self time is a
+      node's total minus its children's totals.
+
+  diff OLD NEW [--point P] [--new-point Q] [-n N]
+      Compare two profiles: wall hotspot deltas and work-counter growth
+      factors, sorted by what grew most. OLD and NEW may be the same file
+      with different points (--point scale/24 --new-point scale/96) —
+      that comparison answers "what turned superlinear".
+
+  fingerprint FILE [--point P]
+      Print a short digest of the deterministic work counters only (wall
+      data excluded by construction). Two same-seed runs must print the
+      same fingerprint; CI and tests compare these.
+
+Exit code is 0 on success, 1 on malformed input or a missing --point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+
+def die(msg: str) -> "None":
+    print(f"profile_report: {msg}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def load_profiles(path: Path) -> dict[str, dict]:
+    """Returns {point_name: profile_dict} for any supported input shape."""
+    try:
+        with path.open(encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die(f"cannot read {path}: {e}")
+    if not isinstance(doc, dict):
+        die(f"{path}: expected a JSON object")
+    if "work" in doc and "enabled" in doc:          # bare Profiler::to_json
+        return {"": doc}
+    if "profile" in doc and "counters" in doc.get("profile", {}):
+        return {"": {"work": doc["profile"]}}       # RunReport
+    points = {k: v for k, v in doc.items()
+              if isinstance(v, dict) and "work" in v}
+    if not points:
+        die(f"{path}: no profile objects found")
+    return points
+
+
+def pick(points: dict[str, dict], point: str | None, path: Path) -> dict:
+    if point is not None:
+        if point not in points:
+            die(f"{path}: no point {point!r} (have: {', '.join(points)})")
+        return points[point]
+    if len(points) > 1:
+        # Deterministic default: the largest sweep point is the interesting
+        # one, and sweep keys sort numerically as "scale/<N>".
+        name = max(points, key=lambda k: (len(k), k))
+        print(f"# point: {name} (of {', '.join(sorted(points))}; "
+              "override with --point)")
+        return points[name]
+    return next(iter(points.values()))
+
+
+def wall_scopes(profile: dict) -> list[dict]:
+    return profile.get("wall", {}).get("scopes", [])
+
+
+def cct_nodes(profile: dict) -> list[dict]:
+    return profile.get("wall", {}).get("nodes", [])
+
+
+def counters(profile: dict) -> dict[str, float]:
+    return profile.get("work", {}).get("counters", {})
+
+
+def dists(profile: dict) -> dict[str, dict]:
+    return profile.get("work", {}).get("dists", {})
+
+
+# --- top ---------------------------------------------------------------------
+
+def cmd_top(args: argparse.Namespace) -> int:
+    profile = pick(load_profiles(args.file), args.point, args.file)
+    scopes = [s for s in wall_scopes(profile) if s.get("count")]
+    if scopes:
+        scopes.sort(key=lambda s: -s.get("total_ms", 0))
+        print(f"{'scope':<30}{'calls':>12}{'total_ms':>12}{'mean_us':>10}"
+              f"{'p95_us':>10}{'max_us':>10}")
+        for s in scopes[:args.top]:
+            print(f"{s['name']:<30}{s['count']:>12.0f}"
+                  f"{s.get('total_ms', 0):>12.2f}{s.get('mean_us', 0):>10.1f}"
+                  f"{s.get('p95_us', 0):>10.1f}{s.get('max_us', 0):>10.1f}")
+    else:
+        print("(no wall data — work-counter-only profile, e.g. a RunReport)")
+    work = counters(profile)
+    if work:
+        print(f"\n{'work counter':<30}{'value':>14}")
+        for name, value in sorted(work.items(), key=lambda kv: -kv[1]):
+            print(f"{name:<30}{value:>14.0f}")
+    for name, d in dists(profile).items():
+        print(f"{name:<22} n={d.get('count', 0):.0f} mean={d.get('mean', 0):.2f}"
+              f" p95={d.get('p95', 0):.2f} max={d.get('max', 0):.0f}")
+    return 0
+
+
+# --- flame -------------------------------------------------------------------
+
+def collapsed_stacks(profile: dict) -> list[str]:
+    """One "a;b;c weight" line per CCT node, weight = self time in us."""
+    nodes = cct_nodes(profile)
+    total_children: dict[str, float] = {}
+    for n in nodes:
+        path = n["path"]
+        parent = path.rsplit(";", 1)[0] if ";" in path else None
+        if parent is not None:
+            total_children[parent] = (total_children.get(parent, 0)
+                                      + n.get("total_ns", 0))
+    lines = []
+    for n in nodes:
+        self_ns = n.get("total_ns", 0) - total_children.get(n["path"], 0)
+        self_us = max(0, int(self_ns / 1e3))
+        if self_us > 0:
+            lines.append(f"{n['path']} {self_us}")
+    return lines
+
+
+def cmd_flame(args: argparse.Namespace) -> int:
+    profile = pick(load_profiles(args.file), args.point, args.file)
+    if not cct_nodes(profile):
+        die("no calling-context tree in this profile (work-only input?)")
+    lines = collapsed_stacks(profile)
+    if args.output:
+        args.output.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        print(f"profile_report: wrote {len(lines)} stacks to {args.output}")
+    else:
+        for line in lines:
+            print(line)
+    return 0
+
+
+# --- diff --------------------------------------------------------------------
+
+def fmt_growth(old: float, new: float) -> str:
+    if old <= 0:
+        return "new" if new > 0 else "0"
+    return f"{new / old:.2f}x"
+
+
+def diff_profiles(old: dict, new: dict, top: int) -> list[str]:
+    """Human-readable delta report, biggest wall-time growth first."""
+    out: list[str] = []
+    old_scopes = {s["name"]: s for s in wall_scopes(old)}
+    new_scopes = {s["name"]: s for s in wall_scopes(new)}
+    names = sorted(set(old_scopes) | set(new_scopes),
+                   key=lambda n: -(new_scopes.get(n, {}).get("total_ms", 0)
+                                   - old_scopes.get(n, {}).get("total_ms", 0)))
+    if names:
+        out.append(f"{'scope':<30}{'old_ms':>10}{'new_ms':>10}{'delta_ms':>10}"
+                   f"{'growth':>8}{'calls':>8}")
+        for name in names[:top]:
+            o = old_scopes.get(name, {})
+            n = new_scopes.get(name, {})
+            o_ms, n_ms = o.get("total_ms", 0), n.get("total_ms", 0)
+            out.append(f"{name:<30}{o_ms:>10.2f}{n_ms:>10.2f}"
+                       f"{n_ms - o_ms:>10.2f}{fmt_growth(o_ms, n_ms):>8}"
+                       f"{fmt_growth(o.get('count', 0), n.get('count', 0)):>8}")
+    old_work, new_work = counters(old), counters(new)
+    work_names = sorted(set(old_work) | set(new_work),
+                        key=lambda k: -(new_work.get(k, 0)
+                                        / max(1.0, old_work.get(k, 0))))
+    if work_names:
+        out.append("")
+        out.append(f"{'work counter':<30}{'old':>12}{'new':>12}{'growth':>8}")
+        for name in work_names[:top]:
+            o, n = old_work.get(name, 0), new_work.get(name, 0)
+            out.append(f"{name:<30}{o:>12.0f}{n:>12.0f}"
+                       f"{fmt_growth(o, n):>8}")
+    return out
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    old = pick(load_profiles(args.old), args.point, args.old)
+    new = pick(load_profiles(args.new), args.new_point or args.point,
+               args.new)
+    for line in diff_profiles(old, new, args.top):
+        print(line)
+    return 0
+
+
+# --- fingerprint -------------------------------------------------------------
+
+def work_fingerprint(profile: dict) -> str:
+    """Digest over the deterministic work section only (never wall data)."""
+    canonical = json.dumps(profile.get("work", {}), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def cmd_fingerprint(args: argparse.Namespace) -> int:
+    points = load_profiles(args.file)
+    if args.point is not None:
+        points = {args.point: pick(points, args.point, args.file)}
+    for name in sorted(points):
+        label = name or str(args.file)
+        print(f"{work_fingerprint(points[name])}  {label}")
+    return 0
+
+
+# -----------------------------------------------------------------------------
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("top", help="rank wall hotspots + work counters")
+    p.add_argument("file", type=Path)
+    p.add_argument("--point", help="sweep point key, e.g. scale/96")
+    p.add_argument("-n", "--top", type=int, default=10)
+    p.set_defaults(fn=cmd_top)
+
+    p = sub.add_parser("flame", help="collapsed stacks for flamegraph.pl")
+    p.add_argument("file", type=Path)
+    p.add_argument("--point")
+    p.add_argument("-o", "--output", type=Path)
+    p.set_defaults(fn=cmd_flame)
+
+    p = sub.add_parser("diff", help="hotspot/counter deltas of two profiles")
+    p.add_argument("old", type=Path)
+    p.add_argument("new", type=Path)
+    p.add_argument("--point", help="sweep point in OLD (and NEW by default)")
+    p.add_argument("--new-point", help="sweep point in NEW when different")
+    p.add_argument("-n", "--top", type=int, default=10)
+    p.set_defaults(fn=cmd_diff)
+
+    p = sub.add_parser("fingerprint",
+                       help="digest of the deterministic work counters")
+    p.add_argument("file", type=Path)
+    p.add_argument("--point")
+    p.set_defaults(fn=cmd_fingerprint)
+
+    args = parser.parse_args()
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `profile_report.py top ... | head`
+        sys.exit(0)

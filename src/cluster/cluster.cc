@@ -95,6 +95,8 @@ int HybridCluster::powered_machines() const {
 void HybridCluster::set_telemetry(telemetry::Hub* hub) {
   tel_ = hub;
   migrator_.set_telemetry(hub);
+  realloc_.set_profiler(
+      hub != nullptr && hub->profiler.enabled() ? &hub->profiler : nullptr);
   for (const auto& m : machines_) m->set_telemetry(hub);
 }
 

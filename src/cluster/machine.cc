@@ -169,13 +169,14 @@ VirtualMachine::VirtualMachine(sim::Simulation& sim, std::string name,
     : ExecutionSite(std::move(name)),
       sim_(sim),
       vcpus_(vcpus.value()),
-      memory_mb_(memory_mb.value()),
+      memory_mb_(memory_mb),
       cal_(cal) {}
 
 Resources VirtualMachine::nominal() const {
   // Disk/net are shared with the host; the VM's nominal slice is the host
   // capacity divided by its resident VMs (placement-time estimate only).
-  Resources n{vcpus_, memory_mb_, cal_.pm_disk_mbps, cal_.pm_net_mbps};
+  Resources n{vcpus_, memory_mb_.value(), cal_.pm_disk_mbps,
+              cal_.pm_net_mbps};
   if (host_ != nullptr && !host_->vms().empty()) {
     const double k = static_cast<double>(host_->vms().size());
     n.disk /= k;
@@ -206,7 +207,7 @@ Resources VirtualMachine::aggregate_demand() const {
   Resources sum = total_demand();
   Resources limit = caps_;
   limit.cpu = std::min(limit.cpu, vcpus_);
-  limit.memory = std::min(limit.memory, memory_mb_);
+  limit.memory = std::min(limit.memory, memory_mb_.value());
   if (!dom0_) limit.net = std::min(limit.net, cal_.vm_net_cap_mbps);
   return sum.clamped_to(limit);
 }
@@ -230,11 +231,14 @@ double VirtualMachine::io_efficiency(int active_io_vms) const {
   // workloads leave free, so combined TaskTracker+DataNode VMs (task heap
   // squeezing the cache) hit the miss penalty much sooner than a dedicated
   // storage VM — the split-architecture advantage of Fig. 2(d)/Fig. 3.
-  double used_mb = 0;
-  for (const auto& w : workloads_) used_mb += w->demand().memory;
-  const double free_mb = std::max(64.0, memory_mb_ - used_mb);
-  const double knee = cal_.io_cache_knee_factor * free_mb;
-  if (knee > 0) {
+  sim::MegaBytes used_mb;
+  for (const auto& w : workloads_) {
+    used_mb += sim::MegaBytes{w->demand().memory};
+  }
+  const sim::MegaBytes free_mb =
+      std::max(sim::MegaBytes{64.0}, memory_mb_ - used_mb);
+  const sim::MegaBytes knee = cal_.io_cache_knee_factor * free_mb;
+  if (knee > sim::MegaBytes{}) {
     tax += cal_.io_cache_tax * std::min(1.0, recent_io_mb_ / knee);
   }
   return std::max(0.3, 1.0 - tax);
@@ -248,7 +252,7 @@ void VirtualMachine::settle_all(sim::SimTime now) {
   }
   double io_sum = 0;
   for (const auto& w : workloads_) io_sum += w->settle(now);
-  recent_io_mb_ += io_sum;
+  recent_io_mb_ += sim::MegaBytes{io_sum};
 }
 
 void VirtualMachine::distribute(sim::SimTime now, const Resources& grant,
@@ -338,7 +342,8 @@ void Machine::invalidate() {
     }
     return;
   }
-  recompute();
+  recompute(coordinator_ != nullptr ? RecomputeCause::kEager
+                                    : RecomputeCause::kDirect);
 }
 
 void Machine::settle_now() {
@@ -370,8 +375,12 @@ void Machine::reschedule(const WorkloadPtr& workload) {
     // the scheduled event instead of cancel/re-push churn (this also
     // preserves FIFO tie-break order across no-op reallocations).
     ++reschedule_skips_;
+    if (prof_ != nullptr) {
+      prof_->add(telemetry::WorkCounter::kRescheduleSkipped);
+    }
     return;
   }
+  if (prof_ != nullptr) prof_->add(telemetry::WorkCounter::kReschedulePushed);
   sim_.cancel(workload->completion_event);
   workload->completion_time = target;
   std::weak_ptr<Workload> weak = workload;
@@ -389,11 +398,28 @@ void Machine::reschedule(const WorkloadPtr& workload) {
   });
 }
 
-void Machine::recompute() {
+void Machine::recompute(RecomputeCause cause) {
   // Clear the dirty flag first: the utilization()/ensure_clean() reads
   // below must not re-enter.
   dirty_ = false;
   ++recompute_count_;
+  if (prof_ != nullptr) {
+    switch (cause) {
+      case RecomputeCause::kDirect:
+        prof_->add(telemetry::WorkCounter::kRecomputeDirect);
+        break;
+      case RecomputeCause::kDrain:
+        prof_->add(telemetry::WorkCounter::kRecomputeDrain);
+        break;
+      case RecomputeCause::kReadBarrier:
+        prof_->add(telemetry::WorkCounter::kRecomputeReadBarrier);
+        break;
+      case RecomputeCause::kEager:
+        prof_->add(telemetry::WorkCounter::kRecomputeEager);
+        break;
+    }
+  }
+  telemetry::Scope prof_scope(prof_, prof_recompute_scope_);
   const sim::SimTime now = sim_.now();
 
   // 1. Settle elapsed progress at the old rates.
@@ -488,7 +514,7 @@ void Machine::recompute() {
     tel_pending_time_ = now;
     tel_pending_cpu_ = utilization(ResourceKind::kCpu);
     tel_pending_disk_ = utilization(ResourceKind::kDisk);
-    tel_pending_watts_ = watts.value();
+    tel_pending_watts_ = watts;
     if (coordinator_ != nullptr) {
       if (!tel_queued_) {
         coordinator_->mark_sample_pending(this);
@@ -506,7 +532,7 @@ void Machine::publish_sample_now() {
   if (tel_cpu_ == nullptr) return;
   tel_cpu_->sample(tel_pending_time_, tel_pending_cpu_);
   tel_disk_->sample(tel_pending_time_, tel_pending_disk_);
-  tel_watts_->sample(tel_pending_time_, tel_pending_watts_);
+  tel_watts_->sample(tel_pending_time_, tel_pending_watts_.value());
 }
 
 bool Machine::publish_pending_sample(sim::SimTime now) {
@@ -527,6 +553,7 @@ void Machine::set_telemetry(telemetry::Hub* hub) {
   if (hub == nullptr) {
     tel_cpu_ = tel_disk_ = tel_watts_ = nullptr;
     tel_pending_ = false;
+    prof_ = nullptr;
     return;
   }
   tel_cpu_ =
@@ -535,6 +562,10 @@ void Machine::set_telemetry(telemetry::Hub* hub) {
                                         "frac");
   tel_watts_ =
       &hub->registry.timeseries("machine." + name() + ".watts", 5.0, "W");
+  prof_ = hub->profiler.enabled() ? &hub->profiler : nullptr;
+  if (prof_ != nullptr) {
+    prof_recompute_scope_ = prof_->intern("cluster.machine.recompute");
+  }
 }
 
 }  // namespace hybridmr::cluster

@@ -26,9 +26,11 @@
 #include "cluster/workload.h"
 #include "sim/simulation.h"
 #include "stats/timeseries.h"
+#include "telemetry/profiler.h"
 
 namespace hybridmr::telemetry {
 struct Hub;
+class Profiler;
 class TimeSeriesMetric;
 }  // namespace hybridmr::telemetry
 
@@ -36,6 +38,16 @@ namespace hybridmr::cluster {
 
 class Machine;
 class ReallocCoordinator;
+
+/// Why a recompute ran — the profiler attributes every Machine::recompute()
+/// invocation to its trigger so superlinear blowup is visible per cause
+/// (a drain storm reads very differently from read-barrier churn).
+enum class RecomputeCause {
+  kDirect,       // direct call (tests, standalone machines)
+  kDrain,        // coalescing drain at an event boundary
+  kReadBarrier,  // ensure_clean() on a read of allocation-dependent state
+  kEager,        // eager mode recompute-on-every-mutation
+};
 
 /// Reusable sort-order scratch for waterfill_into(): hot callers keep one
 /// per call site so steady-state allocation is zero.
@@ -115,9 +127,7 @@ class VirtualMachine : public ExecutionSite {
   [[nodiscard]] sim::CoreShare vcpus() const {
     return sim::CoreShare{vcpus_};
   }
-  [[nodiscard]] sim::MegaBytes memory_mb() const {
-    return sim::MegaBytes{memory_mb_};
-  }
+  [[nodiscard]] sim::MegaBytes memory_mb() const { return memory_mb_; }
 
   /// Dom-0 placement: near-native taxes (paper Fig. 2(c)).
   void set_dom0(bool dom0) { dom0_ = dom0; }
@@ -160,14 +170,14 @@ class VirtualMachine : public ExecutionSite {
   sim::Simulation& sim_;
   Machine* host_ = nullptr;
   double vcpus_;
-  double memory_mb_;
+  sim::MegaBytes memory_mb_;
   const Calibration& cal_;
   Resources caps_ = Resources::unbounded();
   bool dom0_ = false;
   bool paused_ = false;
   bool migrating_ = false;
-  // Buffer-cache model: exponentially decayed MB of recent I/O.
-  double recent_io_mb_ = 0;
+  // Buffer-cache model: exponentially decayed volume of recent I/O.
+  sim::MegaBytes recent_io_mb_;
   sim::SimTime last_decay_ = 0;
   // Scratch for distribute(): reused across recomputes.
   std::vector<Resources> split_alloc_;
@@ -237,7 +247,9 @@ class Machine : public ExecutionSite {
   /// state route through this, so staleness is never observable. Logically
   /// const: recompute() only refreshes derived state.
   void ensure_clean() const {
-    if (dirty_) const_cast<Machine*>(this)->recompute();
+    if (dirty_) {
+      const_cast<Machine*>(this)->recompute(RecomputeCause::kReadBarrier);
+    }
   }
 
   /// Brings every resident workload's lazy usage counters (cpu-seconds,
@@ -248,8 +260,9 @@ class Machine : public ExecutionSite {
 
   /// Recomputes the whole allocation for this machine (native + VMs).
   /// Prefer invalidate()/ensure_clean(): calling this directly bypasses
-  /// coalescing (scripts/lint_sim.py, rule eager-recompute).
-  void recompute();
+  /// coalescing (scripts/lint_sim.py, rule eager-recompute). The cause
+  /// only feeds the profiler's work-attribution counters.
+  void recompute(RecomputeCause cause = RecomputeCause::kDirect);
 
   /// recompute() passes since construction (tests/benchmarks).
   [[nodiscard]] std::uint64_t recompute_count() const {
@@ -318,7 +331,12 @@ class Machine : public ExecutionSite {
   sim::SimTime tel_pending_time_ = 0;
   double tel_pending_cpu_ = 0;
   double tel_pending_disk_ = 0;
-  double tel_pending_watts_ = 0;
+  sim::Watts tel_pending_watts_;
+
+  // Cached profiler handle (null unless a profiled run; see realloc.h for
+  // how causes are attributed).
+  telemetry::Profiler* prof_ = nullptr;
+  telemetry::ScopeId prof_recompute_scope_;
 };
 
 }  // namespace hybridmr::cluster

@@ -19,13 +19,28 @@ void ReallocCoordinator::set_eager(bool eager) {
   eager_ = eager;
 }
 
+void ReallocCoordinator::set_profiler(telemetry::Profiler* prof) {
+  prof_ = prof;
+  if (prof_ != nullptr) {
+    prof_drain_scope_ = prof_->intern("cluster.realloc.drain");
+  }
+}
+
 void ReallocCoordinator::drain() {
   if (!dirty_.empty()) {
     ++drains_;
+    telemetry::Scope prof_scope(prof_, prof_drain_scope_);
     // recompute() can mark *other* machines dirty (it never re-marks its
     // own: the dirty flag clears on entry), so process as a queue.
     for (std::size_t i = 0; i < dirty_.size(); ++i) {
-      dirty_[i]->recompute();
+      dirty_[i]->recompute(RecomputeCause::kDrain);
+    }
+    if (prof_ != nullptr) {
+      prof_->add(telemetry::WorkCounter::kDrainPasses);
+      // The queue length at completion counts cascaded re-marks too: this
+      // is the real per-flush recompute bill.
+      prof_->record_dist_at(telemetry::WorkDist::kDirtySetSize,
+                            dirty_.size(), sim_.now());
     }
     dirty_.clear();
   }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sim/simulation.h"
+#include "telemetry/profiler.h"
 
 namespace hybridmr::cluster {
 
@@ -64,6 +65,10 @@ class ReallocCoordinator {
   /// Number of drain passes that found work (for tests/benchmarks).
   [[nodiscard]] std::uint64_t drains() const { return drains_; }
 
+  /// Attaches the profiler (null detaches): drains record their pass
+  /// count, dirty-set size distribution and wall-time scope.
+  void set_profiler(telemetry::Profiler* prof);
+
  private:
   sim::Simulation& sim_;
   std::size_t hook_token_;
@@ -71,6 +76,8 @@ class ReallocCoordinator {
   std::vector<Machine*> sample_pending_;
   std::uint64_t drains_ = 0;
   bool eager_ = false;
+  telemetry::Profiler* prof_ = nullptr;
+  telemetry::ScopeId prof_drain_scope_;
 };
 
 }  // namespace hybridmr::cluster

@@ -17,9 +17,25 @@ TestBed::TestBed(Options options) : options_(std::move(options)) {
       sim::Log::threshold() = *level;
     }
   }
+  // Opt-in profiling without recompiling callers: HYBRIDMR_PROFILE=1|on
+  // enables, =0|off disables, unset defers to Options::profile.
+  if (const char* env = std::getenv("HYBRIDMR_PROFILE")) {
+    const std::string v = env;
+    if (v == "1" || v == "on") options_.profile = true;
+    if (v == "0" || v == "off") options_.profile = false;
+  }
   sim_ = std::make_unique<sim::Simulation>(options_.seed);
-  if (options_.telemetry && telemetry::compiled_in()) {
+  if ((options_.telemetry || options_.profile) && telemetry::compiled_in()) {
     tel_ = std::make_unique<telemetry::Hub>();
+  }
+  if (tel_ && options_.profile) {
+    // Enable before any set_telemetry call below: components cache their
+    // profiler pointer (and intern scopes) while wiring.
+    tel_->profiler.enable();
+    tel_->profiler.set_simulation(sim_.get());
+    tel_->profiler.set_trace(options_.telemetry ? &tel_->trace : nullptr);
+    tel_->profiler.set_watchdog(options_.watchdog, nullptr);
+    sim_->set_probe(&tel_->profiler);
   }
   cluster_ = std::make_unique<cluster::HybridCluster>(*sim_,
                                                       options_.calibration);
@@ -34,6 +50,7 @@ TestBed::TestBed(Options options) : options_(std::move(options)) {
   if (tel_) {
     cluster_->set_telemetry(tel_.get());
     mr_->set_telemetry(tel_.get());
+    hdfs_->set_telemetry(tel_.get());
   }
   if (!options_.faults.empty()) {
     faults_ = std::make_unique<faults::FaultInjector>(
@@ -130,11 +147,20 @@ cluster::VirtualMachine* TestBed::add_plain_vm(cluster::Machine& host) {
   return cluster_->add_vm(host);
 }
 
+// A watchdog stall requests a Simulation::stop(), but run_until() resets
+// that request on every call — so the run loops below must also check the
+// profiler, or they would resume a stalled run forever.
+bool TestBed::stalled() const {
+  return tel_ && tel_->profiler.stalled();
+}
+
 double TestBed::run_job(const mapred::JobSpec& spec) {
   mapred::Job* job = mr_->submit(spec);
-  while (!job->finished() && sim_->run_until(sim_->now() + 600) > 0) {
+  while (!job->finished() && !stalled() &&
+         sim_->run_until(sim_->now() + 600) > 0) {
   }
-  assert(job->finished() && "job did not finish (deadlocked cluster?)");
+  assert((job->finished() || stalled()) &&
+         "job did not finish (deadlocked cluster?)");
   return job->jct();
 }
 
@@ -144,7 +170,7 @@ std::vector<double> TestBed::run_jobs(
   jobs.reserve(specs.size());
   for (const auto& spec : specs) jobs.push_back(mr_->submit(spec));
   bool all_done = false;
-  while (!all_done) {
+  while (!all_done && !stalled()) {
     if (sim_->run_until(sim_->now() + 600) == 0) break;
     all_done = true;
     for (auto* j : jobs) all_done = all_done && j->finished();
@@ -165,7 +191,13 @@ telemetry::RunReport TestBed::report(
   report.sim_end_s = end;
   report.events_processed = sim_->events_processed();
   report.clamped_past_events = sim_->clamped_past_events();
+  report.events_scheduled = sim_->events_scheduled();
+  report.events_cancelled = sim_->events_cancelled();
+  report.max_queue_depth = sim_->max_queue_depth();
+  report.max_event_fanout = sim_->max_event_fanout();
+  report.flush_scheduled_events = sim_->flush_scheduled_events();
   report.registry = tel_ ? &tel_->registry : nullptr;
+  report.profiler = profiler();
 
   for (const auto& job : mr_->jobs()) {
     telemetry::RunReport::JobRow row;

@@ -30,6 +30,16 @@ class TestBed {
     /// Wires a telemetry::Hub through cluster + engine (no-op when the
     /// build has telemetry compiled out).
     bool telemetry = true;
+    /// Enables the simulation profiler (scoped wall timers + deterministic
+    /// work-attribution counters; see telemetry/profiler.h). Forces a hub
+    /// even when `telemetry` is false. The HYBRIDMR_PROFILE environment
+    /// variable (1/on/0/off) overrides this at construction, so any
+    /// harness binary can be profiled without a rebuild. No-op when
+    /// telemetry is compiled out.
+    bool profile = false;
+    /// Watchdog for long runs, active only when `profile` is on: zero
+    /// thresholds disable each check (see Profiler::WatchdogOptions).
+    telemetry::Profiler::WatchdogOptions watchdog{};
     /// Recompute machine allocations on every mutation instead of
     /// deferring + coalescing per event timestamp. Slower; kept for the
     /// determinism-equivalence test (same seed, both modes, byte-identical
@@ -58,6 +68,12 @@ class TestBed {
 
   /// The run's telemetry hub; null when disabled or compiled out.
   [[nodiscard]] telemetry::Hub* telemetry() const { return tel_.get(); }
+
+  /// The run's profiler; null unless profiling is live (Options::profile /
+  /// HYBRIDMR_PROFILE with telemetry compiled in).
+  [[nodiscard]] telemetry::Profiler* profiler() const {
+    return tel_ && tel_->profiler.enabled() ? &tel_->profiler : nullptr;
+  }
 
   /// Builds the run report from the live engine/cluster state. Pass the
   /// interactive apps (e.g. from HybridMRScheduler::apps()) to include
@@ -121,6 +137,8 @@ class TestBed {
  private:
   cluster::ExecutionSite* register_node(cluster::ExecutionSite& site,
                                         bool datanode, bool tracker);
+  /// True once the profiler watchdog declared this run stalled.
+  [[nodiscard]] bool stalled() const;
 
   Options options_;
   std::unique_ptr<sim::Simulation> sim_;

@@ -125,6 +125,9 @@ std::vector<TaskAttempt*> MapReduceEngine::running_attempts() const {
 void MapReduceEngine::dispatch() {
   if (dispatching_) return;
   dispatching_ = true;
+  telemetry::Scope prof_scope(prof_, prof_dispatch_scope_);
+  std::uint64_t tracker_scans = 0;
+  std::uint64_t launches = 0;
   std::vector<Job*> jobs;
   jobs.reserve(jobs_.size());
   for (const auto& j : jobs_) jobs.push_back(j.get());
@@ -135,9 +138,12 @@ void MapReduceEngine::dispatch() {
   // the hardware: it stops a host that frees a slot first from vacuuming
   // the job's tail while other hosts still have capacity — deferred tasks
   // are picked up on a later completion by a less-loaded host.
-  auto host_gated = [this](const TaskTracker& tr) {
+  auto host_gated = [this, &tracker_scans](const TaskTracker& tr) {
     const cluster::Machine* host = tr.site().host_machine();
     if (host == nullptr) return false;
+    // The co-host scan visits every tracker — this inner loop is the
+    // O(trackers^2) term the profiler's tracker-scan counter exposes.
+    tracker_scans += trackers_.size();
     int running = 0;
     for (const auto& other : trackers_) {
       if (other->site().host_machine() == host) {
@@ -151,6 +157,7 @@ void MapReduceEngine::dispatch() {
     while (progressed) {
       progressed = false;
       for (const auto& tr : trackers_) {
+        ++tracker_scans;
         if (tr->blacklisted_) continue;
         if (host_gated(*tr)) continue;
         for (TaskType type : {TaskType::kMap, TaskType::kReduce}) {
@@ -159,10 +166,16 @@ void MapReduceEngine::dispatch() {
               scheduler_->pick(*tr, type, jobs, hdfs_, locality_only);
           if (task == nullptr) continue;
           tr->launch(*task);
+          ++launches;
           progressed = true;
         }
       }
     }
+  }
+  if (prof_ != nullptr) {
+    prof_->add(telemetry::WorkCounter::kDispatchPasses);
+    prof_->add(telemetry::WorkCounter::kDispatchTrackerScans, tracker_scans);
+    prof_->add(telemetry::WorkCounter::kDispatchLaunches, launches);
   }
   dispatching_ = false;
 }
@@ -538,6 +551,10 @@ void MapReduceEngine::maybe_start_speculation_monitor() {
 }
 
 void MapReduceEngine::speculation_scan() {
+  telemetry::Scope prof_scope(prof_, prof_speculation_scope_);
+  if (prof_ != nullptr) {
+    prof_->add(telemetry::WorkCounter::kSpeculationScans);
+  }
   for (const auto& job : jobs_) {
     if (job->state() != JobState::kMapping &&
         job->state() != JobState::kReducing) {
@@ -622,7 +639,13 @@ void MapReduceEngine::set_telemetry(telemetry::Hub* hub) {
                 nullptr;
     tel_running_ = nullptr;
     tel_map_task_s_ = tel_reduce_task_s_ = nullptr;
+    prof_ = nullptr;
     return;
+  }
+  prof_ = hub->profiler.enabled() ? &hub->profiler : nullptr;
+  if (prof_ != nullptr) {
+    prof_dispatch_scope_ = prof_->intern("mapred.dispatch");
+    prof_speculation_scope_ = prof_->intern("mapred.speculation_scan");
   }
   auto& reg = hub->registry;
   tel_jobs_submitted_ = &reg.counter("mapred.jobs_submitted");

@@ -13,6 +13,7 @@
 #include "mapred/tracker.h"
 #include "sim/simulation.h"
 #include "storage/hdfs.h"
+#include "telemetry/profiler.h"
 
 namespace hybridmr::telemetry {
 struct Hub;
@@ -191,6 +192,10 @@ class MapReduceEngine {
   telemetry::Gauge* tel_running_ = nullptr;
   telemetry::Histogram* tel_map_task_s_ = nullptr;
   telemetry::Histogram* tel_reduce_task_s_ = nullptr;
+  // Cached profiler handle (null unless a profiled run).
+  telemetry::Profiler* prof_ = nullptr;
+  telemetry::ScopeId prof_dispatch_scope_;
+  telemetry::ScopeId prof_speculation_scope_;
 };
 
 }  // namespace hybridmr::mapred

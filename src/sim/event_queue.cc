@@ -39,6 +39,8 @@ EventId EventQueue::push(SimTime time, std::function<void()> fn) {
   const std::uint64_t id = make_id(index, slot.gen);
   heap_.push(HeapItem{time, next_seq_++, id});
   ++live_;
+  ++total_pushed_;
+  if (live_ > max_size_) max_size_ = live_;
   return EventId{id};
 }
 
@@ -46,6 +48,7 @@ bool EventQueue::cancel(EventId id) {
   Slot* slot = live_slot(id.value);
   if (slot == nullptr) return false;
   release(slot_index(id.value));
+  ++total_cancelled_;
   return true;
 }
 
@@ -93,6 +96,7 @@ std::size_t EventQueue::clear() {
     if (slots_[i].live) release(i);
   }
   while (!heap_.empty()) heap_.pop();
+  total_cancelled_ += dropped;
   return dropped;
 }
 

@@ -78,6 +78,19 @@ class EventQueue {
   /// path Simulation::shutdown() uses to release callback captures.
   std::size_t clear();
 
+  /// Lifetime totals for work attribution: every event ever pushed is
+  /// eventually popped, cancelled, or still live, so
+  ///   total_pushed() == pops + total_cancelled() + size()
+  /// holds at every quiescent point (the simulation audits this after each
+  /// dispatch). clear() counts as cancellation.
+  [[nodiscard]] std::uint64_t total_pushed() const { return total_pushed_; }
+  [[nodiscard]] std::uint64_t total_cancelled() const {
+    return total_cancelled_;
+  }
+
+  /// High-water mark of live events (queue-depth peak over the run).
+  [[nodiscard]] std::size_t max_size() const { return max_size_; }
+
  private:
   // An EventId packs the slot index (low 32 bits, biased by one so the
   // all-zero id stays invalid) and the slot's generation at push time
@@ -133,6 +146,9 @@ class EventQueue {
   std::vector<std::uint32_t> free_slots_;
   std::size_t live_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t total_pushed_ = 0;
+  std::uint64_t total_cancelled_ = 0;
+  std::size_t max_size_ = 0;
 };
 
 }  // namespace hybridmr::sim

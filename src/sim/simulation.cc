@@ -40,7 +40,11 @@ void Simulation::remove_flush_hook(std::size_t token) {
 bool Simulation::dispatch_one() {
   // Deferred work flushes *before* the pop: a drain can reschedule
   // completion events, which may change what the earliest event is.
+  // Events a flush hook schedules are attributed to the flush boundary,
+  // not to the event whose handler runs next.
+  const std::uint64_t pushed_before_flush = queue_.total_pushed();
   flush();
+  flush_scheduled_events_ += queue_.total_pushed() - pushed_before_flush;
   auto entry = queue_.pop();
   if (!entry) return false;
   // The virtual clock only moves forward: at() clamps (or aborts, under
@@ -50,8 +54,25 @@ bool Simulation::dispatch_one() {
                        {{"event_time", audit::num(entry->time)},
                         {"now", audit::num(now_)}});
   now_ = entry->time;
+  if (probe_) probe_->on_event_begin(now_, queue_.size());
+  const std::uint64_t pushed_before = queue_.total_pushed();
   entry->fn();
+  const std::uint64_t fanout = queue_.total_pushed() - pushed_before;
+  if (fanout > max_event_fanout_) max_event_fanout_ = fanout;
   ++processed_;
+  // Conservation across the flush boundary: every event ever scheduled is
+  // by now processed, cancelled, or still live. A mismatch means an event
+  // left the queue without being dispatched or accounted as cancelled.
+  HYBRIDMR_AUDIT_CHECK(
+      queue_.total_pushed() ==
+          processed_ + queue_.total_cancelled() + queue_.size(),
+      "sim.simulation", "event_conservation", now_,
+      {{"scheduled", audit::num(static_cast<double>(queue_.total_pushed()))},
+       {"processed", audit::num(static_cast<double>(processed_))},
+       {"cancelled",
+        audit::num(static_cast<double>(queue_.total_cancelled()))},
+       {"live", audit::num(static_cast<double>(queue_.size()))}});
+  if (probe_) probe_->on_event_end(now_, fanout, queue_.size());
   return true;
 }
 

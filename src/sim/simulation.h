@@ -15,6 +15,7 @@
 #include "audit/invariants.h"
 #include "sim/event_queue.h"
 #include "sim/log.h"
+#include "sim/probe.h"
 #include "sim/rng.h"
 #include "sim/units.h"
 
@@ -124,6 +125,37 @@ class Simulation {
   /// Total events processed since construction.
   [[nodiscard]] std::size_t events_processed() const { return processed_; }
 
+  /// Total events ever scheduled (fired, cancelled or still pending).
+  [[nodiscard]] std::uint64_t events_scheduled() const {
+    return queue_.total_pushed();
+  }
+
+  /// Total events cancelled (explicit cancel() plus shutdown() discards).
+  [[nodiscard]] std::uint64_t events_cancelled() const {
+    return queue_.total_cancelled();
+  }
+
+  /// Queue-depth high-water mark over the run.
+  [[nodiscard]] std::size_t max_queue_depth() const {
+    return queue_.max_size();
+  }
+
+  /// Largest number of events any single handler scheduled (fan-out peak;
+  /// superlinear growth of this with cluster size is an O(N^2) smell).
+  [[nodiscard]] std::uint64_t max_event_fanout() const {
+    return max_event_fanout_;
+  }
+
+  /// Events scheduled from flush hooks (deferred-drain work) rather than
+  /// from inside event handlers.
+  [[nodiscard]] std::uint64_t flush_scheduled_events() const {
+    return flush_scheduled_events_;
+  }
+
+  /// Attaches (or detaches, with nullptr) the dispatch probe. The probe is
+  /// invoked around every event handler; see sim/probe.h.
+  void set_probe(DispatchProbe* probe) { probe_ = probe; }
+
   /// How many at() calls asked for a past time and were clamped to now().
   /// Non-zero means a component computes target times incorrectly.
   [[nodiscard]] std::uint64_t clamped_past_events() const {
@@ -164,6 +196,9 @@ class Simulation {
   SimTime now_ = 0;
   std::size_t processed_ = 0;
   std::uint64_t clamped_past_events_ = 0;
+  std::uint64_t max_event_fanout_ = 0;
+  std::uint64_t flush_scheduled_events_ = 0;
+  DispatchProbe* probe_ = nullptr;
   bool stop_requested_ = false;
   bool running_ = false;
 };

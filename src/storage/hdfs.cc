@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "audit/invariants.h"
+#include "telemetry/telemetry.h"
 
 namespace hybridmr::storage {
 
@@ -318,10 +319,20 @@ void FlowHandle::set_caps(const cluster::Resources& caps) {
   if (auto primary = state_->primary.lock()) primary->set_caps(caps);
 }
 
+void Hdfs::set_telemetry(telemetry::Hub* hub) {
+  prof_ = hub != nullptr && hub->profiler.enabled() ? &hub->profiler
+                                                    : nullptr;
+  if (prof_ != nullptr) {
+    prof_flow_scope_ = prof_->intern("storage.flow_setup");
+  }
+}
+
 FlowHandle Hdfs::run_flow(ExecutionSite& primary_site, WorkloadPtr primary,
                           std::vector<std::pair<ExecutionSite*, WorkloadPtr>>
                               secondaries,
                           DoneFn done) {
+  telemetry::Scope prof_scope(prof_, prof_flow_scope_);
+  if (prof_ != nullptr) prof_->add(telemetry::WorkCounter::kHdfsFlows);
   auto state = std::make_shared<FlowHandle::State>();
   // The state holds the primary weakly; the primary's completion callback
   // holds the state strongly. The hosting site owns the primary, so the
@@ -345,6 +356,7 @@ FlowHandle Hdfs::run_flow(ExecutionSite& primary_site, WorkloadPtr primary,
 
 FlowHandle Hdfs::read_block(FileId file, int block, ExecutionSite& reader,
                             DoneFn done, double fraction) {
+  if (prof_ != nullptr) prof_->add(telemetry::WorkCounter::kHdfsReads);
   const sim::MegaBytes mb = block_size_mb(file, block) * fraction;
   const auto& reps = replicas(file, block);
   assert(!reps.empty());
@@ -444,6 +456,7 @@ std::vector<DataNode*> Hdfs::pick_replicas(const ExecutionSite* origin,
 
 FlowHandle Hdfs::write(ExecutionSite& writer, sim::MegaBytes mb, DoneFn done,
                        int replicas) {
+  if (prof_ != nullptr) prof_->add(telemetry::WorkCounter::kHdfsWrites);
   const int want =
       std::min<int>(replicas > 0 ? replicas : cal_.hdfs_replicas,
                     std::max<int>(1, datanodes_.size()));
@@ -486,6 +499,9 @@ FlowHandle Hdfs::write(ExecutionSite& writer, sim::MegaBytes mb, DoneFn done,
 
 FlowHandle Hdfs::transfer(ExecutionSite& src, ExecutionSite& dst,
                           sim::MegaBytes mb, DoneFn done) {
+  if (prof_ != nullptr) {
+    prof_->add(telemetry::WorkCounter::kShuffleTransfers);
+  }
   const sim::MBps disk_rate{cal_.hdfs_stream_disk_mbps};
   const sim::MBps net_rate{cal_.hdfs_stream_net_mbps};
   if (&src == &dst) {

@@ -19,6 +19,10 @@
 #include "cluster/machine.h"
 #include "sim/simulation.h"
 
+namespace hybridmr::telemetry {
+struct Hub;
+}  // namespace hybridmr::telemetry
+
 namespace hybridmr::storage {
 
 /// A storage daemon living on one execution site.
@@ -176,6 +180,12 @@ class Hdfs {
                       sim::MegaBytes mb, DoneFn done);
 
   // --- metrics ---
+
+  /// Attaches the storage layer to a telemetry hub (null detaches). Only
+  /// the profiler is consumed today: flow/read/write/transfer counters and
+  /// the flow-setup wall scope feed the shuffle-path hotspot analysis.
+  void set_telemetry(telemetry::Hub* hub);
+
   [[nodiscard]] sim::MegaBytes bytes_read_local_mb() const {
     return read_local_mb_;
   }
@@ -230,6 +240,9 @@ class Hdfs {
   sim::MegaBytes read_remote_mb_;
   sim::MegaBytes written_mb_;
   sim::MegaBytes re_replicated_mb_;
+  // Cached profiler handle (null unless a profiled run).
+  telemetry::Profiler* prof_ = nullptr;
+  telemetry::ScopeId prof_flow_scope_;
 };
 
 /// True when the two sites run on the same physical machine.

@@ -4,6 +4,7 @@
 
 #include "telemetry/json.h"
 #include "telemetry/metrics.h"
+#include "telemetry/profiler.h"
 
 namespace hybridmr::telemetry {
 
@@ -42,7 +43,13 @@ void RunReport::to_json(std::ostream& os) const {
   os << "{\n  \"sim_end_s\":" << json_num(sim_end_s)
      << ",\n  \"events_processed\":" << json_num(double(events_processed))
      << ",\n  \"clamped_past_events\":"
-     << json_num(double(clamped_past_events)) << ",\n  \"jobs\":[";
+     << json_num(double(clamped_past_events))
+     << ",\n  \"events_scheduled\":" << json_num(double(events_scheduled))
+     << ",\n  \"events_cancelled\":" << json_num(double(events_cancelled))
+     << ",\n  \"max_queue_depth\":" << json_num(double(max_queue_depth))
+     << ",\n  \"max_event_fanout\":" << json_num(double(max_event_fanout))
+     << ",\n  \"flush_scheduled_events\":"
+     << json_num(double(flush_scheduled_events)) << ",\n  \"jobs\":[";
   bool first = true;
   for (const auto& j : jobs) {
     if (!first) os << ",";
@@ -97,6 +104,12 @@ void RunReport::to_json(std::ostream& os) const {
     registry->to_json(os);
   } else {
     os << "[]";
+  }
+  // Deterministic work-attribution section only; wall-clock stats are
+  // deliberately excluded (see report.h).
+  if (profiler != nullptr && profiler->enabled()) {
+    os << ",\n  \"profile\":";
+    profiler->work_to_json(os);
   }
   os << "\n}\n";
 }

@@ -17,6 +17,7 @@
 
 namespace hybridmr::telemetry {
 
+class Profiler;
 class Registry;
 
 struct RunReport {
@@ -71,12 +72,25 @@ struct RunReport {
   double sim_end_s = 0;
   std::size_t events_processed = 0;
   std::uint64_t clamped_past_events = 0;
+  // Event-queue accounting — always on (the sim kernel tracks these
+  // whether or not the profiler is enabled), and deterministic.
+  std::uint64_t events_scheduled = 0;
+  std::uint64_t events_cancelled = 0;
+  std::size_t max_queue_depth = 0;
+  std::uint64_t max_event_fanout = 0;
+  std::uint64_t flush_scheduled_events = 0;
   std::vector<JobRow> jobs;
   std::vector<MachineRow> machines;
   std::vector<AppRow> apps;
 
   /// Optional metrics snapshot (set by the builder; may be null).
   const Registry* registry = nullptr;
+
+  /// Optional profiler snapshot (set by the builder for profiled runs; may
+  /// be null). Only the deterministic *work* section is serialized here —
+  /// wall-clock stats go through Profiler::to_json so same-seed report
+  /// bytes stay identical with profiling enabled.
+  const Profiler* profiler = nullptr;
 
   void to_json(std::ostream& os) const;
 

@@ -8,6 +8,7 @@
 
 #include "telemetry/json.h"
 #include "telemetry/metrics.h"
+#include "telemetry/profiler.h"
 #include "telemetry/report.h"
 #include "telemetry/trace.h"
 
@@ -16,6 +17,9 @@ namespace hybridmr::telemetry {
 struct Hub {
   Registry registry;
   TraceRecorder trace;
+  // Off by default even when telemetry is on; TestBed enables it for
+  // profiled runs (Options::profile / HYBRIDMR_PROFILE=1).
+  Profiler profiler;
 };
 
 }  // namespace hybridmr::telemetry

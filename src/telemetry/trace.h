@@ -42,6 +42,9 @@ enum class EventKind {
   kMachineReboot,
   kMigrationAbort,
   kReplicaLoss,
+  // Profiler work marks (src/telemetry/profiler.h): deterministic
+  // sim-derived values only, so traces stay reproducible.
+  kProfileMark,
 };
 
 /// Stable event-kind identifier used in the JSONL export.

@@ -133,10 +133,32 @@ ReportArtifacts run_scenario(bool eager) {
   return out;
 }
 
+// The report's event-queue mechanics counters (events scheduled/cancelled,
+// fan-out, flush-scheduled) differ between the two modes BY DESIGN — fewer
+// reschedules is the whole point of deferred coalescing — so they are
+// stripped before the byte-for-byte comparison of the simulated outcome.
+std::string strip_queue_mechanics(const std::string& json) {
+  static const char* kModeDependent[] = {
+      "\"events_scheduled\"", "\"events_cancelled\"", "\"max_queue_depth\"",
+      "\"max_event_fanout\"", "\"flush_scheduled_events\""};
+  std::istringstream in(json);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    bool drop = false;
+    for (const char* key : kModeDependent) {
+      if (line.find(key) != std::string::npos) drop = true;
+    }
+    if (!drop) out << line << '\n';
+  }
+  return out.str();
+}
+
 TEST(ReallocDeterminism, DeferredMatchesEagerByteForByte) {
   const ReportArtifacts deferred = run_scenario(/*eager=*/false);
   const ReportArtifacts eager = run_scenario(/*eager=*/true);
-  EXPECT_EQ(deferred.json, eager.json);
+  EXPECT_EQ(strip_queue_mechanics(deferred.json),
+            strip_queue_mechanics(eager.json));
   EXPECT_EQ(deferred.csv, eager.csv);
   EXPECT_EQ(deferred.trace, eager.trace);
 }
