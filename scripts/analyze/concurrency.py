@@ -1,0 +1,347 @@
+"""Concurrency-readiness rules for the parallel-sim-core work.
+
+  shared-mutable-state    census of static-storage mutable data in src/:
+                          namespace/function/class `static` and namespace-
+                          scope `inline` variables that are not const.
+                          Intentionally shared sites are sanctioned with a
+                          thread-safety annotation (HMR_GUARDED_BY on the
+                          declaration) or an `// hmr-shared(<capability>)`
+                          marker, and land in the shared-state report
+                          instead of the findings list.
+  rng-discipline          every random draw must flow through a named
+                          sim::Rng stream: constructing a std::<engine> or
+                          std::*_distribution anywhere but src/sim/rng.h
+                          makes per-shard streams under the parallel core
+                          non-derivable. (Host entropy — rand(),
+                          std::random_device — is already rejected by the
+                          determinism pass, rule wall-clock.)
+  mutation-outside-drain  direct calls to the allocation-engine mutators
+                          (Workload::settle/apply_allocation/finish,
+                          ReallocCoordinator::mark_dirty/...) outside the
+                          Machine/ReallocCoordinator drain path. The dirty
+                          set is the planned parallel work list; writes
+                          that bypass it would race with the drain.
+  handler-cross-machine   heuristic map of event handlers (lambdas handed
+                          to at()/after()/every()/add_flush_hook() or
+                          installed as on_complete) that touch state on
+                          more than one machine — the conservative
+                          synchronization boundary set for sharding.
+                          Reviewed handlers are acknowledged with an
+                          `// hmr-cross-machine(<note>)` marker; they stay
+                          in the report but stop being findings.
+
+shared-mutable-state and handler-cross-machine are src/-only census
+passes; rng-discipline and mutation-outside-drain apply to every analyzed
+file (a test constructing its own engine is as nondeterministic as a
+scheduler doing it).
+
+Besides findings, the passes feed the machine-readable shared-state
+report (--shared-state-report): every annotated shared site and every
+cross-machine handler, keyed by layer. docs/CONCURRENCY.md documents the
+format; the report is the design input for the event-loop sharding PR.
+"""
+
+from __future__ import annotations
+
+import re
+
+from findings import Finding, SourceFile
+
+# --- shared-mutable-state ---------------------------------------------------
+
+# `static <type> <name> (= | ; | {` with const/constexpr excluded. The type
+# part cannot cross '(' so function declarations/definitions never match;
+# multi-line declarations are out of (token-level) reach and accepted as a
+# documented limitation.
+STATIC_DECL_RE = re.compile(
+    r"^\s*(?:inline\s+)?static\s+(?:thread_local\s+)?"
+    r"(?!const\b|constexpr\b)"
+    r"([\w:<>,*&\s]+?)\s+([A-Za-z_]\w*)\s*(?:=|;|\{)")
+# Namespace-scope `inline` variables (C++17): mutable globals in headers.
+INLINE_VAR_RE = re.compile(
+    r"^\s*inline\s+(?!const\b|constexpr\b|namespace\b|static\b)"
+    r"([\w:<>,*&\s]+?)\s+([A-Za-z_]\w*)\s*(?:=|;|\{)")
+# thread_local is still shared state for the census: the parallel core pins
+# nothing to threads yet, so per-thread copies would silently fork results.
+THREAD_LOCAL_DECL_RE = re.compile(
+    r"^\s*(?:static\s+)?thread_local\s+(?:static\s+)?"
+    r"(?!const\b|constexpr\b)"
+    r"([\w:<>,*&\s]+?)\s+([A-Za-z_]\w*)\s*(?:=|;|\{)")
+
+GUARDED_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*(?:HMR_GUARDED_BY|HMR_PT_GUARDED_BY)\s*\(([^)]*)\)")
+# Long declarations wrap before the annotation; the identifier is then the
+# last word of the previous line.
+GUARDED_CONT_RE = re.compile(
+    r"^\s*(?:HMR_GUARDED_BY|HMR_PT_GUARDED_BY)\s*\(([^)]*)\)")
+TAIL_IDENT_RE = re.compile(r"([A-Za-z_]\w*)\s*$")
+SHARED_MARKER_RE = re.compile(r"//\s*hmr-shared\(([^)]*)\)")
+CROSS_MARKER_RE = re.compile(r"//\s*hmr-cross-machine\(([^)]*)\)")
+
+SHARED_RULE = "shared-mutable-state"
+RNG_RULE = "rng-discipline"
+MUTATION_RULE = "mutation-outside-drain"
+HANDLER_RULE = "handler-cross-machine"
+
+
+def _marker(source: SourceFile, regex: re.Pattern, lineno: int) -> str | None:
+    """Marker payload on the 1-based line or in the contiguous //-comment
+    block directly above it, else None."""
+    idx = lineno - 1
+    if 0 <= idx < len(source.raw):
+        m = regex.search(source.raw[idx])
+        if m:
+            return m.group(1).strip()
+    probe = idx - 1
+    while 0 <= probe < len(source.raw) \
+            and source.raw[probe].lstrip().startswith("//"):
+        m = regex.search(source.raw[probe])
+        if m:
+            return m.group(1).strip()
+        probe -= 1
+    return None
+
+
+def scan_shared_state(source: SourceFile) -> tuple[list[Finding], list[dict]]:
+    """Census pass. Returns (findings, shared-site report entries)."""
+    findings: list[Finding] = []
+    sites: list[dict] = []
+    if not source.rel.startswith("src/"):
+        return findings, sites
+
+    for idx, code in enumerate(source.code):
+        lineno = idx + 1
+        if code.lstrip().startswith("#"):
+            continue  # the macro definitions themselves are not members
+
+        # Annotated members are intentional shared state by definition:
+        # they go straight into the report, never the findings list.
+        for m in GUARDED_RE.finditer(code):
+            sites.append({
+                "file": source.rel, "line": lineno, "identifier": m.group(1),
+                "kind": "guarded-member",
+                "capability": m.group(2).strip(), "annotated": True,
+            })
+        cont = GUARDED_CONT_RE.search(code)
+        if cont and idx > 0:
+            prev = TAIL_IDENT_RE.search(source.code[idx - 1])
+            if prev:
+                sites.append({
+                    "file": source.rel, "line": lineno - 1,
+                    "identifier": prev.group(1), "kind": "guarded-member",
+                    "capability": cont.group(1).strip(), "annotated": True,
+                })
+
+        decl = (STATIC_DECL_RE.search(code) or INLINE_VAR_RE.search(code)
+                or THREAD_LOCAL_DECL_RE.search(code))
+        if decl is None:
+            continue
+        name = decl.group(2)
+        marker = _marker(source, SHARED_MARKER_RE, lineno)
+        if marker is not None or GUARDED_RE.search(code):
+            sites.append({
+                "file": source.rel, "line": lineno, "identifier": name,
+                "kind": "static",
+                "capability": marker if marker is not None else "",
+                "annotated": True,
+            })
+            continue
+        if SHARED_RULE in source.allowed(lineno):
+            continue
+        findings.append(Finding(
+            rule=SHARED_RULE, file=source.rel, line=lineno, identifier=name,
+            message=(
+                f"mutable static-storage data '{name}' is shared state "
+                "under the parallel core; guard it (HMR_GUARDED_BY), mark "
+                "it intentional (// hmr-shared(<capability>)) or make it "
+                "per-simulation")))
+        sites.append({
+            "file": source.rel, "line": lineno, "identifier": name,
+            "kind": "static", "capability": "", "annotated": False,
+        })
+    return findings, sites
+
+
+# --- rng-discipline ---------------------------------------------------------
+
+RNG_SANCTIONED = ("src/sim/rng.h",)
+RNG_PATTERNS = [
+    (re.compile(
+        r"\bstd::(mt19937(?:_64)?|minstd_rand0?|default_random_engine"
+        r"|ranlux(?:24|48)(?:_base)?|knuth_b|mersenne_twister_engine"
+        r"|linear_congruential_engine|subtract_with_carry_engine"
+        r"|discard_block_engine|independent_bits_engine"
+        r"|shuffle_order_engine)\b"),
+     "raw random engine"),
+    (re.compile(r"\bstd::\w+_distribution\b"), "raw distribution"),
+]
+
+
+def scan_rng(source: SourceFile) -> list[Finding]:
+    findings: list[Finding] = []
+    if source.rel in RNG_SANCTIONED:
+        return findings
+    for idx, code in enumerate(source.code):
+        lineno = idx + 1
+        if RNG_RULE in source.allowed(lineno):
+            continue
+        for pattern, what in RNG_PATTERNS:
+            m = pattern.search(code)
+            if m:
+                findings.append(Finding(
+                    rule=RNG_RULE, file=source.rel, line=lineno,
+                    identifier=m.group(0).removeprefix("std::"),
+                    message=(
+                        f"{what} outside src/sim/rng.h; draw through a "
+                        "named sim::Rng stream so per-shard streams stay "
+                        "derivable")))
+    return findings
+
+
+# --- mutation-outside-drain -------------------------------------------------
+
+# The drain path: Machine::recompute/ensure_clean and the coordinator own
+# every direct write to allocation state; Workload implements the mutators.
+MUTATION_SANCTIONED = (
+    "src/cluster/machine.h",
+    "src/cluster/machine.cc",
+    "src/cluster/workload.h",
+    "src/cluster/workload.cc",
+    "src/cluster/realloc.h",
+    "src/cluster/realloc.cc",
+)
+MUTATION_RE = re.compile(
+    r"(?:\.|->)\s*(settle|apply_allocation|finish|mark_dirty"
+    r"|mark_sample_pending)\s*\(")
+
+
+def scan_mutation(source: SourceFile) -> list[Finding]:
+    findings: list[Finding] = []
+    if source.rel in MUTATION_SANCTIONED:
+        return findings
+    for idx, code in enumerate(source.code):
+        lineno = idx + 1
+        if MUTATION_RULE in source.allowed(lineno):
+            continue
+        for m in MUTATION_RE.finditer(code):
+            findings.append(Finding(
+                rule=MUTATION_RULE, file=source.rel, line=lineno,
+                identifier=m.group(1),
+                message=(
+                    f"direct {m.group(1)}() writes allocation state "
+                    "outside the ReallocCoordinator drain path; mutate via "
+                    "invalidate()/ensure_clean() so the dirty-set (the "
+                    "parallel work list) sees it")))
+    return findings
+
+
+# --- handler-cross-machine --------------------------------------------------
+
+HANDLER_INTRO_RE = re.compile(
+    r"(?:\b(?:at|after|every|add_flush_hook)\s*\(|\bon_complete\s*=)")
+MACHINE_DECL_RE = re.compile(
+    r"\b(?:cluster::)?(?:Machine|VirtualMachine)\s*[*&]\s*([a-z_]\w*)")
+HOST_ASSIGN_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*=\s*[\w.>()-]*host_machine\s*\(\)")
+HOST_RECV_RE = re.compile(
+    r"\b([A-Za-z_]\w*)(?:\(\))?\s*(?:->|\.)\s*host_machine\s*\(")
+
+
+def _lambda_body(source: SourceFile, intro_idx: int,
+                 intro_col: int) -> tuple[str, int] | None:
+    """Text of the first lambda body opening at/after (intro_idx, intro_col)
+    and the number of lines it spans, or None when no lambda follows within
+    two lines (named callbacks / bind expressions are out of scope)."""
+    # Locate the lambda introducer '['.
+    start_idx, start_col = None, None
+    for idx in range(intro_idx, min(intro_idx + 3, len(source.code))):
+        col = source.code[idx].find(
+            "[", intro_col if idx == intro_idx else 0)
+        if col != -1:
+            start_idx, start_col = idx, col
+            break
+    if start_idx is None:
+        return None
+    # Walk to the body's '{' then brace-match to its end.
+    depth = 0
+    in_body = False
+    chunks: list[str] = []
+    idx, col = start_idx, start_col
+    for idx in range(start_idx, min(start_idx + 200, len(source.code))):
+        line = source.code[idx]
+        begin = col if idx == start_idx else 0
+        for j in range(begin, len(line)):
+            c = line[j]
+            if not in_body:
+                if c == "{":
+                    in_body = True
+                    depth = 1
+                elif c == ";":
+                    return None  # statement ended before a body appeared
+            else:
+                if c == "{":
+                    depth += 1
+                elif c == "}":
+                    depth -= 1
+                    if depth == 0:
+                        chunks.append(line[:j])
+                        return "\n".join(chunks), idx - intro_idx + 1
+        if in_body:
+            chunks.append(line)
+    return None
+
+
+def scan_handlers(source: SourceFile) -> tuple[list[Finding], list[dict]]:
+    """Heuristic cross-machine-handler map. Returns (findings, report)."""
+    findings: list[Finding] = []
+    handlers: list[dict] = []
+    if not source.rel.startswith("src/"):
+        return findings, handlers
+
+    machine_names: set[str] = set()
+    for code in source.code:
+        for m in MACHINE_DECL_RE.finditer(code):
+            machine_names.add(m.group(1))
+        for m in HOST_ASSIGN_RE.finditer(code):
+            machine_names.add(m.group(1))
+    names_re = (re.compile(r"\b(%s)\b" % "|".join(
+        map(re.escape, sorted(machine_names)))) if machine_names else None)
+
+    for idx, code in enumerate(source.code):
+        lineno = idx + 1
+        for intro in HANDLER_INTRO_RE.finditer(code):
+            body = _lambda_body(source, idx, intro.end())
+            if body is None:
+                continue
+            text, _span = body
+            touched: set[str] = set()
+            if names_re is not None:
+                for m in names_re.finditer(text):
+                    touched.add(m.group(1))
+            for m in HOST_RECV_RE.finditer(text):
+                touched.add(f"host({m.group(1)})")
+            if re.search(r"(?<![\w.>])host_machine\s*\(", text):
+                touched.add("host(this)")
+            if len(touched) < 2:
+                continue
+            ident = "+".join(sorted(touched))
+            acknowledged = _marker(source, CROSS_MARKER_RE, lineno)
+            handlers.append({
+                "file": source.rel, "line": lineno,
+                "machines": sorted(touched),
+                "acknowledged": acknowledged is not None,
+                "note": acknowledged or "",
+            })
+            if acknowledged is not None:
+                continue
+            if HANDLER_RULE in source.allowed(lineno):
+                continue
+            findings.append(Finding(
+                rule=HANDLER_RULE, file=source.rel, line=lineno,
+                identifier=ident,
+                message=(
+                    f"event handler touches state on multiple machines "
+                    f"({ident}); it needs conservative synchronization "
+                    "under a sharded event loop — review it and mark "
+                    "// hmr-cross-machine(<note>)")))
+    return findings, handlers

@@ -69,15 +69,15 @@ void TaskAttempt::build_phases() {
                           .value();
     // Fetch the first split buffer through HDFS (captures locality), then
     // stream the rest pipelined with record processing, like a real map.
-    const double head_mb = 0.15 * mb;
-    const double body_mb = mb - head_mb;
-    phases_.push_back({Phase::Kind::kRead, head_mb, {}});
+    const sim::MegaBytes head_mb{0.15 * mb};
+    const sim::MegaBytes body_mb = sim::MegaBytes{mb} - head_mb;
+    phases_.push_back({Phase::Kind::kRead, head_mb.value(), {}});
     const double cpu_s = mb * spec.map_cpu_s_per_mb;
-    const double stream_s =
-        std::max({0.05, cpu_s, body_mb / cal.hdfs_stream_disk_mbps});
+    const double stream_s = std::max(
+        {0.05, cpu_s, body_mb.value() / cal.hdfs_stream_disk_mbps});
     Phase stream{Phase::Kind::kStream, stream_s, {}};
     stream.demand.cpu = std::min(1.0, cpu_s / stream_s);
-    stream.demand.disk = body_mb / stream_s;
+    stream.demand.disk = body_mb.value() / stream_s;
     stream.demand.memory = spec.task_memory_mb.value();
     phases_.push_back(stream);
     const double out = mb * spec.map_selectivity;
@@ -129,7 +129,7 @@ void TaskAttempt::build_phases() {
 void TaskAttempt::next_phase() {
   ++phase_idx_;
   flows_.clear();
-  flow_done_mb_ = 0;
+  flow_done_mb_ = sim::MegaBytes{0};
   phase_flow_total_ = 0;
   if (phase_idx_ >= static_cast<int>(phases_.size())) {
     finished_ = true;
@@ -145,17 +145,16 @@ void TaskAttempt::next_phase() {
   switch (phase.kind) {
     case Phase::Kind::kRead: {
       phase_flow_total_ = phase.amount;
-      const double block_mb = engine_->hdfs()
-                                  .block_size_mb(task_->job().input_file(),
-                                                 task_->index())
-                                  .value();
+      const sim::MegaBytes block_mb = engine_->hdfs().block_size_mb(
+          task_->job().input_file(), task_->index());
       auto handle = engine_->hdfs().read_block(
           task_->job().input_file(), task_->index(), site(),
-          [this, mb = phase.amount]() { flow_completed(mb); },
-          block_mb > 0 ? phase.amount / block_mb : 1.0);
+          [this, mb = sim::MegaBytes{phase.amount}]() { flow_completed(mb); },
+          block_mb > sim::MegaBytes{0} ? phase.amount / block_mb.value()
+                                       : 1.0);
       if (paused_) handle.set_paused(true);
       handle.set_caps(caps_);
-      flows_.push_back({handle, phase.amount});
+      flows_.push_back({handle, sim::MegaBytes{phase.amount}});
       break;
     }
     case Phase::Kind::kStream:
@@ -193,24 +192,24 @@ void TaskAttempt::next_phase() {
       break;
     }
     case Phase::Kind::kShuffle:
-      begin_shuffle(phase.amount);
+      begin_shuffle(sim::MegaBytes{phase.amount});
       break;
     case Phase::Kind::kWrite: {
       phase_flow_total_ = phase.amount;
       auto handle = engine_->hdfs().write(
           site(), sim::MegaBytes{phase.amount},
-          [this, mb = phase.amount]() { flow_completed(mb); },
+          [this, mb = sim::MegaBytes{phase.amount}]() { flow_completed(mb); },
           spec.output_replicas);
       if (paused_) handle.set_paused(true);
       handle.set_caps(caps_);
-      flows_.push_back({handle, phase.amount});
+      flows_.push_back({handle, sim::MegaBytes{phase.amount}});
       break;
     }
   }
 }
 
-void TaskAttempt::begin_shuffle(double total_mb) {
-  phase_flow_total_ = total_mb;
+void TaskAttempt::begin_shuffle(sim::MegaBytes total_mb) {
+  phase_flow_total_ = total_mb.value();
   shuffle_queue_.clear();
   shuffle_next_ = 0;
 
@@ -218,7 +217,7 @@ void TaskAttempt::begin_shuffle(double total_mb) {
   // first-map order (pointer-keyed ordering would be nondeterministic).
   const auto& maps = task_->job().maps();
   const double per_map =
-      maps.empty() ? 0 : total_mb / static_cast<double>(maps.size());
+      maps.empty() ? 0 : total_mb.value() / static_cast<double>(maps.size());
   for (const auto& m : maps) {
     cluster::ExecutionSite* src = m->output_site();
     if (src == nullptr) src = &site();  // defensive: treat as local
@@ -233,22 +232,22 @@ void TaskAttempt::begin_shuffle(double total_mb) {
 #if defined(HYBRIDMR_AUDIT_ENABLED)
   // Conservation through the shuffle: partitioning the reducer's input by
   // source site must neither create nor lose bytes.
-  double queued_mb = 0;
-  for (const auto& [src, mb] : shuffle_queue_) queued_mb += mb;
+  sim::MegaBytes queued_mb;
+  for (const auto& [src, mb] : shuffle_queue_) queued_mb += sim::MegaBytes{mb};
   HYBRIDMR_AUDIT_CHECK(
-      std::abs(queued_mb - (maps.empty() ? 0.0 : total_mb)) <=
-          1e-6 * std::max(1.0, total_mb),
+      std::abs(queued_mb.value() - (maps.empty() ? 0.0 : total_mb.value())) <=
+          1e-6 * std::max(1.0, total_mb.value()),
       "mapred.task", "shuffle_mb_conserved", engine_->sim().now(),
       {{"attempt", label()},
-       {"total_mb", audit::num(total_mb)},
-       {"queued_mb", audit::num(queued_mb)},
+       {"total_mb", audit::num(total_mb.value())},
+       {"queued_mb", audit::num(queued_mb.value())},
        {"sources", audit::num(static_cast<double>(shuffle_queue_.size()))}});
 #endif
   if (shuffle_queue_.empty()) {
     phase_finished();
     return;
   }
-  engine_->note_shuffle_started(*this, sim::MegaBytes{total_mb},
+  engine_->note_shuffle_started(*this, total_mb,
                                 static_cast<int>(shuffle_queue_.size()));
   pump_shuffle();
 }
@@ -259,14 +258,14 @@ void TaskAttempt::pump_shuffle() {
     auto [src, mb] = shuffle_queue_[shuffle_next_++];
     auto handle = engine_->hdfs().transfer(
         *src, site(), sim::MegaBytes{mb},
-        [this, mb]() { flow_completed(mb); });
+        [this, mb]() { flow_completed(sim::MegaBytes{mb}); });
     if (paused_) handle.set_paused(true);
     handle.set_caps(caps_);
-    flows_.push_back({handle, mb, src});
+    flows_.push_back({handle, sim::MegaBytes{mb}, src});
   }
 }
 
-void TaskAttempt::flow_completed(double mb) {
+void TaskAttempt::flow_completed(sim::MegaBytes mb) {
   flow_done_mb_ += mb;
   // Drop completed handles.
   flows_.erase(std::remove_if(flows_.begin(), flows_.end(),
@@ -296,9 +295,12 @@ double TaskAttempt::progress() const {
   if (workload_) {
     in_phase = workload_->progress();
   } else if (phase_flow_total_ > 0) {
-    double moving = 0;
-    for (const auto& f : flows_) moving += f.handle.progress() * f.amount_mb;
-    in_phase = (flow_done_mb_ + moving) / phase_flow_total_;
+    sim::MegaBytes moving;
+    for (const auto& f : flows_) {
+      moving += f.amount_mb * f.handle.progress();
+    }
+    in_phase =
+        (flow_done_mb_ + moving) / sim::MegaBytes{phase_flow_total_};
   }
   in_phase = std::clamp(in_phase, 0.0, 1.0);
   return std::clamp(

@@ -155,9 +155,9 @@ class TaskAttempt {
 
   void build_phases();
   void next_phase();
-  void begin_shuffle(double total_mb);
+  void begin_shuffle(sim::MegaBytes total_mb);
   void pump_shuffle();
-  void flow_completed(double mb);
+  void flow_completed(sim::MegaBytes mb);
   void phase_finished();
   void teardown();
 
@@ -173,7 +173,7 @@ class TaskAttempt {
   cluster::WorkloadPtr workload_;  // compute / local-write phases
   struct ActiveFlow {
     storage::FlowHandle handle;
-    double amount_mb = 0;
+    sim::MegaBytes amount_mb;
     // Remote site the flow pulls from (shuffle fetches); null for HDFS
     // reads/writes whose endpoints the storage layer picked.
     cluster::ExecutionSite* src = nullptr;
@@ -183,7 +183,7 @@ class TaskAttempt {
   // parallel-copies setting).
   std::vector<std::pair<cluster::ExecutionSite*, double>> shuffle_queue_;
   std::size_t shuffle_next_ = 0;
-  double flow_done_mb_ = 0;
+  sim::MegaBytes flow_done_mb_;
   double phase_flow_total_ = 0;
 
   bool started_ = false;

@@ -25,6 +25,7 @@ void EventQueue::release(std::uint32_t index) {
 }
 
 EventId EventQueue::push(SimTime time, std::function<void()> fn) {
+  gate_.assert_held();
   std::uint32_t index;
   if (!free_slots_.empty()) {
     index = free_slots_.back();
@@ -45,6 +46,7 @@ EventId EventQueue::push(SimTime time, std::function<void()> fn) {
 }
 
 bool EventQueue::cancel(EventId id) {
+  gate_.assert_held();
   Slot* slot = live_slot(id.value);
   if (slot == nullptr) return false;
   release(slot_index(id.value));
@@ -69,6 +71,7 @@ void EventQueue::audit_no_orphans() const {
 }
 
 std::optional<SimTime> EventQueue::next_time() {
+  gate_.assert_held();
   skim();
   audit_no_orphans();
   if (heap_.empty()) return std::nullopt;
@@ -76,6 +79,7 @@ std::optional<SimTime> EventQueue::next_time() {
 }
 
 std::optional<EventQueue::Entry> EventQueue::pop() {
+  gate_.assert_held();
   skim();
   audit_no_orphans();
   if (heap_.empty()) return std::nullopt;
@@ -88,6 +92,7 @@ std::optional<EventQueue::Entry> EventQueue::pop() {
 }
 
 std::size_t EventQueue::clear() {
+  gate_.assert_held();
   const std::size_t dropped = live_;
   for (std::uint32_t i = 0; i < slots_.size(); ++i) {
     // Releasing (rather than dropping) every slot keeps generations

@@ -18,6 +18,8 @@
 #include <queue>
 #include <vector>
 
+#include "sim/thread_annotations.h"
+
 namespace hybridmr::sim {
 
 /// Simulated time, in seconds since the start of the simulation.
@@ -62,10 +64,16 @@ class EventQueue {
   bool cancel(EventId id);
 
   /// True when no live (non-cancelled) events remain.
-  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] bool empty() const {
+    gate_.assert_held();
+    return live_ == 0;
+  }
 
   /// Number of live events.
-  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] std::size_t size() const {
+    gate_.assert_held();
+    return live_;
+  }
 
   /// Time of the earliest live event. Empty queue -> nullopt.
   [[nodiscard]] std::optional<SimTime> next_time();
@@ -83,13 +91,20 @@ class EventQueue {
   ///   total_pushed() == pops + total_cancelled() + size()
   /// holds at every quiescent point (the simulation audits this after each
   /// dispatch). clear() counts as cancellation.
-  [[nodiscard]] std::uint64_t total_pushed() const { return total_pushed_; }
+  [[nodiscard]] std::uint64_t total_pushed() const {
+    gate_.assert_held();
+    return total_pushed_;
+  }
   [[nodiscard]] std::uint64_t total_cancelled() const {
+    gate_.assert_held();
     return total_cancelled_;
   }
 
   /// High-water mark of live events (queue-depth peak over the run).
-  [[nodiscard]] std::size_t max_size() const { return max_size_; }
+  [[nodiscard]] std::size_t max_size() const {
+    gate_.assert_held();
+    return max_size_;
+  }
 
  private:
   // An EventId packs the slot index (low 32 bits, biased by one so the
@@ -129,26 +144,31 @@ class EventQueue {
   }
 
   // The slot a live id refers to, or nullptr when the id is stale/invalid.
-  [[nodiscard]] Slot* live_slot(std::uint64_t id);
+  [[nodiscard]] Slot* live_slot(std::uint64_t id) HMR_REQUIRES(gate_);
 
   // Destroys the handler, bumps the generation and recycles the slot.
-  void release(std::uint32_t index);
+  void release(std::uint32_t index) HMR_REQUIRES(gate_);
 
   // Drops cancelled items from the heap head.
-  void skim();
+  void skim() HMR_REQUIRES(gate_);
 
   // Audit checkpoint: every live handler must have a heap item (an
   // orphaned handler could never fire and would leak its captures).
-  void audit_no_orphans() const;
+  void audit_no_orphans() const HMR_REQUIRES(gate_);
 
-  std::priority_queue<HeapItem, std::vector<HeapItem>, Later> heap_;
-  std::vector<Slot> slots_;
-  std::vector<std::uint32_t> free_slots_;
-  std::size_t live_ = 0;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t total_pushed_ = 0;
-  std::uint64_t total_cancelled_ = 0;
-  std::size_t max_size_ = 0;
+  // Sim-thread capability token: the queue is mutated only between event
+  // boundaries on the dispatch thread (see sim/thread_annotations.h).
+  SimThreadGate gate_;
+
+  std::priority_queue<HeapItem, std::vector<HeapItem>, Later> heap_
+      HMR_GUARDED_BY(gate_);
+  std::vector<Slot> slots_ HMR_GUARDED_BY(gate_);
+  std::vector<std::uint32_t> free_slots_ HMR_GUARDED_BY(gate_);
+  std::size_t live_ HMR_GUARDED_BY(gate_) = 0;
+  std::uint64_t next_seq_ HMR_GUARDED_BY(gate_) = 0;
+  std::uint64_t total_pushed_ HMR_GUARDED_BY(gate_) = 0;
+  std::uint64_t total_cancelled_ HMR_GUARDED_BY(gate_) = 0;
+  std::size_t max_size_ HMR_GUARDED_BY(gate_) = 0;
 };
 
 }  // namespace hybridmr::sim

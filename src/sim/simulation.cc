@@ -29,11 +29,13 @@ PeriodicHandle Simulation::every(SimTime period, std::function<void()> fn,
 }
 
 std::size_t Simulation::add_flush_hook(std::function<void()> hook) {
+  gate_.assert_held();
   flush_hooks_.push_back(std::move(hook));
   return flush_hooks_.size() - 1;
 }
 
 void Simulation::remove_flush_hook(std::size_t token) {
+  gate_.assert_held();
   if (token < flush_hooks_.size()) flush_hooks_[token] = nullptr;
 }
 
@@ -77,6 +79,7 @@ bool Simulation::dispatch_one() {
 }
 
 std::size_t Simulation::run() {
+  gate_.assert_held();
   const std::size_t before = processed_;
   running_ = true;
   stop_requested_ = false;
@@ -89,6 +92,7 @@ std::size_t Simulation::run() {
 }
 
 std::size_t Simulation::run_until(SimTime t) {
+  gate_.assert_held();
   const std::size_t before = processed_;
   running_ = true;
   stop_requested_ = false;

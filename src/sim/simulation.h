@@ -17,6 +17,7 @@
 #include "sim/log.h"
 #include "sim/probe.h"
 #include "sim/rng.h"
+#include "sim/thread_annotations.h"
 #include "sim/units.h"
 
 namespace hybridmr::sim {
@@ -154,7 +155,10 @@ class Simulation {
 
   /// Attaches (or detaches, with nullptr) the dispatch probe. The probe is
   /// invoked around every event handler; see sim/probe.h.
-  void set_probe(DispatchProbe* probe) { probe_ = probe; }
+  void set_probe(DispatchProbe* probe) {
+    gate_.assert_held();
+    probe_ = probe;
+  }
 
   /// How many at() calls asked for a past time and were clamped to now().
   /// Non-zero means a component computes target times incorrectly.
@@ -179,6 +183,7 @@ class Simulation {
   /// Runs every registered flush hook now. Idempotent between mutations;
   /// called automatically at event boundaries and run-loop exits.
   void flush() {
+    gate_.assert_held();
     for (const auto& hook : flush_hooks_) {
       if (hook) hook();
     }
@@ -187,18 +192,23 @@ class Simulation {
   Rng& rng() { return rng_; }
 
  private:
-  bool dispatch_one();
+  bool dispatch_one() HMR_REQUIRES(gate_);
+
+  // Sim-thread capability token for the dispatch loop's shared hooks (the
+  // queue and the clock carry their own discipline; the hook/probe lists
+  // are the state a sharded event loop would contend on first).
+  SimThreadGate gate_;
 
   EventQueue queue_;
   Rng rng_;
   // Slots are never erased (tokens stay stable); removal nulls the entry.
-  std::vector<std::function<void()>> flush_hooks_;
+  std::vector<std::function<void()>> flush_hooks_ HMR_GUARDED_BY(gate_);
   SimTime now_ = 0;
   std::size_t processed_ = 0;
   std::uint64_t clamped_past_events_ = 0;
   std::uint64_t max_event_fanout_ = 0;
   std::uint64_t flush_scheduled_events_ = 0;
-  DispatchProbe* probe_ = nullptr;
+  DispatchProbe* probe_ HMR_GUARDED_BY(gate_) = nullptr;
   bool stop_requested_ = false;
   bool running_ = false;
 };

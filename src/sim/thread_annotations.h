@@ -1,0 +1,61 @@
+// Clang thread-safety capability macros for the (future) parallel sim core.
+//
+// The simulator is single-threaded today, but the ROADMAP's parallel-core
+// item needs the shared-state surface mapped and enforced *before* threads
+// arrive. These macros wrap clang's -Wthread-safety attributes so the
+// annotations compile to nothing under gcc (the default toolchain) and turn
+// into blocking diagnostics under the clang CI stage (scripts/ci.sh,
+// thread-safety stage).
+//
+// Conventions (see docs/CONCURRENCY.md for the full census):
+//   - A class whose state must only be touched from the simulation thread
+//     owns a SimThreadGate member and marks that state HMR_GUARDED_BY(gate_).
+//   - Public entry points call gate_.assert_held() — a zero-cost inline
+//     no-op that tells the analysis "the caller is on the sim thread" —
+//     so annotating a class never cascades REQUIRES onto its callers.
+//   - Private helpers are annotated HMR_REQUIRES(gate_) instead: they are
+//     only reachable through an asserting entry point, and the analysis
+//     verifies that.
+// When the parallel core lands, SimThreadGate grows a real shard lock and
+// assert_held() becomes a debug assertion; the annotation graph is already
+// in place to check the locking discipline.
+#pragma once
+
+#if defined(__clang__)
+#define HMR_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define HMR_THREAD_ANNOTATION(x)  // compiles out under gcc/msvc
+#endif
+
+#define HMR_CAPABILITY(x) HMR_THREAD_ANNOTATION(capability(x))
+#define HMR_GUARDED_BY(x) HMR_THREAD_ANNOTATION(guarded_by(x))
+#define HMR_PT_GUARDED_BY(x) HMR_THREAD_ANNOTATION(pt_guarded_by(x))
+#define HMR_REQUIRES(...) HMR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define HMR_ACQUIRE(...) HMR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define HMR_RELEASE(...) HMR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define HMR_ASSERT_CAPABILITY(x) HMR_THREAD_ANNOTATION(assert_capability(x))
+#define HMR_EXCLUDES(...) HMR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define HMR_RETURN_CAPABILITY(x) HMR_THREAD_ANNOTATION(lock_returned(x))
+#define HMR_NO_THREAD_SAFETY_ANALYSIS \
+  HMR_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace hybridmr::sim {
+
+/// Capability token standing in for "the simulation thread".
+///
+/// Today there is exactly one such thread, so assert_held() is an empty
+/// inline function — the token only exists so HMR_GUARDED_BY annotations
+/// have a capability to name and clang's analysis has a graph to check.
+/// The one sanctioned concurrent access pattern that bypasses the gate is
+/// the quiesced read barrier: once the run loop has exited and every
+/// flush hook has drained, const accessors (Machine::ensure_clean() and
+/// the reads behind it) are safe from any thread because nothing mutates
+/// (tests/concurrency_test.cc exercises exactly this under TSan).
+class HMR_CAPABILITY("sim-thread") SimThreadGate {
+ public:
+  /// Declares to the thread-safety analysis that the calling context is
+  /// on the simulation thread. Zero-cost: compiles to nothing.
+  void assert_held() const HMR_ASSERT_CAPABILITY(this) {}
+};
+
+}  // namespace hybridmr::sim

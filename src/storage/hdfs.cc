@@ -85,9 +85,9 @@ bool Hdfs::remove_datanode(ExecutionSite& site) {
       auto& reps = file.block_replicas[b];
       auto pos = std::find(reps.begin(), reps.end(), leaving);
       if (pos == reps.end()) continue;
-      const sim::MegaBytes mb{block_mb_of(
+      const sim::MegaBytes mb = block_mb_of(
           file.size_mb, static_cast<int>(b),
-          static_cast<int>(file.block_replicas.size()), file.block_mb)};
+          static_cast<int>(file.block_replicas.size()), file.block_mb);
       // Pick a surviving target not already holding the block.
       DataNode* target = nullptr;
       std::size_t probe = sim_.rng().index(datanodes_.size());
@@ -156,9 +156,9 @@ int Hdfs::crash_datanodes(const std::vector<ExecutionSite*>& sites) {
       // Restore the replication factor from a surviving copy. The replica
       // map is updated immediately (NameNode bookkeeping); the copy
       // traffic is injected asynchronously, as in the decommission path.
-      const sim::MegaBytes mb{block_mb_of(
+      const sim::MegaBytes mb = block_mb_of(
           file.size_mb, static_cast<int>(b),
-          static_cast<int>(file.block_replicas.size()), file.block_mb)};
+          static_cast<int>(file.block_replicas.size()), file.block_mb);
       ExecutionSite* source = reps.front()->site();
       for (std::size_t i = 0; i < killed; ++i) {
         DataNode* target = nullptr;
@@ -216,9 +216,10 @@ Hdfs::FileId Hdfs::stage_file(const std::string& name, sim::MegaBytes size_mb,
   assert(!datanodes_.empty() && "stage_file needs at least one datanode");
   File file;
   file.name = name;
-  file.size_mb = size_mb.value();
-  file.block_mb =
-      block_mb > sim::MegaBytes{0} ? block_mb.value() : cal_.hdfs_block_mb;
+  file.size_mb = size_mb;
+  file.block_mb = block_mb > sim::MegaBytes{0}
+                      ? block_mb
+                      : sim::MegaBytes{cal_.hdfs_block_mb};
   const int blocks = std::max(
       1, static_cast<int>(std::ceil(file.size_mb / file.block_mb)));
   file.block_replicas.reserve(static_cast<std::size_t>(blocks));
@@ -242,8 +243,8 @@ Hdfs::FileId Hdfs::stage_file(const std::string& name, sim::MegaBytes size_mb,
         reps.push_back(candidate);
       }
     }
-    const sim::MegaBytes mb{block_mb_of(file.size_mb, b, blocks,
-                                        file.block_mb)};
+    const sim::MegaBytes mb = block_mb_of(file.size_mb, b, blocks,
+                                          file.block_mb);
     for (DataNode* dn : reps) dn->add_stored(mb);
     file.block_replicas.push_back(std::move(reps));
   }
@@ -257,18 +258,17 @@ int Hdfs::num_blocks(FileId file) const {
   return static_cast<int>(files_[file].block_replicas.size());
 }
 
-double Hdfs::block_mb_of(double size_mb, int block, int blocks,
-                         double block_size) {
+sim::MegaBytes Hdfs::block_mb_of(sim::MegaBytes size_mb, int block, int blocks,
+                                 sim::MegaBytes block_size) {
   if (block + 1 < blocks) return block_size;
-  const double tail = size_mb - block_size * (blocks - 1);
-  return tail > 0 ? tail : size_mb;
+  const sim::MegaBytes tail = size_mb - block_size * (blocks - 1);
+  return tail > sim::MegaBytes{0} ? tail : size_mb;
 }
 
 sim::MegaBytes Hdfs::block_size_mb(FileId file, int block) const {
   const File& f = files_[file];
-  return sim::MegaBytes{block_mb_of(
-      f.size_mb, block, static_cast<int>(f.block_replicas.size()),
-      f.block_mb)};
+  return block_mb_of(f.size_mb, block,
+                     static_cast<int>(f.block_replicas.size()), f.block_mb);
 }
 
 const std::vector<DataNode*>& Hdfs::replicas(FileId file, int block) const {

@@ -199,8 +199,8 @@ class Hdfs {
  private:
   struct File {
     std::string name;
-    double size_mb;
-    double block_mb;
+    sim::MegaBytes size_mb;
+    sim::MegaBytes block_mb;
     std::vector<std::vector<DataNode*>> block_replicas;
     // 1 for blocks whose last replica died in a crash (indexed like
     // block_replicas; the audit pairs "no replicas" with "marked lost").
@@ -222,8 +222,9 @@ class Hdfs {
 
   /// Size of block `block` of a file of `size_mb` split into `blocks`
   /// blocks of nominal size `block_size`.
-  [[nodiscard]] static double block_mb_of(double size_mb, int block,
-                                          int blocks, double block_size);
+  [[nodiscard]] static sim::MegaBytes block_mb_of(sim::MegaBytes size_mb,
+                                                  int block, int blocks,
+                                                  sim::MegaBytes block_size);
 
   /// Audit checkpoint (no-op unless HYBRIDMR_AUDIT): every block's replica
   /// list is non-empty, duplicate-free, within the datanode count, and

@@ -43,12 +43,14 @@ Registry::Entry& Registry::fetch(const std::string& name, Type type,
 }
 
 Counter& Registry::counter(const std::string& name, const std::string& unit) {
+  gate_.assert_held();
   Entry& e = fetch(name, Type::kCounter, unit);
   if (!e.counter) e.counter = std::make_unique<Counter>();
   return *e.counter;
 }
 
 Gauge& Registry::gauge(const std::string& name, const std::string& unit) {
+  gate_.assert_held();
   Entry& e = fetch(name, Type::kGauge, unit);
   if (!e.gauge) e.gauge = std::make_unique<Gauge>();
   return *e.gauge;
@@ -56,6 +58,7 @@ Gauge& Registry::gauge(const std::string& name, const std::string& unit) {
 
 Histogram& Registry::histogram(const std::string& name, double lo, double hi,
                                const std::string& unit) {
+  gate_.assert_held();
   Entry& e = fetch(name, Type::kHistogram, unit);
   if (!e.histogram) e.histogram = std::make_unique<Histogram>(lo, hi);
   return *e.histogram;
@@ -64,12 +67,14 @@ Histogram& Registry::histogram(const std::string& name, double lo, double hi,
 TimeSeriesMetric& Registry::timeseries(const std::string& name,
                                        double window_s,
                                        const std::string& unit) {
+  gate_.assert_held();
   Entry& e = fetch(name, Type::kTimeSeries, unit);
   if (!e.series) e.series = std::make_unique<TimeSeriesMetric>(window_s);
   return *e.series;
 }
 
 const Registry::Entry* Registry::find(const std::string& name) const {
+  gate_.assert_held();
   auto it = index_.find(name);
   return it == index_.end() ? nullptr : entries_[it->second].get();
 }
@@ -89,6 +94,7 @@ const char* to_string(Registry::Type type) {
 }
 
 void Registry::to_json(std::ostream& os) const {
+  gate_.assert_held();
   os << "[";
   bool first = true;
   for (const auto& e : entries_) {

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/thread_annotations.h"
+
 namespace hybridmr::telemetry {
 
 #if defined(HYBRIDMR_TELEMETRY_DISABLED)
@@ -224,6 +226,7 @@ class Registry {
                                const std::string& unit = "");
 
   [[nodiscard]] const std::vector<std::unique_ptr<Entry>>& entries() const {
+    gate_.assert_held();
     return entries_;
   }
 
@@ -234,10 +237,15 @@ class Registry {
   void to_json(std::ostream& os) const;
 
  private:
-  Entry& fetch(const std::string& name, Type type, const std::string& unit);
+  Entry& fetch(const std::string& name, Type type, const std::string& unit)
+      HMR_REQUIRES(gate_);
 
-  std::vector<std::unique_ptr<Entry>> entries_;
-  std::map<std::string, std::size_t> index_;
+  // Sim-thread capability token: every component of a run records into
+  // this one registry, so it is shared state the moment handlers shard.
+  sim::SimThreadGate gate_;
+
+  std::vector<std::unique_ptr<Entry>> entries_ HMR_GUARDED_BY(gate_);
+  std::map<std::string, std::size_t> index_ HMR_GUARDED_BY(gate_);
 };
 
 const char* to_string(Registry::Type type);

@@ -1,0 +1,41 @@
+// handler-cross-machine fixtures: event handlers touching state on more
+// than one machine, plus acknowledged/suppressed/clean decoys. Line
+// numbers are pinned in analyze_driver.py.
+namespace hybridmr::cluster {
+
+class Machine {
+ public:
+  void invalidate();
+};
+
+struct FakeSim {
+  template <typename F>
+  void after(double delay, F fn);
+  template <typename F>
+  void at(double when, F fn);
+};
+
+void wire(FakeSim& sim, Machine* left, Machine* right) {
+  sim.after(2.0, [left, right]() {  // line 19: touches left AND right
+    left->invalidate();
+    right->invalidate();
+  });
+
+  sim.at(1.0, [left]() {  // clean: single machine
+    left->invalidate();
+  });
+
+  // hmr-cross-machine(transfer teardown touches both endpoints by design)
+  sim.after(3.0, [left, right]() {  // acknowledged -> report-only
+    left->invalidate();
+    right->invalidate();
+  });
+
+  // sim-lint: allow(handler-cross-machine)
+  sim.after(4.0, [left, right]() {  // suppressed decoy
+    left->invalidate();
+    right->invalidate();
+  });
+}
+
+}  // namespace hybridmr::cluster

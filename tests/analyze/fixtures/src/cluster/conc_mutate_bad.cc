@@ -1,0 +1,27 @@
+// mutation-outside-drain fixtures: direct calls to the allocation-engine
+// mutators outside the Machine/ReallocCoordinator drain path. Line
+// numbers are pinned in analyze_driver.py.
+namespace hybridmr::cluster {
+
+struct FakeWorkload {
+  void settle(double now);
+  void apply_allocation(int share);
+  void finish(double now);
+  void settle_now();
+};
+
+struct FakeCoordinator {
+  void mark_dirty(int machine);
+};
+
+void poke(FakeWorkload* w, FakeCoordinator& coord) {
+  w->settle(1.0);          // line 18: bypasses the drain
+  coord.mark_dirty(3);     // line 19: dirty-set write outside the path
+
+  // sim-lint: allow(mutation-outside-drain)
+  w->apply_allocation(2);  // suppressed decoy
+
+  w->settle_now();         // clean: the profiler-read entry point
+}
+
+}  // namespace hybridmr::cluster

@@ -1,0 +1,24 @@
+// rng-discipline fixtures: raw std engines/distributions outside
+// src/sim/rng.h. Line numbers are pinned in analyze_driver.py.
+#include <random>
+
+namespace hybridmr::sim {
+
+double draw() {
+  std::mt19937 bad_engine(42);                            // line 8
+  std::uniform_real_distribution<double> bad_dist(0, 1);  // line 9
+
+  // sim-lint: allow(rng-discipline)
+  std::mt19937_64 suppressed_engine(7);  // suppressed decoy
+
+  // Clean: drawing through a named stream object is the sanctioned path.
+  struct NamedStream {
+    double uniform() { return 0.5; }
+  } stream;
+  double ok = stream.uniform();
+
+  return ok + bad_dist(bad_engine) +
+         static_cast<double>(suppressed_engine());
+}
+
+}  // namespace hybridmr::sim

@@ -1,0 +1,32 @@
+// Deliberately racy program proving the TSan stage is not vacuous.
+//
+// Two threads increment the same plain int with no synchronization — the
+// canonical data race. Built only when HYBRIDMR_SANITIZE contains
+// `thread`; scripts/ci.sh runs it expecting a NON-zero exit (TSan reports
+// the race and dies with its failure exit code). If this probe ever exits
+// 0 the tsan stage fails: it would mean the sanitizer is not actually
+// instrumenting the build, and the "clean" result of concurrency_test is
+// meaningless.
+//
+// NOT registered with ctest — it is supposed to fail.
+#include <cstdio>
+#include <thread>
+
+namespace {
+int shared_counter = 0;  // intentionally unguarded
+
+void hammer() {
+  for (int i = 0; i < 100000; ++i) ++shared_counter;
+}
+}  // namespace
+
+int main() {
+  std::thread a(hammer);
+  std::thread b(hammer);
+  a.join();
+  b.join();
+  // Reaching here without a TSan report means the build is uninstrumented.
+  std::printf("tsan_race_probe: %d (no race detected — probe is vacuous)\n",
+              shared_counter);
+  return 0;
+}
