@@ -12,6 +12,7 @@ Machine* HybridCluster::add_machine(const std::string& name) {
   machines_.push_back(
       std::make_unique<Machine>(sim_, n, cal_.pm_capacity(), cal_));
   machines_.back()->set_coordinator(&realloc_);
+  machines_.back()->set_eager_reschedule(eager_reschedule_);
   if (tel_ != nullptr) machines_.back()->set_telemetry(tel_);
   return machines_.back().get();
 }

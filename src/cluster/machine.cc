@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <utility>
 
@@ -29,23 +30,50 @@ void waterfill_into(double capacity, std::span<const double> demands,
   std::fill(out.begin(), out.end(), 0.0);
   if (n == 0 || capacity <= 0) return;
 
-  auto& order = scratch.order;
-  order.resize(n);
-  std::iota(order.begin(), order.end(), std::uint32_t{0});
-  std::sort(order.begin(), order.end(),
-            [&](std::uint32_t a, std::uint32_t b) {
-              return demands[a] < demands[b];
-            });
-
-  double remaining = capacity;
-  std::size_t unsatisfied = n;
-  for (const std::uint32_t idx : order) {
-    const double fair = remaining / static_cast<double>(unsatisfied);
-    const double got = std::min(demands[idx], fair);
-    out[idx] = got < 0 ? 0 : got;
-    remaining -= out[idx];
-    --unsatisfied;
+  // Memo replay: the allocation is a pure function of (capacity, demands),
+  // so a repeat of the previous inputs reproduces the previous output
+  // byte-for-byte without sorting.
+  if (scratch.valid && capacity == scratch.last_capacity &&
+      scratch.last_demands.size() == n &&
+      std::equal(demands.begin(), demands.end(),
+                 scratch.last_demands.begin())) {
+    std::copy(scratch.last_out.begin(), scratch.last_out.end(), out.begin());
+    return;
   }
+
+  // Uncontended fast path: when total demand fits, the sorted fill grants
+  // every demand exactly (ascending order means fair >= each demand at its
+  // turn), so skip the sort. Exact same output as the general path.
+  double total = 0;
+  for (const double d : demands) total += d > 0 ? d : 0.0;
+  if (total <= capacity) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = demands[i] > 0 ? demands[i] : 0.0;
+    }
+  } else {
+    auto& order = scratch.order;
+    order.resize(n);
+    std::iota(order.begin(), order.end(), std::uint32_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return demands[a] < demands[b];
+              });
+
+    double remaining = capacity;
+    std::size_t unsatisfied = n;
+    for (const std::uint32_t idx : order) {
+      const double fair = remaining / static_cast<double>(unsatisfied);
+      const double got = std::min(demands[idx], fair);
+      out[idx] = got < 0 ? 0 : got;
+      remaining -= out[idx];
+      --unsatisfied;
+    }
+  }
+
+  scratch.last_capacity = capacity;
+  scratch.last_demands.assign(demands.begin(), demands.end());
+  scratch.last_out.assign(out.begin(), out.end());
+  scratch.valid = true;
 }
 
 std::vector<double> waterfill(double capacity,
@@ -102,6 +130,35 @@ double speed_of(const Workload& w, const Resources& alloc, double eff_cpu,
   return speed;
 }
 
+// Completion time of a workload that cannot currently make progress
+// (paused, capped to nothing, starved, or on a detached VM). Its event
+// parks here instead of being cancelled, keeping its identity — and its
+// FIFO tie-break seat — for when an allocation revives it. The run loop
+// treats a queue whose head is at infinity as drained
+// (Simulation::dispatch_one).
+constexpr sim::SimTime kNever = std::numeric_limits<double>::infinity();
+
+// Completion closure shared by the attach-time parked event and the
+// reschedule fallback push. Captures the simulation, not the machine: the
+// closure outlives any number of reschedules (and possibly a migration off
+// the original host), and the simulation is the only state it needs.
+std::function<void()> completion_handler(sim::Simulation& sim,
+                                         const WorkloadPtr& workload) {
+  std::weak_ptr<Workload> weak = workload;
+  return [&sim, weak]() {
+    WorkloadPtr w = weak.lock();
+    if (!w || w->done()) return;
+    w->finish(sim.now());
+    if (w->site() != nullptr) w->site()->remove(w.get());
+    // Move the callback out before invoking: a completed workload must not
+    // keep its completion closure (and the flow state / shared_ptrs it
+    // captures) alive, or HDFS flows form reference cycles that leak.
+    auto fire = std::move(w->on_complete);
+    w->on_complete = nullptr;
+    if (fire) fire();
+  };
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------- Site ----
@@ -114,6 +171,20 @@ void ExecutionSite::add(WorkloadPtr workload) {
   workload->last_settle_ = now;
   workload->started_at_ = now;
   workloads_.push_back(std::move(workload));
+  const WorkloadPtr& added = workloads_.back();
+  if (added->finite() && !added->done()) {
+    // Reserve the completion event — and with it the event's FIFO
+    // tie-break seat — here, at mutation time, parked at "never"; the
+    // first recompute defers it in place to the real finish time.
+    // Creating the event inside the recompute instead would order its
+    // seat by *recompute* time, which differs between eager (per
+    // mutation) and deferred (per drain) reallocation and would make
+    // same-time event ties — and therefore entire schedules — depend on
+    // the reallocation mode.
+    added->completion_time = kNever;
+    added->completion_event =
+        simulation().at(kNever, completion_handler(simulation(), added));
+  }
   reallocate();
 }
 
@@ -204,12 +275,15 @@ void VirtualMachine::set_migrating(bool migrating) {
 
 Resources VirtualMachine::aggregate_demand() const {
   if (paused_) return {};
+  if (!agg_dirty_) return agg_cache_;
   Resources sum = total_demand();
   Resources limit = caps_;
   limit.cpu = std::min(limit.cpu, vcpus_);
   limit.memory = std::min(limit.memory, memory_mb_.value());
   if (!dom0_) limit.net = std::min(limit.net, cal_.vm_net_cap_mbps);
-  return sum.clamped_to(limit);
+  agg_cache_ = sum.clamped_to(limit);
+  agg_dirty_ = false;
+  return agg_cache_;
 }
 
 bool VirtualMachine::doing_io() const {
@@ -262,17 +336,23 @@ void VirtualMachine::distribute(sim::SimTime now, const Resources& grant,
   const double migration_factor =
       migrating_ ? 1.0 - cal_.migration_guest_slowdown : 1.0;
   // Water-fill each resource of the grant across the effective demands,
-  // into scratch reused across recomputes.
+  // into scratch reused across recomputes. Demands are gathered in one
+  // pass (one member deref each) and the per-kind columns read from the
+  // contiguous copy, mirroring Machine::recompute's gather.
   const std::size_t n = workloads_.size();
   split_alloc_.resize(n);
+  split_eff_.resize(n);
   split_demand_.resize(n);
   split_out_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    split_eff_[i] = workloads_[i]->effective_demand();
+  }
   for (int r = 0; r < kNumResources; ++r) {
     const auto kind = static_cast<ResourceKind>(r);
     for (std::size_t i = 0; i < n; ++i) {
-      split_demand_[i] = workloads_[i]->effective_demand()[kind];
+      split_demand_[i] = split_eff_[i][kind];
     }
-    waterfill_into(grant[kind], split_demand_, split_out_, split_wf_);
+    waterfill_into(grant[kind], split_demand_, split_out_, split_wf_[r]);
     for (std::size_t i = 0; i < n; ++i) split_alloc_[i][kind] = split_out_[i];
   }
   for (std::size_t i = 0; i < n; ++i) {
@@ -316,11 +396,14 @@ void Machine::attach_vm(VirtualMachine* vm) {
 void Machine::detach_vm(VirtualMachine* vm) {
   auto it = std::find(vms_.begin(), vms_.end(), vm);
   if (it == vms_.end()) return;
-  // Freeze the VM's workloads: settle, zero speeds, cancel events.
+  // Freeze the VM's workloads: settle, zero speeds, park completion events
+  // at "never" (keeping their tie-break seats for re-attachment).
   vm->settle_all(sim_.now());
   for (const auto& w : vm->workloads()) {
-    sim_.cancel(w->completion_event);
-    w->completion_event = {};
+    if (w->completion_event.valid() && sim_.defer(w->completion_event,
+                                                  kNever)) {
+      w->completion_time = kNever;
+    }
     w->apply_allocation(sim_.now(), {}, 0);
   }
   vm->attach_to(nullptr);
@@ -360,15 +443,21 @@ double Machine::utilization(ResourceKind kind) const {
 }
 
 void Machine::reschedule(const WorkloadPtr& workload) {
-  if (!workload->finite() || workload->done() || workload->speed() <= 0) {
+  if (!workload->finite() || workload->done()) {
     if (workload->completion_event.valid()) {
       sim_.cancel(workload->completion_event);
       workload->completion_event = {};
     }
     return;
   }
+  // A stalled workload (zero speed: paused, capped to nothing, starved)
+  // completes "never": park its event at infinity rather than cancelling
+  // it, so the event keeps its original tie-break seat for when an
+  // allocation revives it.
   const sim::SimTime target =
-      sim_.now() + (workload->remaining() / workload->speed()).value();
+      workload->speed() <= 0
+          ? kNever
+          : sim_.now() + (workload->remaining() / workload->speed()).value();
   if (workload->completion_event.valid() &&
       sim::same_time(target, workload->completion_time)) {
     // The recompute left this workload's finish time where it was; keep
@@ -380,22 +469,40 @@ void Machine::reschedule(const WorkloadPtr& workload) {
     }
     return;
   }
+  if (workload->completion_event.valid()) {
+    if (!eager_reschedule_ && sim_.defer(workload->completion_event, target)) {
+      // Lazy path: the pending event moves in place (O(1) when postponing);
+      // no cancel/re-push heap surgery. A false return means the id went
+      // stale (fired or cancelled), so fall through to a fresh push.
+      workload->completion_time = target;
+      ++reschedule_defers_;
+      if (prof_ != nullptr) {
+        prof_->add(telemetry::WorkCounter::kRescheduleDeferred);
+      }
+      return;
+    }
+    if (eager_reschedule_) {
+      // Reference mode: genuine cancel + re-push heap surgery, but at the
+      // event's original tie-break seat — tie order must be a property of
+      // the workload, not of the reschedule policy, or the two modes would
+      // diverge on same-time completion collisions.
+      if (const sim::EventId moved =
+              sim_.repush(workload->completion_event, target);
+          moved.valid()) {
+        workload->completion_event = moved;
+        workload->completion_time = target;
+        if (prof_ != nullptr) {
+          prof_->add(telemetry::WorkCounter::kReschedulePushed);
+        }
+        return;
+      }
+    }
+  }
   if (prof_ != nullptr) prof_->add(telemetry::WorkCounter::kReschedulePushed);
   sim_.cancel(workload->completion_event);
   workload->completion_time = target;
-  std::weak_ptr<Workload> weak = workload;
-  workload->completion_event = sim_.at(target, [this, weak]() {
-    WorkloadPtr w = weak.lock();
-    if (!w || w->done()) return;
-    w->finish(sim_.now());
-    if (w->site() != nullptr) w->site()->remove(w.get());
-    // Move the callback out before invoking: a completed workload must not
-    // keep its completion closure (and the flow state / shared_ptrs it
-    // captures) alive, or HDFS flows form reference cycles that leak.
-    auto fire = std::move(w->on_complete);
-    w->on_complete = nullptr;
-    if (fire) fire();
-  });
+  workload->completion_event =
+      sim_.at(target, completion_handler(sim_, workload));
 }
 
 void Machine::recompute(RecomputeCause cause) {
@@ -446,7 +553,8 @@ void Machine::recompute(RecomputeCause cause) {
   for (int r = 0; r < kNumResources; ++r) {
     const auto kind = static_cast<ResourceKind>(r);
     for (std::size_t i = 0; i < n; ++i) scratch_d_[i] = scratch_demands_[i][kind];
-    waterfill_into(capacity_[kind], scratch_d_, scratch_alloc_, scratch_wf_);
+    waterfill_into(capacity_[kind], scratch_d_, scratch_alloc_,
+                   scratch_wf_[r]);
     for (std::size_t i = 0; i < n; ++i) scratch_grants_[i][kind] = scratch_alloc_[i];
   }
 
@@ -458,10 +566,14 @@ void Machine::recompute(RecomputeCause cause) {
     reschedule(w);
   }
 
-  // 5. Let each VM distribute its grant internally.
+  // 5. Let each VM distribute its grant internally. The I/O-activity census
+  // reuses the demands gathered in step 2 rather than re-aggregating per VM
+  // (when unpowered the gathered demand is zero, but so is every grant, so
+  // the efficiency factor it feeds is unobservable).
   int active_io_vms = 0;
-  for (auto* vm : vms_) {
-    if (vm->doing_io()) ++active_io_vms;
+  for (std::size_t j = 0; j < vms_.size(); ++j) {
+    const Resources& d = scratch_demands_[n_native + j];
+    if (d.disk + d.net > 1.0) ++active_io_vms;  // > 1 MB/s = active I/O
   }
   for (std::size_t j = 0; j < vms_.size(); ++j) {
     vms_[j]->distribute(now, scratch_grants_[n_native + j], active_io_vms);

@@ -14,6 +14,7 @@
 // workload's finish time actually changed.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -50,9 +51,17 @@ enum class RecomputeCause {
 };
 
 /// Reusable sort-order scratch for waterfill_into(): hot callers keep one
-/// per call site so steady-state allocation is zero.
+/// per call site so steady-state allocation is zero. Doubles as a memo of
+/// the last fill through this scratch: identical capacity + demands replay
+/// the previous allocation (a pure function of those inputs), so a VM
+/// redistributing an unchanged grant across unchanged member demands skips
+/// the sort entirely.
 struct WaterfillScratch {
   std::vector<std::uint32_t> order;
+  double last_capacity = -1;
+  std::vector<double> last_demands;
+  std::vector<double> last_out;
+  bool valid = false;
 };
 
 /// Max-min fair ("water-filling") split of `capacity` across `demands`,
@@ -82,8 +91,15 @@ class ExecutionSite {
 
   /// Marks the physical machine underneath for reallocation (deferred and
   /// coalesced; recomputes immediately in eager mode or without a
-  /// coordinator).
-  void reallocate();
+  /// coordinator). Virtual so a VM can invalidate its aggregate-demand
+  /// cache on the same mutations that dirty the host.
+  virtual void reallocate();
+
+  /// Drops any cached view of member demands *without* scheduling a
+  /// reallocation. Workload::finish() zeroes its effective demand outside
+  /// the reallocate() funnel (the removal that follows reallocates), so it
+  /// calls this to keep a read-barrier recompute in between exact.
+  virtual void invalidate_demand_cache() {}
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] virtual sim::Simulation& simulation() = 0;
@@ -145,8 +161,16 @@ class VirtualMachine : public ExecutionSite {
   void set_migrating(bool migrating);
   [[nodiscard]] bool migrating() const { return migrating_; }
 
-  /// Aggregate demand this VM presents to its host.
+  /// Aggregate demand this VM presents to its host. Cached: every mutation
+  /// that can change it (member add/remove/demand/caps/pause, VM caps or
+  /// pause) funnels through reallocate(), which drops the cache.
   [[nodiscard]] Resources aggregate_demand() const;
+
+  void reallocate() override {
+    agg_dirty_ = true;
+    ExecutionSite::reallocate();
+  }
+  void invalidate_demand_cache() override { agg_dirty_ = true; }
 
   /// True when the VM is presently generating disk/net demand.
   [[nodiscard]] bool doing_io() const;
@@ -179,11 +203,18 @@ class VirtualMachine : public ExecutionSite {
   // Buffer-cache model: exponentially decayed volume of recent I/O.
   sim::MegaBytes recent_io_mb_;
   sim::SimTime last_decay_ = 0;
-  // Scratch for distribute(): reused across recomputes.
+  // aggregate_demand() memo (see reallocate()).
+  mutable Resources agg_cache_{};
+  mutable bool agg_dirty_ = true;
+  // Scratch for distribute(): reused across recomputes. One waterfill
+  // scratch per resource kind — the per-kind demand vectors differ, so a
+  // shared scratch would thrash its memo 4x per distribute and never
+  // replay across recomputes.
   std::vector<Resources> split_alloc_;
+  std::vector<Resources> split_eff_;
   std::vector<double> split_demand_;
   std::vector<double> split_out_;
-  WaterfillScratch split_wf_;
+  std::array<WaterfillScratch, kNumResources> split_wf_;
 };
 
 /// A physical server. Root of the allocation hierarchy.
@@ -273,6 +304,16 @@ class Machine : public ExecutionSite {
   [[nodiscard]] std::uint64_t reschedule_skips() const {
     return reschedule_skips_;
   }
+  /// Completion events moved in place via EventQueue::defer instead of
+  /// cancel+re-push (tests/benchmarks).
+  [[nodiscard]] std::uint64_t reschedule_defers() const {
+    return reschedule_defers_;
+  }
+
+  /// Eager mode cancels and re-pushes the completion event on every
+  /// finish-time change (pre-defer behavior, kept for the equivalence
+  /// test); lazy mode defer()s the pending event in place.
+  void set_eager_reschedule(bool eager) { eager_reschedule_ = eager; }
 
   /// (Re)schedules the completion event of a finite workload hosted
   /// anywhere on this machine. No-op when the recomputed finish time
@@ -310,16 +351,20 @@ class Machine : public ExecutionSite {
   // thread once the sim is quiesced (drained => false => no recompute);
   // while events dispatch it is sim-thread-only like everything else here.
   bool dirty_ = false;
+  bool eager_reschedule_ = false;
   std::uint64_t recompute_count_ = 0;
   std::uint64_t reschedule_skips_ = 0;
+  std::uint64_t reschedule_defers_ = 0;
 
   // recompute() scratch, reused across passes (allocation-free steady
-  // state; sized to native workloads + VMs).
+  // state; sized to native workloads + VMs). Per-kind waterfill scratches
+  // so each resource's memo survives the 4-kind interleave (see
+  // VirtualMachine::split_wf_).
   std::vector<Resources> scratch_demands_;
   std::vector<Resources> scratch_grants_;
   std::vector<double> scratch_d_;
   std::vector<double> scratch_alloc_;
-  WaterfillScratch scratch_wf_;
+  std::array<WaterfillScratch, kNumResources> scratch_wf_;
 
   // Cached telemetry metric handles (null when telemetry is not wired).
   telemetry::TimeSeriesMetric* tel_cpu_ = nullptr;

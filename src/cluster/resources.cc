@@ -18,77 +18,6 @@ const char* to_string(ResourceKind kind) {
   return "?";
 }
 
-double& Resources::operator[](ResourceKind kind) {
-  switch (kind) {
-    case ResourceKind::kCpu:
-      return cpu;
-    case ResourceKind::kMemory:
-      return memory;
-    case ResourceKind::kDisk:
-      return disk;
-    case ResourceKind::kNet:
-      return net;
-  }
-  return cpu;  // unreachable
-}
-
-double Resources::operator[](ResourceKind kind) const {
-  return const_cast<Resources&>(*this)[kind];
-}
-
-Resources& Resources::operator+=(const Resources& o) {
-  cpu += o.cpu;
-  memory += o.memory;
-  disk += o.disk;
-  net += o.net;
-  return *this;
-}
-
-Resources& Resources::operator-=(const Resources& o) {
-  cpu -= o.cpu;
-  memory -= o.memory;
-  disk -= o.disk;
-  net -= o.net;
-  return *this;
-}
-
-Resources Resources::operator*(double k) const {
-  return {cpu * k, memory * k, disk * k, net * k};
-}
-
-Resources Resources::min(const Resources& o) const {
-  return {std::min(cpu, o.cpu), std::min(memory, o.memory),
-          std::min(disk, o.disk), std::min(net, o.net)};
-}
-
-bool Resources::fits_in(const Resources& o, double eps) const {
-  return cpu <= o.cpu + eps && memory <= o.memory + eps &&
-         disk <= o.disk + eps && net <= o.net + eps;
-}
-
-double Resources::dominant_share(const Resources& capacity) const {
-  double share = 0;
-  for (int i = 0; i < kNumResources; ++i) {
-    const auto kind = static_cast<ResourceKind>(i);
-    const double cap = capacity[kind];
-    if (cap > 0) share = std::max(share, (*this)[kind] / cap);
-  }
-  return share;
-}
-
-Resources Resources::clamped_to(const Resources& hi) const {
-  Resources out;
-  for (int i = 0; i < kNumResources; ++i) {
-    const auto kind = static_cast<ResourceKind>(i);
-    out[kind] = std::clamp((*this)[kind], 0.0, hi[kind]);
-  }
-  return out;
-}
-
-bool Resources::is_zero(double eps) const {
-  return cpu < eps && memory < eps && disk < eps && net < eps;
-}
-
 std::string Resources::to_string() const {
   char buf[128];
   std::snprintf(buf, sizeof(buf),

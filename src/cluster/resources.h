@@ -30,30 +30,85 @@ struct Resources {
     return {inf, inf, inf, inf};
   }
 
-  double& operator[](ResourceKind kind);
-  double operator[](ResourceKind kind) const;
+  // The arithmetic below is defined inline: these run inside the per-kind
+  // water-fill loops of Machine::recompute/VirtualMachine::distribute
+  // (hundreds of millions of calls per scale/96 run), where a cross-TU
+  // call is measurable.
+  double& operator[](ResourceKind kind) {
+    switch (kind) {
+      case ResourceKind::kCpu:
+        return cpu;
+      case ResourceKind::kMemory:
+        return memory;
+      case ResourceKind::kDisk:
+        return disk;
+      case ResourceKind::kNet:
+        return net;
+    }
+    return cpu;  // unreachable
+  }
+  double operator[](ResourceKind kind) const {
+    return const_cast<Resources&>(*this)[kind];
+  }
 
-  Resources& operator+=(const Resources& o);
-  Resources& operator-=(const Resources& o);
+  Resources& operator+=(const Resources& o) {
+    cpu += o.cpu;
+    memory += o.memory;
+    disk += o.disk;
+    net += o.net;
+    return *this;
+  }
+  Resources& operator-=(const Resources& o) {
+    cpu -= o.cpu;
+    memory -= o.memory;
+    disk -= o.disk;
+    net -= o.net;
+    return *this;
+  }
   friend Resources operator+(Resources a, const Resources& b) { return a += b; }
   friend Resources operator-(Resources a, const Resources& b) { return a -= b; }
-  Resources operator*(double k) const;
+  Resources operator*(double k) const {
+    return {cpu * k, memory * k, disk * k, net * k};
+  }
 
   /// Component-wise minimum.
-  [[nodiscard]] Resources min(const Resources& o) const;
+  [[nodiscard]] Resources min(const Resources& o) const {
+    return {std::min(cpu, o.cpu), std::min(memory, o.memory),
+            std::min(disk, o.disk), std::min(net, o.net)};
+  }
 
   /// True when every component of *this is <= the matching one of `o`
   /// (with a small tolerance).
-  [[nodiscard]] bool fits_in(const Resources& o, double eps = 1e-9) const;
+  [[nodiscard]] bool fits_in(const Resources& o, double eps = 1e-9) const {
+    return cpu <= o.cpu + eps && memory <= o.memory + eps &&
+           disk <= o.disk + eps && net <= o.net + eps;
+  }
 
   /// Largest component-wise ratio this/capacity (0 where capacity is 0).
   /// This is the "dominant share" used by placement heuristics.
-  [[nodiscard]] double dominant_share(const Resources& capacity) const;
+  [[nodiscard]] double dominant_share(const Resources& capacity) const {
+    double share = 0;
+    for (int i = 0; i < kNumResources; ++i) {
+      const auto kind = static_cast<ResourceKind>(i);
+      const double cap = capacity[kind];
+      if (cap > 0) share = std::max(share, (*this)[kind] / cap);
+    }
+    return share;
+  }
 
   /// Clamps all components into [0, hi component-wise].
-  [[nodiscard]] Resources clamped_to(const Resources& hi) const;
+  [[nodiscard]] Resources clamped_to(const Resources& hi) const {
+    Resources out;
+    for (int i = 0; i < kNumResources; ++i) {
+      const auto kind = static_cast<ResourceKind>(i);
+      out[kind] = std::clamp((*this)[kind], 0.0, hi[kind]);
+    }
+    return out;
+  }
 
-  [[nodiscard]] bool is_zero(double eps = 1e-12) const;
+  [[nodiscard]] bool is_zero(double eps = 1e-12) const {
+    return cpu < eps && memory < eps && disk < eps && net < eps;
+  }
 
   [[nodiscard]] std::string to_string() const;
 };

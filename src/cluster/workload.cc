@@ -11,26 +11,30 @@ Workload::Workload(std::string name, Resources demand, sim::Duration work)
     : name_(std::move(name)),
       demand_(demand),
       total_work_(work.value()),
-      remaining_(work < sim::Duration{0} ? kService.value() : work.value()) {}
+      remaining_(work < sim::Duration{0} ? kService.value() : work.value()) {
+  refresh_eff_demand();
+}
+
+void Workload::refresh_eff_demand() {
+  eff_demand_ = (paused_ || done_) ? Resources{} : demand_.min(caps_);
+}
 
 void Workload::set_demand(const Resources& demand) {
   demand_ = demand;
+  refresh_eff_demand();
   if (site_ != nullptr) site_->reallocate();
 }
 
 void Workload::set_caps(const Resources& caps) {
   caps_ = caps;
+  refresh_eff_demand();
   if (site_ != nullptr) site_->reallocate();
-}
-
-Resources Workload::effective_demand() const {
-  if (paused_ || done_) return {};
-  return demand_.min(caps_);
 }
 
 void Workload::set_paused(bool paused) {
   if (paused_ == paused) return;
   paused_ = paused;
+  refresh_eff_demand();
   if (site_ != nullptr) site_->reallocate();
 }
 
@@ -70,26 +74,6 @@ const Resources& Workload::allocated() const {
   return allocated_;
 }
 
-double Workload::settle(sim::SimTime now) {
-  const double dt = now - last_settle_;
-  last_settle_ = now;
-  if (dt <= 0 || done_) return 0;
-  if (finite()) {
-    remaining_ = std::max(0.0, remaining_ - dt * speed_);
-  }
-  cpu_seconds_ += allocated_.cpu * dt;
-  const double io = (allocated_.disk + allocated_.net) * dt;
-  io_mb_ += io;
-  return io;
-}
-
-void Workload::apply_allocation(sim::SimTime now, const Resources& alloc,
-                                double speed) {
-  last_settle_ = now;
-  allocated_ = alloc;
-  speed_ = done_ ? 0 : speed;
-}
-
 void Workload::finish(sim::SimTime now) {
   // Settle at the *current* rates: drain any deferred recompute first so
   // the interval accrues exactly as it would have under eager reallocation.
@@ -99,6 +83,11 @@ void Workload::finish(sim::SimTime now) {
   done_ = true;
   speed_ = 0;
   allocated_ = {};
+  refresh_eff_demand();
+  // The demand change above bypasses reallocate() (the removal that
+  // follows reallocates); drop any site-side demand cache now so a read
+  // barrier in between cannot observe the pre-finish demand.
+  if (site_ != nullptr) site_->invalidate_demand_cache();
 }
 
 }  // namespace hybridmr::cluster

@@ -41,8 +41,13 @@ class Workload {
   /// caps). Triggers a reallocation if attached.
   [[nodiscard]] const Resources& caps() const { return caps_; }
   void set_caps(const Resources& caps);
-  /// Demand after caps and pause are applied.
-  [[nodiscard]] Resources effective_demand() const;
+  /// Demand after caps and pause are applied. Cached: recomputed only when
+  /// demand/caps/pause/done change, because the reallocation engine reads
+  /// this several times per member per recompute (gather, VM distribute per
+  /// resource, I/O-activity census).
+  [[nodiscard]] const Resources& effective_demand() const {
+    return eff_demand_;
+  }
 
   // --- pause (IPS action) ---
   [[nodiscard]] bool paused() const { return paused_; }
@@ -71,11 +76,9 @@ class Workload {
   // reallocation. Call host_machine()->settle_now() first for an exact
   // reading at an arbitrary instant.
   [[nodiscard]] sim::Duration cpu_seconds_used() const {
-    return sim::Duration{cpu_seconds_};
+    return cpu_seconds_;
   }
-  [[nodiscard]] sim::MegaBytes io_mb_done() const {
-    return sim::MegaBytes{io_mb_};
-  }
+  [[nodiscard]] sim::MegaBytes io_mb_done() const { return io_mb_; }
   [[nodiscard]] sim::SimTime started_at() const { return started_at_; }
 
   /// Invoked (by the hosting machine) when the work completes; the workload
@@ -89,29 +92,54 @@ class Workload {
 
   /// Accrues progress and usage for the interval since the last settle, at
   /// the current speed/allocation. Returns MB of I/O performed in the
-  /// interval (for the VM buffer-cache model).
-  double settle(sim::SimTime now);
+  /// interval (for the VM buffer-cache model). Inline: the reallocation
+  /// engine calls this once per resident workload per recompute.
+  double settle(sim::SimTime now) {
+    const double dt = now - last_settle_;
+    last_settle_ = now;
+    if (dt <= 0 || done_) return 0;
+    if (finite()) {
+      remaining_ = remaining_ - dt * speed_ > 0 ? remaining_ - dt * speed_ : 0;
+    }
+    cpu_seconds_ += sim::Duration{allocated_.cpu * dt};
+    const double io = (allocated_.disk + allocated_.net) * dt;
+    io_mb_ += sim::MegaBytes{io};
+    return io;
+  }
 
   /// Installs the new allocation and speed (after settle).
   void apply_allocation(sim::SimTime now, const Resources& alloc,
-                        double speed);
+                        double speed) {
+    last_settle_ = now;
+    allocated_ = alloc;
+    speed_ = done_ ? 0 : speed;
+  }
 
   /// Marks the workload complete (settles first).
   void finish(sim::SimTime now);
 
-  /// Completion event handle, owned by the scheduling machine.
+  /// Completion event handle, owned by the scheduling machine. For a
+  /// finite workload it is created (parked at infinity) the moment the
+  /// workload attaches to a site — reserving the event's FIFO tie-break
+  /// seat at mutation time, independent of when the reallocation engine
+  /// gets around to computing the real finish time — and lives until the
+  /// workload fires or is removed. Reallocations move it in place
+  /// (EventQueue::defer); a stalled workload parks back at infinity.
   sim::EventId completion_event;
   /// Absolute finish time of the scheduled completion event (valid while
-  /// completion_event is). Machine::reschedule() skips the cancel+push
-  /// when a reallocation leaves this unchanged.
+  /// completion_event is; infinity while parked). Machine::reschedule()
+  /// skips all queue work when a reallocation leaves this unchanged.
   sim::SimTime completion_time = 0;
 
  private:
   friend class ExecutionSite;
 
+  void refresh_eff_demand();
+
   std::string name_;
   Resources demand_;
   Resources caps_ = Resources::unbounded();
+  Resources eff_demand_{};
   double total_work_;
   double remaining_;
   bool done_ = false;
@@ -120,8 +148,8 @@ class Workload {
   Resources allocated_{};
   sim::SimTime last_settle_ = 0;
   sim::SimTime started_at_ = 0;
-  double cpu_seconds_ = 0;
-  double io_mb_ = 0;
+  sim::Duration cpu_seconds_;
+  sim::MegaBytes io_mb_;
   ExecutionSite* site_ = nullptr;
 };
 

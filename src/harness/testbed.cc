@@ -40,10 +40,12 @@ TestBed::TestBed(Options options) : options_(std::move(options)) {
   cluster_ = std::make_unique<cluster::HybridCluster>(*sim_,
                                                       options_.calibration);
   cluster_->set_eager_reallocation(options_.eager_reallocation);
+  cluster_->set_eager_reschedule(options_.eager_reschedule);
   hdfs_ = std::make_unique<storage::Hdfs>(*sim_, options_.calibration);
   mapred::MapReduceEngine::Options mr_options;
   mr_options.speculative_execution = options_.speculative_execution;
   mr_options.max_attempts = options_.max_task_attempts;
+  mr_options.naive_dispatch = options_.naive_dispatch;
   mr_ = std::make_unique<mapred::MapReduceEngine>(
       *sim_, *hdfs_, options_.calibration,
       mapred::make_scheduler(options_.scheduler), mr_options);
@@ -193,6 +195,7 @@ telemetry::RunReport TestBed::report(
   report.clamped_past_events = sim_->clamped_past_events();
   report.events_scheduled = sim_->events_scheduled();
   report.events_cancelled = sim_->events_cancelled();
+  report.events_deferred = sim_->events_deferred();
   report.max_queue_depth = sim_->max_queue_depth();
   report.max_event_fanout = sim_->max_event_fanout();
   report.flush_scheduled_events = sim_->flush_scheduled_events();

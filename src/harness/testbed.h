@@ -47,6 +47,14 @@ class TestBed {
     bool eager_reallocation = false;
     /// Retry bound forwarded to MapReduceEngine::Options::max_attempts.
     int max_task_attempts = 4;
+    /// Dispatch by full tracker re-scan instead of the free-slot offer set
+    /// (forwarded to MapReduceEngine::Options::naive_dispatch). Slower;
+    /// kept for the placement-equivalence test.
+    bool naive_dispatch = false;
+    /// Cancel/re-push workload completion events eagerly instead of the
+    /// lazy postpone-in-place path (forwarded to the cluster's machines).
+    /// Slower; kept for the reschedule-equivalence test.
+    bool eager_reschedule = false;
     /// Fault plan executed against the run; an empty schedule (default)
     /// constructs no injector at all.
     faults::FaultSchedule faults{};

@@ -33,15 +33,17 @@ TaskTracker* MapReduceEngine::add_tracker(cluster::ExecutionSite& site,
   trackers_.push_back(std::make_unique<TaskTracker>(
       *this, site, map_slots >= 0 ? map_slots : cal_.map_slots_per_node,
       reduce_slots >= 0 ? reduce_slots : cal_.reduce_slots_per_node));
-  return trackers_.back().get();
+  TaskTracker* tr = trackers_.back().get();
+  tr->index_ = static_cast<std::uint32_t>(trackers_.size() - 1);
+  tracker_by_site_.emplace(&tr->site(), tr);
+  update_offer(*tr);
+  return tr;
 }
 
 TaskTracker* MapReduceEngine::tracker_on(
     const cluster::ExecutionSite& site) const {
-  for (const auto& tr : trackers_) {
-    if (&tr->site() == &site) return tr.get();
-  }
-  return nullptr;
+  auto it = tracker_by_site_.find(&site);
+  return it == tracker_by_site_.end() ? nullptr : it->second;
 }
 
 bool MapReduceEngine::remove_tracker(cluster::ExecutionSite& site) {
@@ -55,7 +57,34 @@ bool MapReduceEngine::remove_tracker(cluster::ExecutionSite& site) {
     for (const auto& t : job->reduces()) t->banned_trackers.erase(it->get());
   }
   trackers_.erase(it);
+  rebuild_dispatch_index();  // erase shifted every index after `it`
   return true;
+}
+
+void MapReduceEngine::update_offer(TaskTracker& tracker) {
+  const bool ok = !tracker.blacklisted_;
+  if (ok && tracker.free_slots(TaskType::kMap) > 0) {
+    offer_map_.insert(tracker.index_);
+  } else {
+    offer_map_.erase(tracker.index_);
+  }
+  if (ok && tracker.free_slots(TaskType::kReduce) > 0) {
+    offer_reduce_.insert(tracker.index_);
+  } else {
+    offer_reduce_.erase(tracker.index_);
+  }
+}
+
+void MapReduceEngine::rebuild_dispatch_index() {
+  tracker_by_site_.clear();
+  offer_map_.clear();
+  offer_reduce_.clear();
+  for (std::size_t i = 0; i < trackers_.size(); ++i) {
+    TaskTracker* tr = trackers_[i].get();
+    tr->index_ = static_cast<std::uint32_t>(i);
+    tracker_by_site_.emplace(&tr->site(), tr);
+    update_offer(*tr);
+  }
 }
 
 int MapReduceEngine::reducers_for(const JobSpec& spec) const {
@@ -95,6 +124,8 @@ Job* MapReduceEngine::submit(const JobSpec& spec, storage::Hdfs::FileId input,
     job->reduces_.push_back(
         std::make_unique<Task>(*job, TaskType::kReduce, i));
   }
+  for (const auto& t : job->maps_) t->sync_pending();
+  for (const auto& t : job->reduces_) t->sync_pending();
 
   ++active_jobs_;
   sim::log_info(sim_.now(), "jobtracker",
@@ -122,53 +153,142 @@ std::vector<TaskAttempt*> MapReduceEngine::running_attempts() const {
   return out;
 }
 
+bool MapReduceEngine::host_gated(const TaskTracker& tracker,
+                                 std::uint64_t& tracker_scans) const {
+  const cluster::Machine* host = tracker.site().host_machine();
+  if (host == nullptr) return false;
+  // Every tracker on this host is either the host's own native site or one
+  // of its attached VMs (VirtualMachine::host_machine() is non-null exactly
+  // while listed in Machine::vms()), so summing those sites' running counts
+  // reproduces the old all-tracker co-host scan in O(VMs per host).
+  int running = 0;
+  auto add_site = [&](const cluster::ExecutionSite* site) {
+    ++tracker_scans;
+    auto it = tracker_by_site_.find(site);
+    if (it != tracker_by_site_.end()) {
+      running += static_cast<int>(it->second->running().size());
+    }
+  };
+  add_site(host);
+  for (const cluster::VirtualMachine* vm : host->vms()) add_site(vm);
+  return running >= static_cast<int>(2 * host->capacity().cpu);
+}
+
+bool MapReduceEngine::dispatch_wave(const std::vector<Job*>& jobs,
+                                    bool locality_only,
+                                    std::uint64_t& tracker_scans,
+                                    std::uint64_t& launches) {
+  bool progressed = false;
+  auto offer_tracker = [&](TaskTracker& tr) {
+    for (TaskType type : {TaskType::kMap, TaskType::kReduce}) {
+      if (tr.free_slots(type) <= 0) continue;
+      Task* task = scheduler_->pick(tr, type, jobs, hdfs_, locality_only);
+      if (task == nullptr) continue;
+      tr.launch(*task);
+      ++launches;
+      progressed = true;
+    }
+  };
+  if (options_.naive_dispatch) {
+    // Pre-index loop, kept verbatim for the equivalence test: full tracker
+    // scan per pass, with the O(trackers) co-host re-scan inside the gate.
+    auto naive_gate = [this, &tracker_scans](const TaskTracker& tr) {
+      const cluster::Machine* host = tr.site().host_machine();
+      if (host == nullptr) return false;
+      tracker_scans += trackers_.size();
+      int running = 0;
+      for (const auto& other : trackers_) {
+        if (other->site().host_machine() == host) {
+          running += static_cast<int>(other->running().size());
+        }
+      }
+      return running >= static_cast<int>(2 * host->capacity().cpu);
+    };
+    for (const auto& tr : trackers_) {
+      ++tracker_scans;
+      if (tr->blacklisted_) continue;
+      if (naive_gate(*tr)) continue;
+      offer_tracker(*tr);
+    }
+    return progressed;
+  }
+  // Indexed wave: merge-walk the two offer sets in index order — the same
+  // visit order the full scan used, with map tried before reduce on each
+  // tracker — but only while a pick of that type can possibly succeed
+  // (schedulable_pending sums the same cached pending flags pick() tests,
+  // so a zero is a proof, not a heuristic). Launches during the wave mutate
+  // the sets (slot grants drop trackers, synchronous sibling kills re-add
+  // them), so the cursor re-enters via lower_bound instead of holding an
+  // iterator; a tracker whose slot frees behind the cursor is picked up by
+  // the next wave, exactly as the full re-scan would.
+  int avail_map = schedulable_pending(TaskType::kMap);
+  int avail_reduce = schedulable_pending(TaskType::kReduce);
+  std::uint32_t pos = 0;
+  while (avail_map > 0 || avail_reduce > 0) {
+    const auto im =
+        avail_map > 0 ? offer_map_.lower_bound(pos) : offer_map_.end();
+    const auto ir = avail_reduce > 0 ? offer_reduce_.lower_bound(pos)
+                                     : offer_reduce_.end();
+    const bool have_m = im != offer_map_.end();
+    const bool have_r = ir != offer_reduce_.end();
+    if (!have_m && !have_r) break;
+    const std::uint32_t idx =
+        have_m && have_r ? std::min(*im, *ir) : (have_m ? *im : *ir);
+    TaskTracker& tr = *trackers_[idx];
+    pos = idx + 1;
+    ++tracker_scans;
+    if (host_gated(tr, tracker_scans)) continue;
+    for (TaskType type : {TaskType::kMap, TaskType::kReduce}) {
+      const int avail = type == TaskType::kMap ? avail_map : avail_reduce;
+      if (avail <= 0) continue;
+      if (tr.free_slots(type) <= 0) continue;
+      Task* task = scheduler_->pick(tr, type, jobs, hdfs_, locality_only);
+      if (task == nullptr) continue;
+      tr.launch(*task);
+      ++launches;
+      progressed = true;
+      // A launch can cascade (sibling kills, synchronous phase flips), so
+      // re-derive both counts from the job counters rather than decrement.
+      avail_map = schedulable_pending(TaskType::kMap);
+      avail_reduce = schedulable_pending(TaskType::kReduce);
+    }
+  }
+  return progressed;
+}
+
+int MapReduceEngine::schedulable_pending(TaskType type) const {
+  int n = 0;
+  for (const auto& j : jobs_) {
+    if (!scheduler_->eligible(*j, type)) continue;
+    n += type == TaskType::kMap ? j->pending_maps() : j->pending_reduces();
+  }
+  return n;
+}
+
 void MapReduceEngine::dispatch() {
   if (dispatching_) return;
   dispatching_ = true;
   telemetry::Scope prof_scope(prof_, prof_dispatch_scope_);
   std::uint64_t tracker_scans = 0;
   std::uint64_t launches = 0;
-  std::vector<Job*> jobs;
-  jobs.reserve(jobs_.size());
-  for (const auto& j : jobs_) jobs.push_back(j.get());
-
-  // Round-robin one slot per tracker per pass (mirrors heartbeat
-  // interleaving), locality round first (Hadoop's delay scheduling). A
-  // per-host concurrency cap of 2 tasks per core acts like slots sized to
-  // the hardware: it stops a host that frees a slot first from vacuuming
-  // the job's tail while other hosts still have capacity — deferred tasks
-  // are picked up on a later completion by a less-loaded host.
-  auto host_gated = [this, &tracker_scans](const TaskTracker& tr) {
-    const cluster::Machine* host = tr.site().host_machine();
-    if (host == nullptr) return false;
-    // The co-host scan visits every tracker — this inner loop is the
-    // O(trackers^2) term the profiler's tracker-scan counter exposes.
-    tracker_scans += trackers_.size();
-    int running = 0;
-    for (const auto& other : trackers_) {
-      if (other->site().host_machine() == host) {
-        running += static_cast<int>(other->running().size());
-      }
-    }
-    return running >= static_cast<int>(2 * host->capacity().cpu);
-  };
-  for (bool locality_only : {true, false}) {
-    bool progressed = true;
-    while (progressed) {
-      progressed = false;
-      for (const auto& tr : trackers_) {
-        ++tracker_scans;
-        if (tr->blacklisted_) continue;
-        if (host_gated(*tr)) continue;
-        for (TaskType type : {TaskType::kMap, TaskType::kReduce}) {
-          if (tr->free_slots(type) <= 0) continue;
-          Task* task =
-              scheduler_->pick(*tr, type, jobs, hdfs_, locality_only);
-          if (task == nullptr) continue;
-          tr->launch(*task);
-          ++launches;
-          progressed = true;
-        }
+  // Nothing to place (or nowhere to place it): scheduler->pick() cannot
+  // return a task, so skip the sweep. eligible() only admits kMapping /
+  // kReducing jobs, which active_jobs_ counts.
+  const bool can_launch =
+      active_jobs_ > 0 && (options_.naive_dispatch || !offer_map_.empty() ||
+                           !offer_reduce_.empty());
+  if (can_launch) {
+    std::vector<Job*> jobs;
+    jobs.reserve(jobs_.size());
+    for (const auto& j : jobs_) jobs.push_back(j.get());
+    // Round-robin one slot per tracker per pass (mirrors heartbeat
+    // interleaving), locality round first (Hadoop's delay scheduling). A
+    // per-host concurrency cap of 2 tasks per core acts like slots sized to
+    // the hardware: it stops a host that frees a slot first from vacuuming
+    // the job's tail while other hosts still have capacity — deferred tasks
+    // are picked up on a later completion by a less-loaded host.
+    for (bool locality_only : {true, false}) {
+      while (dispatch_wave(jobs, locality_only, tracker_scans, launches)) {
       }
     }
   }
@@ -268,8 +388,10 @@ bool MapReduceEngine::mark_tracker_lost(cluster::ExecutionSite& site) {
   TaskTracker* tr = tracker_on(site);
   if (tr == nullptr || tr->blacklisted_) return false;
   // Blacklist first so the requeues below cannot redispatch onto the dead
-  // tracker mid-teardown.
+  // tracker mid-teardown (the offer-set drop makes indexed dispatch skip it
+  // even while its slots free up).
   tr->blacklisted_ = true;
+  update_offer(*tr);
   sim::log_info(sim_.now(), "jobtracker", "tracker lost: " + site.name());
   if (tel_ != nullptr) {
     tel_->trace.instant(sim_.now(), telemetry::EventKind::kTrackerLost,
@@ -302,6 +424,7 @@ bool MapReduceEngine::restore_tracker(cluster::ExecutionSite& site) {
   TaskTracker* tr = tracker_on(site);
   if (tr == nullptr || !tr->blacklisted_) return false;
   tr->blacklisted_ = false;
+  update_offer(*tr);
   sim::log_info(sim_.now(), "jobtracker", "tracker restored: " + site.name());
   if (tel_ != nullptr) {
     tel_->trace.instant(sim_.now(), telemetry::EventKind::kTrackerRestored,
@@ -334,9 +457,10 @@ int MapReduceEngine::reexecute_lost_map_outputs(
       if (!t->completed() || t->output_site_ != &site) continue;
       // Revert to pending: the next dispatch launches a fresh attempt.
       t->completed_ = false;
-      t->duration_ = -1;
+      t->duration_ = sim::Duration{-1};
       t->output_site_ = nullptr;
       t->speculative_launched = false;
+      t->sync_pending();
       --job->maps_done_;
       ++lost;
     }
@@ -371,7 +495,8 @@ void MapReduceEngine::attempt_finished(TaskAttempt& attempt) {
   if (task.job().finished()) return;  // terminal jobs take no completions
   if (task.completed_) return;  // a sibling already won (defensive)
   task.completed_ = true;
-  task.duration_ = attempt.elapsed();
+  task.sync_pending();
+  task.duration_ = sim::Duration{attempt.elapsed()};
   task.output_site_ = &attempt.site();
   for (const auto& other : task.attempts_) {
     if (other.get() != &attempt && other->running()) other->kill();
@@ -436,10 +561,23 @@ void MapReduceEngine::audit_verify_job(const Job& job) const {
   int maps_completed = 0;
   int reduces_completed = 0;
   int running_scan = 0;
+  int pending_scan[2] = {0, 0};
   for (TaskType type : {TaskType::kMap, TaskType::kReduce}) {
     const auto& tasks = type == TaskType::kMap ? job.maps() : job.reduces();
     for (const auto& t : tasks) {
       running_scan += t->running_count();
+      const bool pending_actual = !t->completed() && t->running_count() == 0;
+      if (pending_actual) ++pending_scan[type == TaskType::kMap ? 0 : 1];
+      // The cached pending flag (what dispatch and the schedulable-count
+      // fast path consult) must agree with the defining predicate.
+      HYBRIDMR_AUDIT_CHECK(
+          t->pending() == pending_actual, "mapred.engine",
+          "pending_flag_conserved", now,
+          {{"job", job.spec().name},
+           {"task_type", type == TaskType::kMap ? "map" : "reduce"},
+           {"task", audit::num(t->index())},
+           {"cached", t->pending() ? "true" : "false"},
+           {"actual", pending_actual ? "true" : "false"}});
       const auto details = [&]() {
         return std::vector<audit::Detail>{
             {"job", job.spec().name},
@@ -468,6 +606,15 @@ void MapReduceEngine::audit_verify_job(const Job& job) const {
                        {{"job", job.spec().name},
                         {"counter", audit::num(job.running_tasks())},
                         {"scan", audit::num(running_scan)}});
+  // Likewise the per-job pending counters the dispatch fast path sums.
+  HYBRIDMR_AUDIT_CHECK(pending_scan[0] == job.pending_maps() &&
+                           pending_scan[1] == job.pending_reduces(),
+                       "mapred.engine", "pending_counter_conserved", now,
+                       {{"job", job.spec().name},
+                        {"maps_counter", audit::num(job.pending_maps())},
+                        {"maps_scan", audit::num(pending_scan[0])},
+                        {"reduces_counter", audit::num(job.pending_reduces())},
+                        {"reduces_scan", audit::num(pending_scan[1])}});
   // Conservation: the phase counters match the per-task completion flags,
   // so no completion is double-counted or lost through the shuffle.
   HYBRIDMR_AUDIT_CHECK(
@@ -568,8 +715,8 @@ void MapReduceEngine::speculation_scan() {
       double sum_rate = 0;
       int n = 0;
       for (const auto& t : tasks) {
-        if (t->completed() && t->duration() > 0) {
-          sum_rate += 1.0 / t->duration();
+        if (t->completed() && t->duration() > sim::Duration{0}) {
+          sum_rate += 1.0 / t->duration().value();
           ++n;
           continue;
         }

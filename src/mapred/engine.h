@@ -2,8 +2,11 @@
 // dispatch, phase transitions and speculative execution.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/calibration.h"
@@ -41,6 +44,11 @@ class MapReduceEngine {
     /// When a saturated ban set is forgiven on requeue, the most recent
     /// tracker stays banned for this long before being forgiven too.
     sim::Duration requeue_ban_grace_s{3.0};
+    /// Equivalence/debug mode: dispatch by re-scanning every tracker each
+    /// pass (the pre-index O(passes x trackers^2) loop) instead of walking
+    /// the free-slot offer set. Task placement must be identical either
+    /// way; mapred_test pins that byte-for-byte.
+    bool naive_dispatch = false;
   };
 
   MapReduceEngine(sim::Simulation& sim, storage::Hdfs& hdfs,
@@ -125,6 +133,11 @@ class MapReduceEngine {
 
   // --- internals used by TaskAttempt / TaskTracker ---
   void attempt_finished(TaskAttempt& attempt);
+  /// Re-derives `tracker`'s free-slot offer-set membership after a slot
+  /// grant/release or blacklist transition. Idempotent and O(log trackers);
+  /// called from TaskTracker::launch/release and the blacklist paths so the
+  /// offer set is never stale when dispatch() reads it.
+  void update_offer(TaskTracker& tracker);
   /// Telemetry hooks (no-ops without a hub).
   void note_task_started(const TaskAttempt& attempt);
   void note_attempt_released(const TaskAttempt& attempt);
@@ -162,6 +175,26 @@ class MapReduceEngine {
   TaskTracker* tracker_with_free_slot(TaskType type,
                                       const TaskTracker* exclude,
                                       const Task& task) const;
+  /// Renumbers tracker indices and rebuilds the offer set + site map after
+  /// a structural change (remove_tracker). Cold path.
+  void rebuild_dispatch_index();
+  /// Exact per-host concurrency gate in O(VMs on the host): sums the
+  /// running counts of the trackers on the host's native site and each of
+  /// its VMs via the site map (Machine::vms() is live topology, so
+  /// migration keeps this correct without hooks).
+  [[nodiscard]] bool host_gated(const TaskTracker& tracker,
+                                std::uint64_t& tracker_scans) const;
+  /// One dispatch sweep over the offer sets (or every tracker when
+  /// naive_dispatch). Returns true when anything launched.
+  bool dispatch_wave(const std::vector<Job*>& jobs, bool locality_only,
+                     std::uint64_t& tracker_scans, std::uint64_t& launches);
+  /// Pending tasks of `type` across jobs a dispatch pick may currently draw
+  /// from (kMapping jobs offer maps, kReducing jobs offer reduces — the
+  /// scheduler's eligibility rule). Sums the O(1) per-job counters, so a
+  /// wave can skip slot offers outright when this is zero: pick() consults
+  /// exactly the same cached pending flags, so a zero here proves every
+  /// pick of this type would return null.
+  [[nodiscard]] int schedulable_pending(TaskType type) const;
 
   sim::Simulation& sim_;
   storage::Hdfs& hdfs_;
@@ -169,6 +202,19 @@ class MapReduceEngine {
   std::unique_ptr<TaskScheduler> scheduler_;
   Options options_;
   std::vector<std::unique_ptr<TaskTracker>> trackers_;
+  // Dispatch index: ordered sets of tracker indices with at least one free
+  // slot of the given type (and not blacklisted), maintained incrementally
+  // by update_offer(); dispatch waves merge-walk these in index order
+  // instead of re-scanning every tracker, and consult each only while
+  // schedulable_pending() for its type is nonzero — during a saturated map
+  // phase that leaves a handful of slot offers per wave instead of the
+  // whole cluster. The site map serves O(1) tracker_on() and the per-host
+  // gate; it is only ever *looked up*, never iterated, so unordered is
+  // determinism-safe.
+  std::set<std::uint32_t> offer_map_;
+  std::set<std::uint32_t> offer_reduce_;
+  std::unordered_map<const cluster::ExecutionSite*, TaskTracker*>
+      tracker_by_site_;
   std::vector<std::unique_ptr<Job>> jobs_;
   int active_jobs_ = 0;
   bool speculation_monitor_running_ = false;

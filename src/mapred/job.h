@@ -41,6 +41,13 @@ class Job {
   [[nodiscard]] int maps_done() const { return maps_done_; }
   [[nodiscard]] int reduces_done() const { return reduces_done_; }
 
+  /// Tasks currently pending (not completed, no running attempt), by type.
+  /// O(1) counters maintained by Task::sync_pending(); the dispatch fast
+  /// path sums these across eligible jobs to skip provably-empty scans.
+  /// Audit builds cross-check them against a full task-list scan.
+  [[nodiscard]] int pending_maps() const { return pending_maps_; }
+  [[nodiscard]] int pending_reduces() const { return pending_reduces_; }
+
   /// Number of attempts currently running across all tasks. O(1): a
   /// counter maintained by TaskTracker::launch()/release() — the
   /// FairScheduler sorts every eligible job by this on every free slot of
@@ -101,6 +108,7 @@ class Job {
  private:
   friend class MapReduceEngine;
   friend class TaskTracker;
+  friend class Task;  // sync_pending() maintains the pending counters
   int id_;
   JobSpec spec_;
   JobState state_ = JobState::kPending;
@@ -109,6 +117,8 @@ class Job {
   std::vector<std::unique_ptr<Task>> reduces_;
   int maps_done_ = 0;
   int reduces_done_ = 0;
+  int pending_maps_ = 0;
+  int pending_reduces_ = 0;
   int running_attempts_ = 0;
   double submit_time_ = -1;
   double map_phase_end_ = -1;

@@ -20,11 +20,11 @@ struct JobSpec {
   double input_gb = 1.0;
 
   // Compute factors (cpu-seconds per MB processed).
-  double map_cpu_s_per_mb = 0.01;
-  double reduce_cpu_s_per_mb = 0.01;
+  sim::SecondsPerMB map_cpu_s_per_mb{0.01};
+  sim::SecondsPerMB reduce_cpu_s_per_mb{0.01};
   // Extra merge-sort cost per spill pass in the reduce (drives the
   // piecewise-nonlinear reduce-phase behaviour of Fig. 5(c)).
-  double sort_cpu_s_per_mb = 0.004;
+  sim::SecondsPerMB sort_cpu_s_per_mb{0.004};
 
   // Data-flow shape.
   double map_selectivity = 1.0;     // intermediate bytes / input bytes

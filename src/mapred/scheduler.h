@@ -28,10 +28,12 @@ class TaskScheduler {
 
   [[nodiscard]] virtual const char* name() const = 0;
 
- protected:
-  /// True if `job` has work of `type` ready to schedule.
+  /// True if `job` has work of `type` ready to schedule. Public so the
+  /// dispatcher's schedulable-pending fast path applies the exact same
+  /// eligibility rule as pick().
   static bool eligible(const Job& job, TaskType type);
 
+ protected:
   /// Picks a pending task of `type` from `job`, preferring map tasks whose
   /// input block has a replica on (or host-local to) the tracker's site.
   /// With `locality_only`, non-local map tasks are not offered at all.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <unordered_map>
 
 #include "audit/invariants.h"
 #include "mapred/engine.h"
@@ -34,6 +35,15 @@ int Task::running_count() const {
   return n;
 }
 
+void Task::sync_pending() {
+  const bool now_pending = !completed_ && running_count() == 0;
+  if (now_pending == pending_) return;
+  pending_ = now_pending;
+  int& counter =
+      type_ == TaskType::kMap ? job_->pending_maps_ : job_->pending_reduces_;
+  counter += now_pending ? 1 : -1;
+}
+
 // ------------------------------------------------------------- attempt ----
 
 TaskAttempt::TaskAttempt(Task& task, TaskTracker& tracker,
@@ -53,6 +63,7 @@ std::string TaskAttempt::label() const {
 
 void TaskAttempt::start() {
   started_ = true;
+  task_->sync_pending();
   started_at_ = engine_->sim().now();
   build_phases();
   next_phase();
@@ -72,7 +83,7 @@ void TaskAttempt::build_phases() {
     const sim::MegaBytes head_mb{0.15 * mb};
     const sim::MegaBytes body_mb = sim::MegaBytes{mb} - head_mb;
     phases_.push_back({Phase::Kind::kRead, head_mb.value(), {}});
-    const double cpu_s = mb * spec.map_cpu_s_per_mb;
+    const double cpu_s = (sim::MegaBytes{mb} * spec.map_cpu_s_per_mb).value();
     const double stream_s = std::max(
         {0.05, cpu_s, body_mb.value() / cal.hdfs_stream_disk_mbps});
     Phase stream{Phase::Kind::kStream, stream_s, {}};
@@ -91,7 +102,9 @@ void TaskAttempt::build_phases() {
         1.0,
         std::log2(1.0 + mb / std::max(1.0, spec.task_memory_mb.value())));
     const double cpu =
-        mb * (spec.reduce_cpu_s_per_mb + spec.sort_cpu_s_per_mb * spills);
+        (sim::MegaBytes{mb} *
+         (spec.reduce_cpu_s_per_mb + spec.sort_cpu_s_per_mb * spills))
+            .value();
     phases_.push_back({Phase::Kind::kCompute, std::max(0.05, cpu), {}});
     const double out = mb * spec.reduce_output_ratio;
     if (out > 0.01) phases_.push_back({Phase::Kind::kWrite, out, {}});
@@ -133,6 +146,7 @@ void TaskAttempt::next_phase() {
   phase_flow_total_ = 0;
   if (phase_idx_ >= static_cast<int>(phases_.size())) {
     finished_ = true;
+    task_->sync_pending();
     tracker_->release(this);
     engine_->attempt_finished(*this);
     return;
@@ -214,19 +228,22 @@ void TaskAttempt::begin_shuffle(sim::MegaBytes total_mb) {
   shuffle_next_ = 0;
 
   // Group this reducer's share of each map output by source site, in
-  // first-map order (pointer-keyed ordering would be nondeterministic).
+  // first-map order (pointer-keyed ordering would be nondeterministic; the
+  // unordered map is a lookup index only — the queue itself carries the
+  // deterministic order).
   const auto& maps = task_->job().maps();
   const double per_map =
       maps.empty() ? 0 : total_mb.value() / static_cast<double>(maps.size());
+  std::unordered_map<const cluster::ExecutionSite*, std::size_t> slot_of;
+  slot_of.reserve(maps.size());
   for (const auto& m : maps) {
     cluster::ExecutionSite* src = m->output_site();
     if (src == nullptr) src = &site();  // defensive: treat as local
-    auto it = std::find_if(shuffle_queue_.begin(), shuffle_queue_.end(),
-                           [src](const auto& e) { return e.first == src; });
-    if (it == shuffle_queue_.end()) {
+    const auto [it, inserted] = slot_of.emplace(src, shuffle_queue_.size());
+    if (inserted) {
       shuffle_queue_.emplace_back(src, per_map);
     } else {
-      it->second += per_map;
+      shuffle_queue_[it->second].second += per_map;
     }
   }
 #if defined(HYBRIDMR_AUDIT_ENABLED)
@@ -253,9 +270,18 @@ void TaskAttempt::begin_shuffle(sim::MegaBytes total_mb) {
 }
 
 void TaskAttempt::pump_shuffle() {
-  while (static_cast<int>(flows_.size()) < kShuffleParallelism &&
-         shuffle_next_ < shuffle_queue_.size()) {
-    auto [src, mb] = shuffle_queue_[shuffle_next_++];
+  // Launch the whole shuffle in one wave: local and loopback sources keep
+  // their individual disk-paced flows (there are O(VMs/host) of those),
+  // but every remote source folds into ONE batched flow, so a reducer's
+  // shuffle costs one completion event however many machines feed it —
+  // event count grows with reducers, not reducers x machines.
+  std::vector<std::pair<cluster::ExecutionSite*, sim::MegaBytes>> remote;
+  for (; shuffle_next_ < shuffle_queue_.size(); ++shuffle_next_) {
+    auto [src, mb] = shuffle_queue_[shuffle_next_];
+    if (src != &site() && !storage::same_host(*src, site())) {
+      remote.emplace_back(src, sim::MegaBytes{mb});
+      continue;
+    }
     auto handle = engine_->hdfs().transfer(
         *src, site(), sim::MegaBytes{mb},
         [this, mb]() { flow_completed(sim::MegaBytes{mb}); });
@@ -263,6 +289,18 @@ void TaskAttempt::pump_shuffle() {
     handle.set_caps(caps_);
     flows_.push_back({handle, sim::MegaBytes{mb}, src});
   }
+  if (remote.empty()) return;
+  sim::MegaBytes remote_mb;
+  for (const auto& [src, mb] : remote) remote_mb += mb;
+  auto handle = engine_->hdfs().transfer_batch(
+      remote, site(), [this, remote_mb]() { flow_completed(remote_mb); },
+      kShuffleParallelism);
+  if (paused_) handle.set_paused(true);
+  handle.set_caps(caps_);
+  ActiveFlow flow{handle, remote_mb};
+  flow.batch_srcs.reserve(remote.size());
+  for (const auto& [src, mb] : remote) flow.batch_srcs.push_back(src);
+  flows_.push_back(std::move(flow));
 }
 
 void TaskAttempt::flow_completed(sim::MegaBytes mb) {
@@ -358,6 +396,9 @@ bool TaskAttempt::depends_on(const cluster::ExecutionSite& s) const {
   if (&site() == &s) return true;
   for (const auto& f : flows_) {
     if (f.src == &s) return true;
+    for (const cluster::ExecutionSite* member : f.batch_srcs) {
+      if (member == &s) return true;
+    }
     const cluster::Workload* p = f.handle.primary();
     if (p != nullptr && p->site() == &s) return true;
   }
@@ -384,6 +425,7 @@ void TaskAttempt::teardown() {
 void TaskAttempt::kill() {
   if (!running()) return;
   killed_ = true;
+  task_->sync_pending();
   teardown();
   tracker_->release(this);
 }

@@ -34,8 +34,8 @@ class Task {
   [[nodiscard]] int index() const { return index_; }
 
   [[nodiscard]] bool completed() const { return completed_; }
-  /// Seconds the winning attempt ran (valid once completed).
-  [[nodiscard]] double duration() const { return duration_; }
+  /// Wall time the winning attempt ran (valid once completed).
+  [[nodiscard]] sim::Duration duration() const { return duration_; }
   /// Where the winning attempt ran (shuffle sources read map output here).
   [[nodiscard]] cluster::ExecutionSite* output_site() const {
     return output_site_;
@@ -48,10 +48,11 @@ class Task {
   [[nodiscard]] TaskAttempt* running_attempt() const;
   [[nodiscard]] int running_count() const;
   /// Pending: not completed and nothing running (never launched, or the
-  /// previous attempt was killed).
-  [[nodiscard]] bool pending() const {
-    return !completed_ && running_count() == 0;
-  }
+  /// previous attempt was killed). O(1): a cached flag reconciled by
+  /// sync_pending() at every attempt/completion transition, which also
+  /// maintains the per-job pending counters the dispatch fast path sums
+  /// (audit builds cross-check flag and counters against a full scan).
+  [[nodiscard]] bool pending() const { return pending_; }
 
   /// One speculative copy per task, like Hadoop.
   bool speculative_launched = false;
@@ -66,12 +67,18 @@ class Task {
  private:
   friend class MapReduceEngine;
   friend class TaskTracker;
+  friend class TaskAttempt;
+  /// Reconciles the cached pending flag (and the owning job's pending
+  /// counters) with the completed/running state. Idempotent — safe to call
+  /// from nested transitions (a kill inside a finish inside a launch).
+  void sync_pending();
   Job* job_;
   TaskType type_;
   int index_;
   int failed_attempts_ = 0;
   bool completed_ = false;
-  double duration_ = -1;
+  bool pending_ = false;
+  sim::Duration duration_{-1};
   cluster::ExecutionSite* output_site_ = nullptr;
   std::vector<std::unique_ptr<TaskAttempt>> attempts_;
 };
@@ -177,10 +184,14 @@ class TaskAttempt {
     // Remote site the flow pulls from (shuffle fetches); null for HDFS
     // reads/writes whose endpoints the storage layer picked.
     cluster::ExecutionSite* src = nullptr;
+    // Member sources of a batched shuffle flow (the crash path requeues
+    // this attempt when any of them dies mid-fetch).
+    std::vector<cluster::ExecutionSite*> batch_srcs;
   };
   std::vector<ActiveFlow> flows_;  // in-flight HDFS flows of this phase
-  // Shuffle fetch queue, drained with bounded parallelism (Hadoop's
-  // parallel-copies setting).
+  // Shuffle fetch plan: per-source byte shares, launched in one wave
+  // (local and loopback sources as individual flows, every remote source
+  // coalesced into one batched flow).
   std::vector<std::pair<cluster::ExecutionSite*, double>> shuffle_queue_;
   std::size_t shuffle_next_ = 0;
   sim::MegaBytes flow_done_mb_;

@@ -74,6 +74,9 @@ TaskAttempt* TaskTracker::launch(Task& task) {
   // decrements) from inside start(), so the increment must already be in.
   ++task.job().running_attempts_;
   running_.push_back(raw);
+  // Offer-set update before start() for the same reason: a synchronous
+  // finish re-derives membership from the post-release counts.
+  engine_->update_offer(*this);
   if (engine_->options().static_slot_shares) {
     raw->set_base_caps(static_slot_share(task.type()));
   }
@@ -94,6 +97,7 @@ void TaskTracker::release(TaskAttempt* attempt) {
     --running_reduces_;
   }
   --attempt->task().job().running_attempts_;
+  engine_->update_offer(*this);
   audit_verify_slots();
 }
 

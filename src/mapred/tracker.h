@@ -1,6 +1,7 @@
 // TaskTracker: per-node slot manager (Hadoop 1.x model).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "cluster/machine.h"
@@ -49,7 +50,7 @@ class TaskTracker {
   void audit_verify_slots() const;
 
  private:
-  friend class MapReduceEngine;  // blacklist management
+  friend class MapReduceEngine;  // blacklist + dispatch-index management
   MapReduceEngine* engine_;
   cluster::ExecutionSite* site_;
   int map_slots_;
@@ -57,6 +58,9 @@ class TaskTracker {
   int running_maps_ = 0;
   int running_reduces_ = 0;
   bool blacklisted_ = false;
+  // Position in the engine's trackers_ vector; keys the free-slot offer
+  // set. Assigned by add_tracker, renumbered on remove_tracker.
+  std::uint32_t index_ = 0;
   std::vector<TaskAttempt*> running_;
 };
 

@@ -36,9 +36,11 @@ EventId EventQueue::push(SimTime time, std::function<void()> fn) {
   }
   Slot& slot = slots_[index];
   slot.fn = std::move(fn);
+  slot.time = time;
+  slot.seq = next_seq_++;
   slot.live = true;
   const std::uint64_t id = make_id(index, slot.gen);
-  heap_.push(HeapItem{time, next_seq_++, id});
+  heap_.push(HeapItem{time, slot.seq, id});
   ++live_;
   ++total_pushed_;
   if (live_ > max_size_) max_size_ = live_;
@@ -54,9 +56,83 @@ bool EventQueue::cancel(EventId id) {
   return true;
 }
 
+bool EventQueue::defer(EventId id, SimTime time) {
+  gate_.assert_held();
+  Slot* slot = live_slot(id.value);
+  if (slot == nullptr) return false;
+  const bool advanced = time < slot->time;
+  // The slot keeps its ORIGINAL push seq: rescheduling never consumes a
+  // tie-break number, so same-time FIFO order is anchored to creation
+  // order and is invariant under how many times — or in which coalescing
+  // regime — an event was rescheduled on the way there. (Consuming a
+  // fresh seq here would make tie order depend on the realloc drain
+  // policy; see the realloc determinism tests.)
+  slot->time = time;
+  if (advanced) {
+    // Moving earlier: the existing heap item would surface too late, so a
+    // fresh item carries the new seat and the old one skims away as a
+    // stale duplicate when it reaches the head.
+    heap_.push(HeapItem{time, slot->seq, id.value});
+  }
+  // Postponing (or re-seating at the same time) needs no heap work at all:
+  // the stale item surfaces at its old position and skim() re-seats it.
+  ++total_deferred_;
+  return true;
+}
+
+EventId EventQueue::repush(EventId id, SimTime time) {
+  gate_.assert_held();
+  Slot* slot = live_slot(id.value);
+  if (slot == nullptr) return {};
+  const std::uint64_t seq = slot->seq;
+  std::function<void()> fn = std::move(slot->fn);
+  release(slot_index(id.value));
+  ++total_cancelled_;
+  // Fresh slot (usually the one just released, at a bumped generation),
+  // inherited seq: cancel + re-push mechanics, creation-order tie-break.
+  std::uint32_t index;
+  if (!free_slots_.empty()) {
+    index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& fresh = slots_[index];
+  fresh.fn = std::move(fn);
+  fresh.time = time;
+  fresh.seq = seq;
+  fresh.live = true;
+  const std::uint64_t new_id = make_id(index, fresh.gen);
+  heap_.push(HeapItem{time, seq, new_id});
+  ++live_;
+  ++total_pushed_;
+  if (live_ > max_size_) max_size_ = live_;
+  return EventId{new_id};
+}
+
 void EventQueue::skim() {
-  while (!heap_.empty() && live_slot(heap_.top().id) == nullptr) {
-    heap_.pop();
+  while (!heap_.empty()) {
+    const HeapItem top = heap_.top();
+    const Slot* slot = live_slot(top.id);
+    if (slot == nullptr) {
+      heap_.pop();  // cancelled, fired, or a defer()-superseded duplicate
+      continue;
+    }
+    if (slot->time > top.time) {
+      // Stale seat (the slot was postponed since this item was inserted):
+      // re-insert at the authoritative time, carrying the slot's original
+      // seq. Conservation counters are untouched — same event, new seat.
+      // A duplicate of an already present authoritative item is benign:
+      // the first to surface fires and releases the slot, the second
+      // skims away dead. (slot->time < top.time cannot happen for a live
+      // slot: every live slot always has at least one heap item at or
+      // before its authoritative time, which would sit above this one.)
+      heap_.pop();
+      heap_.push(HeapItem{slot->time, slot->seq, top.id});
+      continue;
+    }
+    break;
   }
 }
 

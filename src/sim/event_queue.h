@@ -63,6 +63,36 @@ class EventQueue {
   /// was already cancelled, or the id is invalid.
   bool cancel(EventId id);
 
+  /// Moves a pending event to absolute time `time` without cancelling it
+  /// (the handler and its id stay valid). Returns false if the event
+  /// already fired or was cancelled — callers then push() a fresh event.
+  ///
+  /// This is the lazy-deletion path that replaces cancel+push churn:
+  /// postponing is O(1) (the slot's authoritative seat is bumped and the
+  /// stale heap item is re-seated only when it surfaces at the head),
+  /// advancing pushes one extra heap item at the earlier time and lets the
+  /// superseded item skim away as a duplicate. Heap items are therefore a
+  /// *superset* of live events; only the slot's (time, seq) seat is
+  /// authoritative. defer() never consumes a tie-break seq: the event
+  /// keeps the seq it was pushed with, so same-time FIFO ties resolve in
+  /// creation order no matter how often an event was rescheduled or how
+  /// reschedules were coalesced — tie order is a property of the workload,
+  /// not of the reschedule policy. Conservation
+  /// (total_pushed == fired + cancelled + live) counts events, not heap
+  /// items, so defer() never touches those totals.
+  bool defer(EventId id, SimTime time);
+
+  /// Cancels `id` and pushes a fresh event with the same handler at `time`,
+  /// *inheriting the original tie-break seq*. Returns the new id, or an
+  /// invalid id (and does nothing) when `id` already fired or was
+  /// cancelled. This is the eager-cancel reference mode's primitive: it
+  /// exercises genuine cancel + re-push heap surgery, but keeps FIFO tie
+  /// order anchored to event-creation order exactly like defer() — tie
+  /// order is a property of the workload, not of the reschedule policy, so
+  /// the two modes stay byte-for-byte equivalent on same-time collisions.
+  /// Counts one cancellation and one push.
+  EventId repush(EventId id, SimTime time);
+
   /// True when no live (non-cancelled) events remain.
   [[nodiscard]] bool empty() const {
     gate_.assert_held();
@@ -100,6 +130,14 @@ class EventQueue {
     return total_cancelled_;
   }
 
+  /// Lifetime count of successful defer() calls (not part of the
+  /// conservation identity above; a deferred event still fires or is
+  /// cancelled exactly once).
+  [[nodiscard]] std::uint64_t total_deferred() const {
+    gate_.assert_held();
+    return total_deferred_;
+  }
+
   /// High-water mark of live events (queue-depth peak over the run).
   [[nodiscard]] std::size_t max_size() const {
     gate_.assert_held();
@@ -113,6 +151,13 @@ class EventQueue {
   // ids — fired, cancelled or cleared — can never alias a reused slot.
   struct Slot {
     std::function<void()> fn;
+    // Authoritative (time, seq) seat of the event. Heap items carry the
+    // seat they were inserted with; defer() moves only the time (seq is
+    // fixed at push) and skim() reconciles stale items when they surface,
+    // so same-time FIFO ties always resolve in event-creation order,
+    // independent of the reschedule history.
+    SimTime time = 0;
+    std::uint64_t seq = 0;
     std::uint32_t gen = 0;
     bool live = false;
   };
@@ -168,6 +213,7 @@ class EventQueue {
   std::uint64_t next_seq_ HMR_GUARDED_BY(gate_) = 0;
   std::uint64_t total_pushed_ HMR_GUARDED_BY(gate_) = 0;
   std::uint64_t total_cancelled_ HMR_GUARDED_BY(gate_) = 0;
+  std::uint64_t total_deferred_ HMR_GUARDED_BY(gate_) = 0;
   std::size_t max_size_ HMR_GUARDED_BY(gate_) = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "sim/simulation.h"
 
+#include <cmath>
 #include <limits>
 #include <utility>
 
@@ -47,6 +48,12 @@ bool Simulation::dispatch_one() {
   const std::uint64_t pushed_before_flush = queue_.total_pushed();
   flush();
   flush_scheduled_events_ += queue_.total_pushed() - pushed_before_flush;
+  // Events parked at infinity mean "never at the current allocation"
+  // (stalled workload completions, see Machine::reschedule). When nothing
+  // finite remains, the simulation is quiescent: time cannot reach those
+  // events, so the run is over. shutdown() discards them as cancelled.
+  const auto next = queue_.next_time();
+  if (!next || !std::isfinite(*next)) return false;
   auto entry = queue_.pop();
   if (!entry) return false;
   // The virtual clock only moves forward: at() clamps (or aborts, under
@@ -101,7 +108,7 @@ std::size_t Simulation::run_until(SimTime t) {
     // completions) earlier than the current head.
     flush();
     auto next = queue_.next_time();
-    if (!next || *next > t) break;
+    if (!next || *next > t || !std::isfinite(*next)) break;
     dispatch_one();
   }
   // Settle pending deferred work at the final event's timestamp before the

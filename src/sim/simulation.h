@@ -88,6 +88,46 @@ class Simulation {
   /// Cancels a pending event. Returns false if it already fired.
   bool cancel(EventId id) { return queue_.cancel(id); }
 
+  /// Moves a pending event to absolute time `t` without cancelling it
+  /// (see EventQueue::defer — O(1) when postponing, one heap push when
+  /// advancing). Returns false when the event already fired or was
+  /// cancelled; callers then schedule a fresh one with at(). Past times
+  /// clamp to now() under the same audit/log policy as at().
+  bool defer(EventId id, SimTime t) {
+    if (t < now_) {
+      HYBRIDMR_AUDIT_CHECK(false, "sim.simulation", "no_past_scheduling",
+                           now_, {{"requested_t", audit::num(t)},
+                                  {"now", audit::num(now_)}});
+      ++clamped_past_events_;
+      log_warn(now_, "sim",
+               "defer(" + std::to_string(t) +
+                   ") is in the past; clamped to now (event " +
+                   std::to_string(clamped_past_events_) + " clamped)");
+      t = now_;
+    }
+    return queue_.defer(id, t);
+  }
+
+  /// Cancels `id` and re-pushes its handler at `t`, inheriting the original
+  /// FIFO tie-break seat (see EventQueue::repush — the eager-cancel
+  /// reference mode's primitive). Returns the new id, or an invalid id when
+  /// the event already fired or was cancelled. Past times clamp to now()
+  /// under the same audit/log policy as at().
+  EventId repush(EventId id, SimTime t) {
+    if (t < now_) {
+      HYBRIDMR_AUDIT_CHECK(false, "sim.simulation", "no_past_scheduling",
+                           now_, {{"requested_t", audit::num(t)},
+                                  {"now", audit::num(now_)}});
+      ++clamped_past_events_;
+      log_warn(now_, "sim",
+               "repush(" + std::to_string(t) +
+                   ") is in the past; clamped to now (event " +
+                   std::to_string(clamped_past_events_) + " clamped)");
+      t = now_;
+    }
+    return queue_.repush(id, t);
+  }
+
   /// Registers `fn` to run every `period` seconds, first firing after
   /// `initial_delay` (defaults to one period). Cancel via the handle.
   PeriodicHandle every(SimTime period, std::function<void()> fn,
@@ -134,6 +174,11 @@ class Simulation {
   /// Total events cancelled (explicit cancel() plus shutdown() discards).
   [[nodiscard]] std::uint64_t events_cancelled() const {
     return queue_.total_cancelled();
+  }
+
+  /// Total events moved in place by defer() instead of cancel+re-push.
+  [[nodiscard]] std::uint64_t events_deferred() const {
+    return queue_.total_deferred();
   }
 
   /// Queue-depth high-water mark over the run.

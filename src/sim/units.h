@@ -36,6 +36,7 @@ namespace unit_detail {
 struct seconds_tag;
 struct megabytes_tag;
 struct mbps_tag;
+struct secs_per_mb_tag;
 struct watts_tag;
 struct joules_tag;
 struct cores_tag;
@@ -110,6 +111,8 @@ using Duration = Seconds;
 using MegaBytes = Quantity<unit_detail::megabytes_tag>;
 /// A data rate.
 using MBps = Quantity<unit_detail::mbps_tag>;
+/// Compute cost density: cpu-seconds per MB processed (job profiles).
+using SecondsPerMB = Quantity<unit_detail::secs_per_mb_tag>;
 /// Instantaneous power.
 using Watts = Quantity<unit_detail::watts_tag>;
 /// Energy.
@@ -130,6 +133,16 @@ constexpr Duration operator/(MegaBytes size, MBps rate) {
 }
 constexpr MBps operator/(MegaBytes size, Duration t) {
   return MBps{size.value() / t.value()};
+}
+
+constexpr Duration operator*(SecondsPerMB cost, MegaBytes size) {
+  return Duration{cost.value() * size.value()};
+}
+constexpr Duration operator*(MegaBytes size, SecondsPerMB cost) {
+  return cost * size;
+}
+constexpr SecondsPerMB operator/(Duration t, MegaBytes size) {
+  return SecondsPerMB{t.value() / size.value()};
 }
 
 constexpr Joules operator*(Watts p, Duration t) {

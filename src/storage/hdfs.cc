@@ -538,4 +538,47 @@ FlowHandle Hdfs::transfer(ExecutionSite& src, ExecutionSite& dst,
       std::move(secs), std::move(done));
 }
 
+FlowHandle Hdfs::transfer_batch(
+    const std::vector<std::pair<ExecutionSite*, sim::MegaBytes>>& sources,
+    ExecutionSite& dst, DoneFn done, int max_streams) {
+  assert(!sources.empty());
+  if (sources.size() == 1) {
+    return transfer(*sources.front().first, dst, sources.front().second,
+                    std::move(done));
+  }
+  if (prof_ != nullptr) {
+    prof_->add(telemetry::WorkCounter::kShuffleTransfers);
+  }
+  sim::MegaBytes total;
+  for (const auto& [src, mb] : sources) total += mb;
+  const double streams = std::min<double>(
+      max_streams, static_cast<double>(sources.size()));
+  const sim::MBps net_rate{cal_.hdfs_stream_net_mbps};
+  const sim::MBps rate = net_rate * streams;
+
+  Resources dst_d;
+  dst_d.net = rate.value();
+  dst_d.cpu = cal_.hdfs_read_cpu_per_stream * streams;
+  std::vector<std::pair<ExecutionSite*, WorkloadPtr>> secs;
+  secs.reserve(sources.size());
+  for (const auto& [src, mb] : sources) {
+    // Each source serves its share across the whole batch window, so its
+    // steady rate is its byte fraction of the aggregate stream bandwidth —
+    // summed over sources this reproduces the per-flow model's disk/net
+    // load exactly.
+    const double frac = total > sim::MegaBytes{0} ? mb / total : 0.0;
+    Resources src_d;
+    src_d.disk = rate.value() * frac;
+    src_d.net = rate.value() * frac;
+    src_d.cpu = cal_.hdfs_serve_cpu_per_stream * streams * frac;
+    secs.emplace_back(src, std::make_shared<Workload>("fetch-serve-batch",
+                                                      src_d,
+                                                      Workload::kService));
+  }
+  return run_flow(
+      dst,
+      std::make_shared<Workload>("fetch-remote-batch", dst_d, total / rate),
+      std::move(secs), std::move(done));
+}
+
 }  // namespace hybridmr::storage

@@ -179,6 +179,21 @@ class Hdfs {
   FlowHandle transfer(cluster::ExecutionSite& src, cluster::ExecutionSite& dst,
                       sim::MegaBytes mb, DoneFn done);
 
+  /// Coalesced shuffle fetch: pulls every (source, mb) share into `dst` as
+  /// ONE paced flow instead of one flow per source, so a reducer's shuffle
+  /// costs a single completion event however many machines feed it. The
+  /// aggregate stream runs at net_rate x min(max_streams, sources) — the
+  /// same bandwidth a `max_streams`-deep pump of individual transfers
+  /// sustains — and each source carries a serve-side secondary sized to its
+  /// byte share of the batch, so per-machine disk/net accounting matches
+  /// the per-flow model it replaces. A single source degenerates to a plain
+  /// transfer() (identical demands and workload names). `sources` must be
+  /// remote to `dst` (no same-site or same-host entries) and non-empty.
+  FlowHandle transfer_batch(
+      const std::vector<std::pair<cluster::ExecutionSite*, sim::MegaBytes>>&
+          sources,
+      cluster::ExecutionSite& dst, DoneFn done, int max_streams = 4);
+
   // --- metrics ---
 
   /// Attaches the storage layer to a telemetry hub (null detaches). Only

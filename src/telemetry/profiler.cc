@@ -84,6 +84,8 @@ const char* to_string(WorkCounter c) {
       return "reschedule_pushed";
     case WorkCounter::kRescheduleSkipped:
       return "reschedule_skipped";
+    case WorkCounter::kRescheduleDeferred:
+      return "reschedule_deferred";
     case WorkCounter::kDrainPasses:
       return "drain_passes";
     case WorkCounter::kDispatchPasses:

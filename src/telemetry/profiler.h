@@ -93,8 +93,9 @@ enum class WorkCounter {
   kRecomputeDrain,        // recompute from the coalescing drain
   kRecomputeReadBarrier,  // recompute forced by ensure_clean() on a read
   kRecomputeEager,        // eager_reallocation mode invalidate->recompute
-  kReschedulePushed,      // task completion events actually rescheduled
+  kReschedulePushed,      // completion events cancel+re-pushed (fresh push)
   kRescheduleSkipped,     // reschedule() skipped (finish time unchanged)
+  kRescheduleDeferred,    // completion events defer()ed in place (lazy path)
   kDrainPasses,           // ReallocCoordinator::drain() invocations
   kDispatchPasses,        // MapReduceEngine::dispatch() invocations
   kDispatchTrackerScans,  // tracker slots examined across dispatch passes

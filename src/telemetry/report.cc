@@ -46,6 +46,7 @@ void RunReport::to_json(std::ostream& os) const {
      << json_num(double(clamped_past_events))
      << ",\n  \"events_scheduled\":" << json_num(double(events_scheduled))
      << ",\n  \"events_cancelled\":" << json_num(double(events_cancelled))
+     << ",\n  \"events_deferred\":" << json_num(double(events_deferred))
      << ",\n  \"max_queue_depth\":" << json_num(double(max_queue_depth))
      << ",\n  \"max_event_fanout\":" << json_num(double(max_event_fanout))
      << ",\n  \"flush_scheduled_events\":"

@@ -76,6 +76,7 @@ struct RunReport {
   // whether or not the profiler is enabled), and deterministic.
   std::uint64_t events_scheduled = 0;
   std::uint64_t events_cancelled = 0;
+  std::uint64_t events_deferred = 0;
   std::size_t max_queue_depth = 0;
   std::uint64_t max_event_fanout = 0;
   std::uint64_t flush_scheduled_events = 0;

@@ -14,8 +14,8 @@ JobSpec twitter() {
   s.name = "Twitter";
   s.job_class = JobClass::kMemoryIoBound;
   s.input_gb = 25;
-  s.map_cpu_s_per_mb = 0.09;
-  s.reduce_cpu_s_per_mb = 0.08;
+  s.map_cpu_s_per_mb = sim::SecondsPerMB{0.09};
+  s.reduce_cpu_s_per_mb = sim::SecondsPerMB{0.08};
   s.map_selectivity = 0.40;
   s.reduce_output_ratio = 0.20;
   s.task_memory_mb = sim::MegaBytes{800};
@@ -27,8 +27,8 @@ JobSpec wcount() {
   s.name = "Wcount";
   s.job_class = JobClass::kMemoryIoBound;
   s.input_gb = 20;
-  s.map_cpu_s_per_mb = 0.10;
-  s.reduce_cpu_s_per_mb = 0.03;
+  s.map_cpu_s_per_mb = sim::SecondsPerMB{0.10};
+  s.reduce_cpu_s_per_mb = sim::SecondsPerMB{0.03};
   s.map_selectivity = 0.25;
   s.reduce_output_ratio = 0.30;
   s.task_memory_mb = sim::MegaBytes{700};
@@ -44,8 +44,8 @@ JobSpec pi_est() {
   // more tasks than cluster slots keeps every wave full.
   s.input_gb = 0.125;
   s.split_mb = sim::MegaBytes{1};
-  s.map_cpu_s_per_mb = 9.6;
-  s.reduce_cpu_s_per_mb = 0.01;
+  s.map_cpu_s_per_mb = sim::SecondsPerMB{9.6};
+  s.reduce_cpu_s_per_mb = sim::SecondsPerMB{0.01};
   s.map_selectivity = 0.001;
   s.reduce_output_ratio = 1.0;
   s.task_memory_mb = sim::MegaBytes{200};
@@ -58,8 +58,8 @@ JobSpec dist_grep() {
   s.name = "DistGrep";
   s.job_class = JobClass::kIoBound;
   s.input_gb = 20;
-  s.map_cpu_s_per_mb = 0.035;
-  s.reduce_cpu_s_per_mb = 0.01;
+  s.map_cpu_s_per_mb = sim::SecondsPerMB{0.035};
+  s.reduce_cpu_s_per_mb = sim::SecondsPerMB{0.01};
   s.map_selectivity = 0.002;
   s.reduce_output_ratio = 1.0;
   s.task_memory_mb = sim::MegaBytes{300};
@@ -72,9 +72,9 @@ JobSpec sort_job() {
   s.name = "Sort";
   s.job_class = JobClass::kIoBound;
   s.input_gb = 20;
-  s.map_cpu_s_per_mb = 0.08;
-  s.reduce_cpu_s_per_mb = 0.02;
-  s.sort_cpu_s_per_mb = 0.008;
+  s.map_cpu_s_per_mb = sim::SecondsPerMB{0.08};
+  s.reduce_cpu_s_per_mb = sim::SecondsPerMB{0.02};
+  s.sort_cpu_s_per_mb = sim::SecondsPerMB{0.008};
   s.map_selectivity = 1.0;
   s.reduce_output_ratio = 1.0;
   s.output_replicas = 1;  // terasort convention
@@ -87,8 +87,8 @@ JobSpec kmeans() {
   s.name = "Kmeans";
   s.job_class = JobClass::kCpuBound;
   s.input_gb = 10;
-  s.map_cpu_s_per_mb = 0.35;
-  s.reduce_cpu_s_per_mb = 0.10;
+  s.map_cpu_s_per_mb = sim::SecondsPerMB{0.35};
+  s.reduce_cpu_s_per_mb = sim::SecondsPerMB{0.10};
   s.map_selectivity = 0.05;
   s.reduce_output_ratio = 0.50;
   s.task_memory_mb = sim::MegaBytes{500};

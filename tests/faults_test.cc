@@ -24,7 +24,8 @@ mapred::JobSpec slow_job(const std::string& name, double input_gb,
   mapred::JobSpec spec;
   spec.name = name;
   spec.input_gb = input_gb;
-  spec.map_cpu_s_per_mb = 0.5;  // ~32 s per 64 MB split: faults land mid-run
+  // ~32 s per 64 MB split: faults land mid-run
+  spec.map_cpu_s_per_mb = sim::SecondsPerMB{0.5};
   spec.num_reducers = reducers;
   return spec;
 }

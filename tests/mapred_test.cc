@@ -1,9 +1,15 @@
 // Tests for the MapReduce engine: job lifecycle, scheduling policies,
-// speculation, deployment shapes.
+// speculation, deployment shapes, and the dispatch/reschedule equivalence
+// pins (indexed offer-set dispatch vs the naive tracker re-scan, lazy
+// completion-event reschedule vs eager cancel + re-push).
 #include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
 
 #include "harness/testbed.h"
 #include "mapred/engine.h"
+#include "telemetry/telemetry.h"
 #include "workload/benchmarks.h"
 
 namespace hybridmr::mapred {
@@ -48,7 +54,7 @@ TEST(MapReduce, TaskCountsMatchSpec) {
   EXPECT_EQ(job->reduces_done(), 7);
   for (const auto& t : job->maps()) {
     EXPECT_TRUE(t->completed());
-    EXPECT_GT(t->duration(), 0);
+    EXPECT_GT(t->duration().value(), 0);
     EXPECT_NE(t->output_site(), nullptr);
   }
 }
@@ -236,6 +242,146 @@ TEST(MapReduce, JobRecordsLocalityBenefit) {
   const double remote = bed.hdfs().bytes_read_remote_mb().value();
   // The scheduler prefers data-local maps; most input reads stay local.
   EXPECT_GT(local, remote);
+}
+
+// --- dispatch / reschedule equivalence ---
+//
+// The perf work behind the scaling fixes (offer-set dispatch, lazy
+// completion-event reschedule) must be invisible in simulated outcomes.
+// Each fast path keeps its slow reference mode alive solely so these
+// tests can pin the equivalence byte-for-byte on a mixed cluster.
+
+struct ReportArtifacts {
+  std::string json;
+  std::string csv;
+  std::string trace;
+};
+
+template <typename Mutator>
+ReportArtifacts run_report_scenario(Mutator mutate) {
+  TestBed::Options options;
+  options.seed = 1234;
+  mutate(options);
+  TestBed bed(options);
+  bed.add_native_nodes(2);
+  bed.add_virtual_nodes(2, 2);
+
+  bed.run_jobs({workload::sort_job().with_input_gb(0.25),
+                workload::wcount().with_input_gb(0.25)});
+
+  ReportArtifacts out;
+  const telemetry::RunReport report = bed.report();
+  std::ostringstream json, csv, trace;
+  report.to_json(json);
+  report.to_csv(csv);
+  if (bed.telemetry() != nullptr) bed.telemetry()->trace.to_jsonl(trace);
+  out.json = json.str();
+  out.csv = csv.str();
+  out.trace = trace.str();
+  return out;
+}
+
+// Queue-mechanics counters (cancel vs defer counts, depth) differ between
+// reschedule modes BY DESIGN; everything else must match. Same stripping
+// rule as realloc_test's eager/deferred-reallocation pin.
+std::string strip_queue_mechanics(const std::string& json) {
+  static const char* kModeDependent[] = {
+      "\"events_scheduled\"", "\"events_cancelled\"", "\"events_deferred\"",
+      "\"max_queue_depth\"",  "\"max_event_fanout\"",
+      "\"flush_scheduled_events\""};
+  std::istringstream in(json);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    bool drop = false;
+    for (const char* key : kModeDependent) {
+      if (line.find(key) != std::string::npos) drop = true;
+    }
+    if (!drop) out << line << '\n';
+  }
+  return out.str();
+}
+
+TEST(DispatchEquivalence, IndexedMatchesNaiveByteForByte) {
+  const ReportArtifacts indexed = run_report_scenario([](TestBed::Options&) {});
+  const ReportArtifacts naive = run_report_scenario(
+      [](TestBed::Options& o) { o.naive_dispatch = true; });
+  // Identical placements mean identical simulated histories — including
+  // the queue-mechanics counters — so nothing is stripped here.
+  EXPECT_EQ(indexed.json, naive.json);
+  EXPECT_EQ(indexed.csv, naive.csv);
+  EXPECT_EQ(indexed.trace, naive.trace);
+}
+
+TEST(RescheduleEquivalence, LazyMatchesEagerCancelByteForByte) {
+  const ReportArtifacts lazy = run_report_scenario([](TestBed::Options&) {});
+  const ReportArtifacts eager = run_report_scenario(
+      [](TestBed::Options& o) { o.eager_reschedule = true; });
+  EXPECT_EQ(strip_queue_mechanics(lazy.json),
+            strip_queue_mechanics(eager.json));
+  EXPECT_EQ(lazy.csv, eager.csv);
+  EXPECT_EQ(lazy.trace, eager.trace);
+}
+
+// --- offer-set maintenance across blacklist / crash / restore ---
+
+// Attempts of `job` on `tr` that started strictly after `after`.
+int attempts_on(const Job& job, const TaskTracker& tr, double after = -1) {
+  int n = 0;
+  auto scan = [&](const std::vector<std::unique_ptr<Task>>& tasks) {
+    for (const auto& t : tasks) {
+      for (const auto& a : t->attempts()) {
+        if (&a->tracker() == &tr && a->started_at() > after) ++n;
+      }
+    }
+  };
+  scan(job.maps());
+  scan(job.reduces());
+  return n;
+}
+
+TEST(DispatchOfferSet, BlacklistedTrackerReceivesNoWork) {
+  TestBed bed;
+  bed.add_native_nodes(3);
+  cluster::ExecutionSite* lost = bed.nodes().front();
+  ASSERT_TRUE(bed.mr().mark_tracker_lost(*lost));
+
+  Job* job = bed.mr().submit(small_sort(1.0));
+  bed.sim().run();
+  ASSERT_TRUE(job->finished());
+
+  const TaskTracker* t0 = bed.mr().tracker_on(*lost);
+  ASSERT_NE(t0, nullptr);
+  EXPECT_TRUE(t0->blacklisted());
+  EXPECT_EQ(attempts_on(*job, *t0), 0)
+      << "blacklisted tracker must be absent from the offer sets";
+}
+
+TEST(DispatchOfferSet, SurvivesCrashTeardownAndRestore) {
+  // A mid-run crash requeues the tracker's attempts and drops it from the
+  // offer sets; the surviving trackers finish the job without ever
+  // launching there again. Restoring the tracker must re-offer its slots:
+  // a follow-up job runs work there.
+  TestBed bed;
+  bed.add_native_nodes(2);
+  cluster::ExecutionSite* crashed = bed.nodes().front();
+
+  Job* first = bed.mr().submit(small_sort(1.0));
+  bed.sim().at(10.0, [&] { bed.mr().mark_tracker_lost(*crashed); });
+  bed.sim().run();
+  ASSERT_TRUE(first->finished());
+
+  const TaskTracker* t0 = bed.mr().tracker_on(*crashed);
+  ASSERT_NE(t0, nullptr);
+  EXPECT_EQ(attempts_on(*first, *t0, /*after=*/10.0), 0)
+      << "no attempt may start on the lost tracker after the crash";
+
+  ASSERT_TRUE(bed.mr().restore_tracker(*crashed));
+  Job* second = bed.mr().submit(small_sort(1.0));
+  bed.sim().run();
+  ASSERT_TRUE(second->finished());
+  EXPECT_GT(attempts_on(*second, *t0), 0)
+      << "restored tracker must be back in the offer sets";
 }
 
 }  // namespace

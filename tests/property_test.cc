@@ -205,7 +205,7 @@ TEST_P(BenchmarkLifecycle, EveryTaskCompletesExactlyOnce) {
   EXPECT_GT(job->jct(), 0);
   for (const auto& t : job->maps()) {
     EXPECT_TRUE(t->completed());
-    EXPECT_GT(t->duration(), 0);
+    EXPECT_GT(t->duration().value(), 0);
     int finished = 0;
     for (const auto& a : t->attempts()) {
       if (a->finished()) ++finished;

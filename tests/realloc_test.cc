@@ -139,8 +139,9 @@ ReportArtifacts run_scenario(bool eager) {
 // stripped before the byte-for-byte comparison of the simulated outcome.
 std::string strip_queue_mechanics(const std::string& json) {
   static const char* kModeDependent[] = {
-      "\"events_scheduled\"", "\"events_cancelled\"", "\"max_queue_depth\"",
-      "\"max_event_fanout\"", "\"flush_scheduled_events\""};
+      "\"events_scheduled\"", "\"events_cancelled\"", "\"events_deferred\"",
+      "\"max_queue_depth\"",  "\"max_event_fanout\"",
+      "\"flush_scheduled_events\""};
   std::istringstream in(json);
   std::ostringstream out;
   std::string line;
