@@ -141,3 +141,11 @@ def scan(source: SourceFile) -> list[Finding]:
                         "cancelled and outlives the object; store the "
                         "handle and cancel it in the destructor/stop()")))
     return findings
+
+
+# Rule catalog for --list-rules / --sarif.
+RULES = {
+    "capture-lifetime": (
+        "strong self-capture (shared_from_this / by-copy shared_ptr / "
+        "discarded every() handle) in an event-queue callback"),
+}

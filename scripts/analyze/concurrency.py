@@ -345,3 +345,20 @@ def scan_handlers(source: SourceFile) -> tuple[list[Finding], list[dict]]:
                     "under a sharded event loop — review it and mark "
                     "// hmr-cross-machine(<note>)")))
     return findings, handlers
+
+
+# Rule catalog for --list-rules / --sarif.
+RULES = {
+    SHARED_RULE: (
+        "mutable static-storage data in src/ without a capability "
+        "annotation or // hmr-shared(<capability>) marker"),
+    RNG_RULE: (
+        "std random engine/distribution constructed outside src/sim/rng.h "
+        "(per-shard streams become non-derivable)"),
+    MUTATION_RULE: (
+        "allocation-engine mutator called outside the "
+        "Machine/ReallocCoordinator drain path"),
+    HANDLER_RULE: (
+        "event handler touching state on multiple machines without an "
+        "// hmr-cross-machine(<note>) acknowledgment"),
+}

@@ -222,3 +222,21 @@ def _flag(source: SourceFile, body_lines: list[int], container: str,
                     "implementation-defined (float sums and appended lists "
                     "change run to run); copy to a sorted vector first")))
     return findings
+
+
+# Rule catalog for --list-rules / --sarif.
+RULES = {
+    "wall-clock": "host clock or host randomness in simulated code",
+    "unordered-iteration": (
+        "range-for / begin() over an unordered container (iteration order "
+        "is nondeterministic)"),
+    "unordered-accumulation": (
+        "order-sensitive reduction inside a loop over an unordered "
+        "container"),
+    "simtime-eq": (
+        "exact ==/!= between SimTime doubles (route through "
+        "sim::same_time())"),
+    "eager-recompute": (
+        "Machine::recompute() called outside the ReallocCoordinator drain "
+        "path"),
+}

@@ -100,3 +100,11 @@ def scan_libclang(cindex, tu, source: SourceFile) -> list[Finding]:
                 "strong type from sim/units.h so unit mixing is a compile "
                 "error")))
     return findings
+
+
+# Rule catalog for --list-rules / --sarif.
+RULES = {
+    "dim-raw-double": (
+        "raw double/float declaration whose name claims a unit; use the "
+        "strong types from src/sim/units.h"),
+}

@@ -177,3 +177,13 @@ def cycle_findings(
             message=f"layer dependency cycle: {label}; break it by moving "
                     "the shared abstraction into a lower layer"))
     return findings
+
+
+# Rule catalog for --list-rules / --sarif.
+RULES = {
+    "layer-upward-include": (
+        "#include from a lower src/ layer into a higher one (the layer "
+        "DAG only points down)"),
+    "layer-cycle": (
+        "strongly connected component in the observed include-layer graph"),
+}

@@ -1,0 +1,836 @@
+"""Snapshot-safety rules: the state-ownership census behind snapshot/fork.
+
+The ROADMAP's what-if engine (fork a warmed-up simulation, run lookahead
+sweeps, replay from checkpoints) needs an exhaustive answer to "what is
+full simulation state?" before anyone copies it. This pass builds the
+ownership graph of everything reachable from the two state roots —
+``sim::Simulation`` and ``harness::TestBed`` — and classifies every field
+of every state-bearing class in src/ into the five snapshot kinds:
+
+  owned-value     plain values (numbers, enums, strong units, value
+                  structs): memcpy-forkable.
+  owned-heap      exclusively owned heap state (unique_ptr, containers,
+                  std::string, std::function): deep-copy per fork.
+  shared          shared_ptr ownership; the census records which side is
+                  the primary owner and which holds a weak_ptr observer,
+                  because a fork must clone the primary and re-point the
+                  observers.
+  back-reference  raw pointer / reference / span into state owned
+                  elsewhere: a fork must re-point it at the clone.
+  ephemeral       scratch, memo and profiler state a snapshot may discard
+                  and rebuild (WaterfillScratch, offer-set indexes,
+                  LogHistogram buckets). Never inferred — always declared
+                  via the annotation.
+
+Inference covers the std:: vocabulary and every class/enum/unit type the
+pass harvests from src/ itself; what it cannot infer must carry an
+``// hmr-state(<kind>[: note])`` annotation on the field's line or in the
+comment block directly above it. Annotations override inference, so a
+field that *looks* owned but is rebuildable scratch is declared
+``// hmr-state(ephemeral: ...)``.
+
+Rules:
+
+  state-unclassified-field  a field of a state-bearing (root-reachable)
+                            class with no inferable kind and no
+                            annotation — the census must be exhaustive or
+                            the fork PR starts from archaeology again.
+  state-raw-owner           a raw pointer that owns (new/delete evidence
+                            in the class's files, or an owned-* annotation
+                            on a raw pointer): forks double-free or leak;
+                            make it unique_ptr.
+  state-backref-cycle       a back-reference whose pointee class has no
+                            owning edge anywhere in the graph and no
+                            annotation declaring its owner: nothing to
+                            re-point the fork's copy from.
+  state-hidden-state        a *mutable* lambda handed to the event queue
+                            (at/after/every/add_flush_hook/on_complete):
+                            captured-by-value mutable state lives only
+                            inside the pending callback, where no census
+                            and no snapshot can reach it — the fork
+                            killer. Hoist the state into a censused field.
+
+Besides findings, the pass feeds the layer-keyed state-graph census
+(--state-graph-report, consumed by ci.sh's blocking ``state`` stage and
+documented in docs/SNAPSHOT.md): every class with every classified field,
+the ownership edges, and the hidden-state callback map.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from findings import Finding, SourceFile
+
+UNCLASSIFIED_RULE = "state-unclassified-field"
+RAW_OWNER_RULE = "state-raw-owner"
+BACKREF_RULE = "state-backref-cycle"
+HIDDEN_RULE = "state-hidden-state"
+
+# Rule catalog for --list-rules / --sarif.
+RULES = {
+    UNCLASSIFIED_RULE: (
+        "field of a root-reachable class with no inferable snapshot kind "
+        "and no // hmr-state(<kind>) annotation"),
+    RAW_OWNER_RULE: (
+        "raw pointer with ownership evidence (new/delete or an owned-* "
+        "annotation); forks double-free — use unique_ptr"),
+    BACKREF_RULE: (
+        "back-reference whose pointee type has no owning edge in the "
+        "graph and no annotation declaring the owner"),
+    HIDDEN_RULE: (
+        "mutable lambda handed to the event queue: captured-by-value "
+        "mutable state only a pending callback can reach"),
+}
+
+KINDS = ("owned-value", "owned-heap", "shared", "back-reference", "ephemeral")
+
+# The ownership roots: a run *is* a Simulation; a TestBed is the harness
+# hub every engine object hangs off.
+ROOTS = ("Simulation", "TestBed")
+
+STATE_MARKER_RE = re.compile(r"//\s*hmr-state\(([^)]*)\)")
+# For joined comment blocks (the // prefixes are stripped by the join).
+STATE_MARKER_BARE_RE = re.compile(r"\bhmr-state\(([^)]*)\)")
+
+CLASS_RE = re.compile(r"\b(class|struct)\s+(?:HMR_CAPABILITY\([^)]*\)\s*)?"
+                      r"([A-Za-z_]\w*)")
+ALIAS_RE = re.compile(r"\busing\s+([A-Za-z_]\w*)\s*=\s*([^;]+);")
+BASE_RE = re.compile(r"(?:public|protected|private|virtual)\s+"
+                     r"([A-Za-z_][\w:]*)")
+
+# std:: template heads with exclusive ownership of heap storage.
+OWNING_CONTAINERS = {
+    "vector", "deque", "list", "forward_list", "set", "multiset", "map",
+    "multimap", "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset", "priority_queue", "queue", "stack", "basic_string",
+}
+# std:: template heads that are value aggregates of their arguments.
+VALUE_WRAPPERS = {"optional", "array", "pair", "tuple", "variant", "atomic"}
+# std:: value types with by-value copy semantics (random engines and
+# distributions are plain value objects; copying one IS the snapshot).
+STD_VALUE_TYPES = {
+    "mt19937", "mt19937_64", "minstd_rand", "minstd_rand0",
+    "default_random_engine", "ranlux24", "ranlux48", "knuth_b", "byte",
+}
+STD_VALUE_TEMPLATES = {
+    "uniform_real_distribution", "uniform_int_distribution",
+    "normal_distribution", "exponential_distribution",
+    "bernoulli_distribution", "poisson_distribution", "chrono", "ratio",
+    "bitset", "linear_congruential_engine", "mersenne_twister_engine",
+}
+# Non-owning views.
+VIEW_TEMPLATES = {"span", "string_view", "reference_wrapper"}
+
+SIM_UNIT_TYPES = {
+    "SimTime", "EventId", "Duration", "Seconds", "MegaBytes", "MBps",
+    "SecondsPerMB", "PerSecond", "Watts", "Joules", "CoreShare", "Fraction",
+    "Quantity",
+}
+BUILTIN_VALUE_RE = re.compile(
+    r"^(?:unsigned\s+|signed\s+)?(?:std::)?"
+    r"(?:bool|char|short|int|long|long\s+long|float|double"
+    r"|u?int(?:8|16|32|64)_t|size_t|ptrdiff_t|uintptr_t|byte)"
+    r"(?:\s+(?:int|long))*$")
+
+OWNERSHIP_KINDS = {"owned-value", "owned-heap", "shared"}
+
+
+@dataclass
+class FieldInfo:
+    name: str
+    type: str
+    line: int
+    kind: str | None          # one of KINDS, or None = unclassified
+    inferred: str | None      # what inference said (pre-annotation)
+    annotated: bool
+    note: str
+    role: str = ""            # shared fields: "primary" | "observer"
+    targets: list[str] = field(default_factory=list)  # harvested class names
+    raw_pointer: bool = False
+
+
+@dataclass
+class ClassInfo:
+    name: str                 # qualified within the file, e.g. EventQueue::Slot
+    file: str
+    line: int
+    fields: list[FieldInfo] = field(default_factory=list)
+    bases: list[str] = field(default_factory=list)  # bare base-class names
+    reachable: bool = False
+
+
+@dataclass
+class Harvest:
+    classes: list[ClassInfo] = field(default_factory=list)
+    enums: set[str] = field(default_factory=set)
+    # bare alias name -> list of aliased type strings (every definition
+    # seen; the classifier only trusts an alias whose definitions all
+    # classify identically)
+    aliases: dict[str, list[str]] = field(default_factory=dict)
+
+
+# --------------------------------------------------------------- harvesting
+
+def _line_starts(text: str) -> list[int]:
+    starts = [0]
+    for i, c in enumerate(text):
+        if c == "\n":
+            starts.append(i + 1)
+    return starts
+
+
+def _line_of(starts: list[int], offset: int) -> int:
+    lo, hi = 0, len(starts) - 1
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if starts[mid] <= offset:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo + 1  # 1-based
+
+
+def _match_brace(text: str, open_idx: int) -> int:
+    """Index just past the matching '}' for the '{' at open_idx (or len)."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        c = text[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def harvest_classes(source: SourceFile) -> Harvest:
+    """All class/struct definitions (nested ones qualified Outer::Inner)
+    plus the enum names and `using X = T;` aliases declared in this file."""
+    text = "\n".join(source.code)
+    starts = _line_starts(text)
+    out = Harvest()
+    for m in re.finditer(r"\benum\s+(?:class\s+|struct\s+)?([A-Za-z_]\w*)",
+                         text):
+        out.enums.add(m.group(1))
+    for m in ALIAS_RE.finditer(text):
+        out.aliases.setdefault(m.group(1), []).append(
+            " ".join(m.group(2).split()))
+
+    # (body-start, body-end, name, line, bases)
+    spans: list[tuple[int, int, str, int, list[str]]] = []
+    for m in CLASS_RE.finditer(text):
+        # `enum class X` is a value type, not a state-bearing class.
+        head = text[max(0, m.start() - 8):m.start()]
+        if re.search(r"enum\s+$", head):
+            continue
+        name = m.group(2)
+        # Find the body '{' before any ';' (a ';' first = forward decl,
+        # variable decl `struct X x;`, or template parameter).
+        body_open = None
+        for i in range(m.end(), min(m.end() + 400, len(text))):
+            c = text[i]
+            if c == "{":
+                body_open = i
+                break
+            if c in ";)=,>" and text[m.end():i].count(":") == 0:
+                break
+            if c in ";)=":
+                break
+        if body_open is None:
+            continue
+        intro = text[m.end():body_open]
+        bases = [b.split("::")[-1] for b in BASE_RE.findall(intro)] \
+            if ":" in intro else []
+        spans.append((body_open, _match_brace(text, body_open), name,
+                      _line_of(starts, m.start()), bases))
+
+    for start, end, name, line, bases in spans:
+        qual = name
+        for ostart, oend, oname, _oline, _ob in spans:
+            if ostart < start and end <= oend:
+                qual = f"{oname}::{qual}"
+        body = text[start + 1:end - 1]
+        nested = [(s - start - 1, e - start - 1)
+                  for s, e, _n, _l, _b in spans if start < s and e <= end]
+        info = ClassInfo(name=qual, file=source.rel, line=line, bases=bases)
+        for stmt, offset in split_statements(body, nested):
+            f = parse_field(stmt)
+            if f is None:
+                continue
+            f.line = _line_of(starts, start + 1 + offset)
+            info.fields.append(f)
+        out.classes.append(info)
+    return out
+
+
+def split_statements(body: str,
+                     nested: list[tuple[int, int]]
+                     ) -> list[tuple[str, int]]:
+    """Top-level member statements of a class body as (text, offset-of-
+    first-char). Function bodies, nested type bodies and preprocessor
+    lines are skipped; brace initializers are kept inside their statement.
+    """
+    stmts: list[tuple[str, int]] = []
+    cur: list[str] = []
+    cur_start: int | None = None
+    i, n = 0, len(body)
+    paren = 0
+    while i < n:
+        c = body[i]
+        if c == "#" and (i == 0 or body[i - 1] == "\n"):
+            while i < n and body[i] != "\n":
+                i += 1
+            continue
+        if c == "(":
+            paren += 1
+        elif c == ")":
+            paren = max(0, paren - 1)
+        elif c == "{" and paren == 0:
+            head = "".join(cur).strip()
+            head = re.sub(r"^\s*(?:public|private|protected)\s*:", "", head)
+            if re.match(r"^\s*(?:template\s*<[^;{]*>\s*)?"
+                        r"(?:class|struct|union|enum)\b", head) or \
+                    _looks_like_function(head):
+                i = _match_brace(body, i)
+                # Swallow the optional trailing ';' of a type definition.
+                while i < n and body[i] in " \t\n":
+                    i += 1
+                if i < n and body[i] == ";":
+                    i += 1
+                cur, cur_start = [], None
+                continue
+            # Brace initializer: keep it in the statement text.
+            close = _match_brace(body, i)
+            if cur_start is None:
+                cur_start = i
+            cur.append(body[i:close])
+            i = close
+            continue
+        if c == ":" and paren == 0 and body[i:i + 2] != "::" \
+                and "".join(cur).strip() in ("public", "private",
+                                             "protected"):
+            # Access specifier: ends here, the next statement starts fresh
+            # (otherwise `private:` would absorb the following field and
+            # shift its recorded line).
+            cur, cur_start = [], None
+            i += 1
+            continue
+        if c == ";" and paren == 0:
+            if cur_start is not None:
+                stmts.append(("".join(cur), cur_start))
+            cur, cur_start = [], None
+            i += 1
+            continue
+        if cur_start is None and not c.isspace():
+            cur_start = i
+        if cur_start is not None:
+            cur.append(c)
+        i += 1
+    return stmts
+
+
+def _angle_aware_top_level(text: str) -> list[tuple[int, str]]:
+    """(index, char) pairs for chars at template-angle depth 0."""
+    out: list[tuple[int, str]] = []
+    depth = 0
+    prev = ""
+    for i, c in enumerate(text):
+        if c == "<" and (prev.isalnum() or prev in "_>"):
+            depth += 1
+        elif c == ">" and depth > 0 and prev != "-":
+            depth -= 1
+        else:
+            if depth == 0:
+                out.append((i, c))
+        if not c.isspace():
+            prev = c
+    return out
+
+
+def _looks_like_function(head: str) -> bool:
+    """True when a '{' terminates a function definition rather than a
+    brace initializer: there is a top-level '(' and no '=' before it."""
+    for _, c in _angle_aware_top_level(head):
+        if c == "=":
+            return False
+        if c == "(":
+            return True
+    return False
+
+
+SKIP_STMT_RE = re.compile(
+    r"^\s*(?:using|typedef|friend|template|static_assert|explicit|virtual|"
+    r"operator|~|public\b|private\b|protected\b)")
+ARRAY_SUFFIX_RE = re.compile(r"\[[^\]]*\]\s*$")
+ANNOT_RE = re.compile(r"\b(?:HMR|HYBRIDMR)_[A-Z_]+\s*(?:\([^()]*\))?")
+ATTR_RE = re.compile(r"\[\[[^\]]*\]\]")
+
+
+def parse_field(stmt: str) -> FieldInfo | None:
+    s = " ".join(stmt.split())
+    s = re.sub(r"^\s*(?:public|private|protected)\s*:\s*", "", s)
+    if not s or SKIP_STMT_RE.match(s) or "operator" in s:
+        return None
+    s = ATTR_RE.sub(" ", s)
+    s = ANNOT_RE.sub(" ", s)
+    # Cut the initializer: first top-level '=' or '{'.
+    decl = s
+    for i, c in _angle_aware_top_level(s):
+        if c in "={" and not (c == "=" and s[i:i + 2] == "=="):
+            decl = s[:i]
+            break
+        if c == "(":
+            return None  # function declaration
+    decl = decl.strip().rstrip(";").strip()
+    if not decl:
+        return None
+    static = bool(re.match(r"^(?:inline\s+)?static\b", decl))
+    if static:
+        return None  # process-wide state: the concurrency census owns it
+    decl = re.sub(r"^(?:mutable|inline|volatile|typename)\s+", "", decl)
+    decl = ARRAY_SUFFIX_RE.sub("", decl).strip()
+    m = re.search(r"([A-Za-z_]\w*)\s*$", decl)
+    if not m:
+        return None
+    name, type_str = m.group(1), decl[:m.start()].strip()
+    if not type_str or type_str in ("class", "struct", "enum", "union",
+                                    "return", "goto"):
+        return None
+    return FieldInfo(name=name, type=type_str, line=0, kind=None,
+                     inferred=None, annotated=False, note="")
+
+
+# ----------------------------------------------------------- classification
+
+def _split_template(type_str: str) -> tuple[str, list[str]] | None:
+    """('std::vector', ['Foo*']) for 'std::vector<Foo*>', else None."""
+    m = re.match(r"^([A-Za-z_][\w:]*)\s*<(.*)>$", type_str.strip())
+    if not m:
+        return None
+    head, inner = m.group(1), m.group(2)
+    args: list[str] = []
+    depth = 0
+    cur: list[str] = []
+    for c in inner:
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+        elif c == "," and depth == 0:
+            args.append("".join(cur).strip())
+            cur = []
+            continue
+        cur.append(c)
+    if cur:
+        args.append("".join(cur).strip())
+    return head, args
+
+
+def _strip_cv(t: str) -> str:
+    t = t.strip()
+    while True:
+        new = re.sub(r"^(?:const|volatile)\s+", "", t)
+        new = re.sub(r"\s+(?:const|volatile)$", "", new)
+        if new == t:
+            return t
+        t = new
+
+
+class Classifier:
+    def __init__(self, known_classes: set[str], known_enums: set[str],
+                 aliases: dict[str, list[str]] | None = None):
+        self.known_classes = known_classes
+        self.known_enums = known_enums
+        self.aliases = aliases or {}
+
+    def _resolve_alias(self, t: str, depth: int) -> tuple[str | None, str,
+                                                          bool] | None:
+        """Classification through a `using X = T;` alias, when every
+        definition of the alias classifies identically (bare names only:
+        `cluster::WorkloadPtr` resolves via 'WorkloadPtr')."""
+        bare = t.split("::")[-1]
+        candidates = self.aliases.get(bare)
+        if not candidates or depth > 3:
+            return None
+        verdicts = {self.classify(c, depth + 1) for c in candidates}
+        if len(verdicts) == 1:
+            return next(iter(verdicts))
+        return None
+
+    def classify(self, type_str: str,
+                 depth: int = 0) -> tuple[str | None, str, bool]:
+        """(kind | None, shared-role, is-raw-pointer) for a field type."""
+        t = _strip_cv(type_str)
+        # Top-level pointer/reference: strip all trailing */&/const.
+        stripped = re.sub(r"(?:\s*[*&]\s*|\s+const)+$", "", t)
+        if stripped != t:
+            return "back-reference", "", "*" in t[len(stripped):]
+        tmpl = _split_template(t)
+        if tmpl is not None:
+            head, args = tmpl
+            base = head.removeprefix("std::")
+            if base == "unique_ptr":
+                return "owned-heap", "", False
+            if base == "shared_ptr":
+                return "shared", "primary", False
+            if base == "weak_ptr":
+                return "shared", "observer", False
+            if base in VIEW_TEMPLATES:
+                return "back-reference", "", False
+            if base == "function":
+                return "owned-heap", "", False
+            if base in STD_VALUE_TEMPLATES:
+                return "owned-value", "", False
+            if base in OWNING_CONTAINERS or base in VALUE_WRAPPERS:
+                if base in ("array", "bitset"):
+                    args = args[:1]  # the rest are non-type (size) args
+                kinds = {self.classify(a, depth)[0] for a in args if a
+                         and not a.isdigit()}
+                roles = {self.classify(a, depth)[1] for a in args if a}
+                if "back-reference" in kinds:
+                    return "back-reference", "", False
+                if "shared" in kinds:
+                    role = "observer" if roles == {"observer", ""} \
+                        else "primary"
+                    return "shared", role, False
+                if None in kinds:
+                    return None, "", False
+                if base in VALUE_WRAPPERS and kinds <= {"owned-value"}:
+                    return "owned-value", "", False
+                return "owned-heap", "", False
+            if base == "Quantity" or head.split("::")[-1] in SIM_UNIT_TYPES:
+                return "owned-value", "", False
+            resolved = self._resolve_alias(head, depth)
+            return resolved if resolved is not None else (None, "", False)
+        bare = t.split("::")[-1]
+        if BUILTIN_VALUE_RE.match(t) or t in ("std::string",):
+            return ("owned-heap", "", False) if t == "std::string" \
+                else ("owned-value", "", False)
+        if bare in STD_VALUE_TYPES:
+            return "owned-value", "", False
+        if bare in SIM_UNIT_TYPES or bare in self.known_enums:
+            return "owned-value", "", False
+        if bare == "SimThreadGate":
+            return "owned-value", "", False
+        if bare in self.known_classes:
+            return "owned-value", "", False
+        resolved = self._resolve_alias(t, depth)
+        return resolved if resolved is not None else (None, "", False)
+
+
+def _targets(type_str: str, known_classes: set[str]) -> list[str]:
+    found: list[str] = []
+    for m in re.finditer(r"[A-Za-z_]\w*", type_str):
+        if m.group(0) in known_classes and m.group(0) not in found:
+            found.append(m.group(0))
+    return found
+
+
+# ------------------------------------------------------------- annotations
+
+def _marker(source: SourceFile, lineno: int) -> str | None:
+    """hmr-state payload on the 1-based line or in the contiguous
+    //-comment block directly above it, else None. The block is joined
+    before matching so a long annotation may wrap across comment lines."""
+    idx = lineno - 1
+    if 0 <= idx < len(source.raw):
+        m = STATE_MARKER_RE.search(source.raw[idx])
+        if m:
+            return m.group(1).strip()
+    block: list[str] = []
+    probe = idx - 1
+    while 0 <= probe < len(source.raw) \
+            and source.raw[probe].lstrip().startswith("//"):
+        block.append(source.raw[probe].lstrip().lstrip("/").strip())
+        probe -= 1
+    if block:
+        m = STATE_MARKER_BARE_RE.search(" ".join(reversed(block)))
+        if m:
+            return m.group(1).strip()
+    return None
+
+
+def _parse_marker(payload: str) -> tuple[str, str]:
+    """('back-reference', 'owner=Simulation') from
+    'back-reference: owner=Simulation'."""
+    kind, _, note = payload.partition(":")
+    return kind.strip(), note.strip()
+
+
+# ------------------------------------------------------------ hidden state
+
+HIDDEN_INTRO_RE = re.compile(
+    r"(?:\b(?:at|after|every|add_flush_hook)\s*\(|\bon_complete\s*=)")
+MUTABLE_LAMBDA_RE = re.compile(r"\]\s*(?:\([^()]*\)\s*)?mutable\b")
+
+
+def scan_hidden_state(source: SourceFile) -> tuple[list[Finding], list[dict]]:
+    """Mutable lambdas handed to the event queue. src/-only."""
+    findings: list[Finding] = []
+    sites: list[dict] = []
+    if not source.rel.startswith("src/"):
+        return findings, sites
+    for idx, code in enumerate(source.code):
+        lineno = idx + 1
+        for intro in HIDDEN_INTRO_RE.finditer(code):
+            window = "\n".join(source.code[idx:idx + 3])
+            start = intro.end() if True else 0
+            bracket = window.find("[", start)
+            if bracket == -1:
+                continue
+            m = MUTABLE_LAMBDA_RE.search(window, bracket)
+            if not m:
+                continue
+            marker = _marker(source, lineno)
+            sites.append({
+                "file": source.rel, "line": lineno,
+                "api": intro.group(0).strip(" (="),
+                "sanctioned": marker is not None,
+                "note": marker or "",
+            })
+            if marker is not None:
+                continue
+            if HIDDEN_RULE in source.allowed(lineno):
+                continue
+            findings.append(Finding(
+                rule=HIDDEN_RULE, file=source.rel, line=lineno,
+                identifier=intro.group(0).strip(" (="),
+                message=(
+                    "mutable lambda scheduled on the event queue: its "
+                    "captured-by-value state lives only inside the pending "
+                    "callback where no snapshot can reach it — hoist the "
+                    "state into a censused field (or annotate "
+                    "// hmr-state(ephemeral: <why discardable>))")))
+            break  # one finding per line is enough
+    return findings, sites
+
+
+# ------------------------------------------------------------- raw owners
+
+def ownership_evidence(sources_by_rel: dict[str, SourceFile],
+                       rel: str, name: str) -> bool:
+    """True when the class's file or its header/impl sibling news/deletes
+    the field."""
+    stem = re.sub(r"\.(h|hpp|cc|cpp|cxx)$", "", rel)
+    pats = (re.compile(r"\bdelete(?:\s*\[\s*\])?\s+(?:this->)?"
+                       + re.escape(name) + r"\b"),
+            re.compile(r"\b" + re.escape(name) + r"\s*=\s*new\b"),
+            re.compile(r"\b" + re.escape(name) + r"\s*\(\s*new\b"))
+    for other_rel, src in sources_by_rel.items():
+        if not other_rel.startswith(stem + "."):
+            continue
+        for code in src.code:
+            for p in pats:
+                if p.search(code):
+                    return True
+    return False
+
+
+# ------------------------------------------------------------------- pass
+
+def run(sources: list[SourceFile], layer_of) -> tuple[list[Finding], dict]:
+    """The full cross-file state pass. Returns (findings, census)."""
+    findings: list[Finding] = []
+    src_sources = [s for s in sources if s.rel.startswith("src/")]
+    sources_by_rel = {s.rel: s for s in src_sources}
+
+    all_classes: list[ClassInfo] = []
+    all_enums: set[str] = set()
+    all_aliases: dict[str, list[str]] = {}
+    for src in src_sources:
+        h = harvest_classes(src)
+        all_classes.extend(h.classes)
+        all_enums |= h.enums
+        for name, types in h.aliases.items():
+            all_aliases.setdefault(name, []).extend(
+                t for t in types if t not in all_aliases.get(name, []))
+
+    known_classes = {c.name.split("::")[-1] for c in all_classes}
+    classifier = Classifier(known_classes, all_enums, all_aliases)
+    # bare class name -> its (transitive) base-class names: owning a
+    # Machine also owns the ExecutionSite subobject every back-reference
+    # actually points at.
+    bases_of: dict[str, set[str]] = {}
+    direct_bases = {c.name.split("::")[-1]: c.bases for c in all_classes}
+
+    def expand_bases(name: str, seen: frozenset = frozenset()) -> set[str]:
+        if name in bases_of:
+            return bases_of[name]
+        out: set[str] = set()
+        for b in direct_bases.get(name, []):
+            if b in seen:
+                continue
+            out.add(b)
+            out |= expand_bases(b, seen | {name})
+        bases_of[name] = out
+        return out
+
+    for name in list(direct_bases):
+        expand_bases(name)
+
+    # Classify every field; collect ownership edges and owners-of map.
+    owners: dict[str, list[str]] = {}   # bare class name -> owning classes
+    edges: list[dict] = []
+    for cls in all_classes:
+        src = sources_by_rel[cls.file]
+        for f in cls.fields:
+            f.inferred, f.role, f.raw_pointer = classifier.classify(f.type)
+            f.kind = f.inferred
+            f.targets = _targets(f.type, known_classes)
+            payload = _marker(src, f.line)
+            if payload is not None:
+                kind, note = _parse_marker(payload)
+                if kind in KINDS:
+                    f.kind, f.note, f.annotated = kind, note, True
+            for t in f.targets:
+                edges.append({"from": cls.name, "to": t,
+                              "kind": f.kind or "unclassified",
+                              "field": f.name})
+                if f.kind in OWNERSHIP_KINDS and f.role != "observer":
+                    owners.setdefault(t, []).append(cls.name)
+                    for base in bases_of.get(t, ()):
+                        owners.setdefault(base, []).append(cls.name)
+
+    # Reachability from the roots over every edge kind: a back-reference
+    # or weak observer still names state a fork must understand.
+    adjacency: dict[str, set[str]] = {}
+    for e in edges:
+        adjacency.setdefault(e["from"].split("::")[-1], set()).add(e["to"])
+        # A nested class is part of its outer class's state.
+        if "::" in e["from"]:
+            adjacency.setdefault(e["from"].split("::")[0],
+                                 set()).add(e["from"].split("::")[-1])
+    for cls in all_classes:
+        if "::" in cls.name:
+            adjacency.setdefault(cls.name.split("::")[0],
+                                 set()).add(cls.name.split("::")[-1])
+        # A pointer to the base reaches every derived class (and a derived
+        # class carries its base subobject's fields).
+        bare = cls.name.split("::")[-1]
+        for b in cls.bases:
+            adjacency.setdefault(b, set()).add(bare)
+            adjacency.setdefault(bare, set()).add(b)
+    reachable: set[str] = set()
+    frontier = [r for r in ROOTS]
+    while frontier:
+        node = frontier.pop()
+        if node in reachable:
+            continue
+        reachable.add(node)
+        frontier.extend(adjacency.get(node, ()))
+    for cls in all_classes:
+        cls.reachable = any(part in reachable
+                            for part in cls.name.split("::"))
+
+    # Findings over state-bearing classes.
+    for cls in all_classes:
+        if not cls.reachable:
+            continue
+        src = sources_by_rel[cls.file]
+        for f in cls.fields:
+            ident = f"{cls.name}::{f.name}"
+            if f.kind is None:
+                if UNCLASSIFIED_RULE not in src.allowed(f.line):
+                    findings.append(Finding(
+                        rule=UNCLASSIFIED_RULE, file=cls.file, line=f.line,
+                        identifier=ident,
+                        message=(
+                            f"cannot classify '{f.name}' ({f.type}) for the "
+                            "snapshot census; annotate it "
+                            "// hmr-state(owned-value|owned-heap|shared|"
+                            "back-reference|ephemeral[: note])")))
+                continue
+            if f.raw_pointer and (
+                    f.kind in ("owned-heap", "owned-value")
+                    or ownership_evidence(sources_by_rel, cls.file, f.name)):
+                if RAW_OWNER_RULE not in src.allowed(f.line):
+                    findings.append(Finding(
+                        rule=RAW_OWNER_RULE, file=cls.file, line=f.line,
+                        identifier=ident,
+                        message=(
+                            f"raw pointer '{f.name}' owns its pointee; a "
+                            "fork would double-free or leak it — make the "
+                            "ownership explicit with std::unique_ptr")))
+                continue
+            if f.kind == "back-reference" and not f.annotated:
+                targets_owned = [t for t in f.targets if owners.get(t)]
+                if f.targets and targets_owned == f.targets:
+                    continue  # every pointee has a declared owner edge
+                if BACKREF_RULE not in src.allowed(f.line):
+                    missing = [t for t in f.targets if not owners.get(t)]
+                    what = ", ".join(missing) if missing else f.type
+                    findings.append(Finding(
+                        rule=BACKREF_RULE, file=cls.file, line=f.line,
+                        identifier=ident,
+                        message=(
+                            f"back-reference '{f.name}' points at {what} "
+                            "which no censused field owns; a fork has "
+                            "nothing to re-point it from — declare the "
+                            "owner or annotate "
+                            "// hmr-state(back-reference: owner=<who>)")))
+
+    for src in src_sources:
+        found, _sites = scan_hidden_state(src)
+        findings.extend(found)
+
+    census = build_census(all_classes, edges, src_sources, layer_of)
+    return findings, census
+
+
+def build_census(all_classes: list[ClassInfo], edges: list[dict],
+                 src_sources: list[SourceFile], layer_of) -> dict:
+    layers: dict[str, dict] = {}
+    counts = {k: 0 for k in KINDS}
+    unclassified = 0
+    nfields = 0
+    for cls in sorted(all_classes, key=lambda c: (c.file, c.line)):
+        layer = layer_of(cls.file) or "(other)"
+        entry = {
+            "file": cls.file,
+            "line": cls.line,
+            "reachable": cls.reachable,
+            "fields": [],
+        }
+        for f in cls.fields:
+            nfields += 1
+            if f.kind is None:
+                unclassified += 1
+            else:
+                counts[f.kind] += 1
+            rec = {
+                "name": f.name, "type": f.type, "line": f.line,
+                "kind": f.kind or "unclassified",
+                "annotated": f.annotated,
+            }
+            if f.role:
+                rec["role"] = f.role
+            if f.note:
+                rec["note"] = f.note
+            if f.targets:
+                rec["targets"] = f.targets
+            entry["fields"].append(rec)
+        layers.setdefault(layer, {"classes": {}})["classes"][cls.name] = entry
+
+    hidden: list[dict] = []
+    for src in src_sources:
+        _found, sites = scan_hidden_state(src)
+        hidden.extend(sites)
+
+    return {
+        "version": 1,
+        "roots": list(ROOTS),
+        "layers": {k: layers[k] for k in sorted(layers)},
+        "edges": sorted(edges, key=lambda e: (e["from"], e["to"],
+                                              e["field"])),
+        "hidden_state": sorted(hidden, key=lambda h: (h["file"], h["line"])),
+        "summary": {
+            "classes": len(all_classes),
+            "reachable_classes": sum(1 for c in all_classes if c.reachable),
+            "fields": nfields,
+            "unclassified": unclassified,
+            "by_kind": counts,
+        },
+    }

@@ -15,6 +15,11 @@
 #   concurrency  hybridmr-analyze --group=concurrency over src/, emitting
 #                the layer-keyed shared-state census (shared_state.json in
 #                the build root) — blocking, zero unbaselined findings
+#   state        hybridmr-analyze --group=state over src/, emitting the
+#                layer-keyed state-ownership census (state_graph.json in
+#                the build root; see docs/SNAPSHOT.md) — blocking: zero
+#                unclassified fields and a non-empty census (an empty one
+#                means the pass went vacuous)
 #   clang-tidy   bugprone/performance/modernize/cppcoreguidelines profile
 #                against the Release compile database (skipped with a
 #                notice when clang-tidy is not installed)
@@ -35,7 +40,10 @@
 #   determinism  two same-seed quickstart runs; telemetry artifacts must be
 #                byte-identical — once plain and once with HYBRIDMR_PROFILE=1
 #                (the profiler's wall-clock data must never leak into the
-#                reports, so profiled runs must stay byte-identical too)
+#                reports, so profiled runs must stay byte-identical too);
+#                plus the snapshot fork-equivalence suite (tests/
+#                snapshot_test) re-run from the audit tree, so the
+#                restore path holds under every runtime invariant check
 #   profile      simulation-profiler smoke in the sanitize tree: bench_scale
 #                scale/24 with --profile + armed watchdog, hotspot table via
 #                scripts/profile_report.py, and a work-counter fingerprint
@@ -131,9 +139,12 @@ run_analyze_stage() {  # stage-name [analyzer args...]
 }
 
 # --- analyze: full static-analysis suite, baseline-gated, never skipped ------
+# The SARIF artifact is for code-review tooling; emitting it does not change
+# the gate (findings still decide the exit status).
 echo "=== [analyze] scripts/analyze/hybridmr-analyze ==="
 run_analyze_stage analyze \
-    --compile-commands "$root/release/compile_commands.json" "$repo/src" || true
+    --compile-commands "$root/release/compile_commands.json" \
+    --sarif "$root/analyze.sarif" "$repo/src" || true
 
 # --- concurrency: readiness census for the parallel sim core (blocking) ------
 # Emits the layer-keyed shared-state report alongside the gate; the report
@@ -155,6 +166,30 @@ case $? in
     ;;
   1) note_stage concurrency "FAIL (findings)" ;;
   *) note_stage concurrency "FAIL (analyzer infrastructure error)" ;;
+esac
+
+# --- state: snapshot-safety census for the fork/checkpoint work (blocking) ---
+# Emits the layer-keyed state-ownership census (docs/SNAPSHOT.md): every
+# field of every root-reachable class classified into the five snapshot
+# kinds. Gate: zero findings (no unclassified fields, raw owners, orphan
+# back-references or hidden mutable-lambda state) AND a non-empty census —
+# a report with no annotated sites means the pass went vacuous, because
+# the core's sanctioned ephemerals and back-references are annotated.
+echo "=== [state] hybridmr-analyze --group=state ==="
+python3 "$repo/scripts/analyze/hybridmr-analyze" --group=state \
+    --state-graph-report "$root/state_graph.json" \
+    --sarif "$root/state.sarif" "$repo/src"
+case $? in
+  0)
+    if grep -q '"annotated": true' "$root/state_graph.json" 2>/dev/null; then
+      note_stage state PASS
+    else
+      echo "state: state-graph census lists no annotated sites"
+      note_stage state "FAIL (empty census)"
+    fi
+    ;;
+  1) note_stage state "FAIL (findings)" ;;
+  *) note_stage state "FAIL (analyzer infrastructure error)" ;;
 esac
 
 # --- clang-tidy (needs the compile database from the release tree) ----------
@@ -298,6 +333,21 @@ if [ -x "$qs" ]; then
   fi
 else
   echo "determinism: quickstart binary missing ($qs)"
+fi
+# Snapshot fork-equivalence under the audit build: restore() replays the
+# original run byte-for-byte while every runtime invariant checkpoint
+# (event conservation, monotonic time, no orphaned handlers) is compiled
+# in and armed across the snapshot/restore boundary.
+snap="$root/audit/tests/snapshot_test"
+if [ -x "$snap" ]; then
+  echo "=== [determinism] snapshot fork-equivalence in the audit tree ==="
+  if ! HYBRIDMR_AUDIT=1 "$snap" > /dev/null; then
+    echo "determinism: snapshot fork-equivalence failed under audit"
+    det_result=FAIL
+  fi
+else
+  echo "determinism: $snap missing (audit build failed?)"
+  det_result=FAIL
 fi
 note_stage determinism "$det_result"
 

@@ -8,21 +8,22 @@
 #pragma once
 
 #include "cluster/resources.h"
+#include "sim/units.h"
 
 namespace hybridmr::cluster {
 
 struct Calibration {
   // --- Physical machine (dual-core Opteron class) ---
   double pm_cores = 2.0;
-  double pm_memory_mb = 4096;
-  double pm_disk_mbps = 80;    // Ultra320 SCSI effective sequential bandwidth
-  double pm_net_mbps = 117;    // 1 GbE payload rate
-  double pm_idle_watts = 180;  // typical 2-socket Opteron server
-  double pm_peak_watts = 260;
+  sim::MegaBytes pm_memory_mb{4096};
+  sim::MBps pm_disk_mbps{80};  // Ultra320 SCSI effective sequential bandwidth
+  sim::MBps pm_net_mbps{117};  // 1 GbE payload rate
+  sim::Watts pm_idle_watts{180};  // typical 2-socket Opteron server
+  sim::Watts pm_peak_watts{260};
 
   // --- Virtual machine (Xen guest) ---
   double vm_vcpus = 1.0;
-  double vm_memory_mb = 1024;
+  sim::MegaBytes vm_memory_mb{1024};
 
   // Virtualization taxes (fraction of useful work lost to the hypervisor).
   double cpu_tax = 0.05;  // paper §I: ~5 % for computation
@@ -40,18 +41,19 @@ struct Calibration {
   double dom0_io_tax = 0.03;
   // Xen PV netfront throughput ceiling per guest (circa Xen 3.x, ~0.3
   // Gbps): the mechanism behind the paper's cross-host penalty (Fig. 2(a)).
-  double vm_net_cap_mbps = 117;  // effectively uncapped; see EXPERIMENTS.md
+  sim::MBps vm_net_cap_mbps{117};  // effectively uncapped; see EXPERIMENTS.md
 
   // --- Live migration (Xen pre-copy) ---
   // Effective migration bandwidth: Xen rate-limits and competes with guest
   // traffic, so this is far below line rate.
-  double migration_bw_mbps = 10;
-  double migration_stop_threshold_mb = 4;  // stop-and-copy threshold
+  sim::MBps migration_bw_mbps{10};
+  sim::MegaBytes migration_stop_threshold_mb{4};  // stop-and-copy threshold
   int migration_max_rounds = 30;
   double migration_downtime_overhead_s = 0.05;  // fixed resume cost
-  double idle_dirty_rate_mbps = 0.4;
-  // Dirty rate grows with memory activity of the running workloads.
-  double dirty_rate_per_active_mb = 0.004;  // MB/s per MB of hot memory
+  sim::MBps idle_dirty_rate_mbps{0.4};
+  // Dirty rate grows with memory activity of the running workloads:
+  // MB/s of dirtying per MB of hot memory (PerSecond * MegaBytes -> MBps).
+  sim::PerSecond dirty_rate_per_active_mb{0.004};
   double migration_guest_slowdown = 0.10;   // guest slows ~10 % during precopy
 
   // --- Hadoop ---
@@ -59,14 +61,14 @@ struct Calibration {
   int reduce_slots_per_node = 2;
   // Stock mapred.child.java.opts heap: every task JVM gets this fixed heap
   // regardless of node size (the rigidity HybridMR's DRM reclaims).
-  double hadoop_child_heap_mb = 256;
+  sim::MegaBytes hadoop_child_heap_mb{256};
   int hdfs_replicas = 2;
-  double hdfs_block_mb = 128;
+  sim::MegaBytes hdfs_block_mb{128};
   // Per-stream HDFS rates: what one reader/writer/shuffle stream demands.
-  double hdfs_stream_disk_mbps = 60;
-  double hdfs_stream_net_mbps = 50;
+  sim::MBps hdfs_stream_disk_mbps{60};
+  sim::MBps hdfs_stream_net_mbps{50};
   // Same-host VM-to-VM transfers bypass the physical NIC (Xen loopback).
-  double loopback_mbps = 250;
+  sim::MBps loopback_mbps{250};
   // CPU cost of the DataNode daemon per active stream (checksumming,
   // buffer copies). This is what the split architecture (Fig. 3) offloads
   // from TaskTracker VMs onto a dedicated storage VM.
@@ -94,10 +96,12 @@ struct Calibration {
   }
 
   [[nodiscard]] Resources pm_capacity() const {
-    return {pm_cores, pm_memory_mb, pm_disk_mbps, pm_net_mbps};
+    return {pm_cores, pm_memory_mb.value(), pm_disk_mbps.value(),
+            pm_net_mbps.value()};
   }
   [[nodiscard]] Resources vm_nominal() const {
-    return {vm_vcpus, vm_memory_mb, pm_disk_mbps, pm_net_mbps};
+    return {vm_vcpus, vm_memory_mb.value(), pm_disk_mbps.value(),
+            pm_net_mbps.value()};
   }
 };
 

@@ -36,7 +36,7 @@ VirtualMachine* HybridCluster::add_vm(Machine& host, const std::string& name,
       sim_, n,
       vcpus > sim::CoreShare{0} ? vcpus : sim::CoreShare{cal_.vm_vcpus},
       memory_mb > sim::MegaBytes{0} ? memory_mb
-                                    : sim::MegaBytes{cal_.vm_memory_mb},
+                                    : cal_.vm_memory_mb,
       cal_));
   VirtualMachine* vm = vms_.back().get();
   host.attach_vm(vm);

@@ -115,7 +115,7 @@ double speed_of(const Workload& w, const Resources& alloc, double eff_cpu,
   const double io_demand = d.disk + d.net;
   if (io_demand > 0 && d.cpu > 0) {
     const double f_io =
-        io_demand / (io_demand + d.cpu * cal.hdfs_stream_disk_mbps);
+        io_demand / (io_demand + d.cpu * cal.hdfs_stream_disk_mbps.value());
     eff_io_weighted = 1.0 - (1.0 - eff_io) * f_io;
   }
   double speed = 1.0;
@@ -246,8 +246,8 @@ VirtualMachine::VirtualMachine(sim::Simulation& sim, std::string name,
 Resources VirtualMachine::nominal() const {
   // Disk/net are shared with the host; the VM's nominal slice is the host
   // capacity divided by its resident VMs (placement-time estimate only).
-  Resources n{vcpus_, memory_mb_.value(), cal_.pm_disk_mbps,
-              cal_.pm_net_mbps};
+  Resources n{vcpus_, memory_mb_.value(), cal_.pm_disk_mbps.value(),
+              cal_.pm_net_mbps.value()};
   if (host_ != nullptr && !host_->vms().empty()) {
     const double k = static_cast<double>(host_->vms().size());
     n.disk /= k;
@@ -280,7 +280,7 @@ Resources VirtualMachine::aggregate_demand() const {
   Resources limit = caps_;
   limit.cpu = std::min(limit.cpu, vcpus_);
   limit.memory = std::min(limit.memory, memory_mb_.value());
-  if (!dom0_) limit.net = std::min(limit.net, cal_.vm_net_cap_mbps);
+  if (!dom0_) limit.net = std::min(limit.net, cal_.vm_net_cap_mbps.value());
   agg_cache_ = sum.clamped_to(limit);
   agg_dirty_ = false;
   return agg_cache_;
@@ -373,8 +373,7 @@ Machine::Machine(sim::Simulation& sim, std::string name, Resources capacity,
       sim_(sim),
       capacity_(capacity),
       cal_(cal),
-      power_model_{sim::Watts{cal.pm_idle_watts},
-                   sim::Watts{cal.pm_peak_watts}} {
+      power_model_{cal.pm_idle_watts, cal.pm_peak_watts} {
   for (auto& series : util_series_) {
     series.set_max_samples(kMaxMachineSeriesSamples);
   }

@@ -17,7 +17,7 @@ MigrationPlan MigrationModel::plan(sim::MegaBytes memory, sim::MBps dirty_rate,
   if (memory <= sim::MegaBytes{0} || bw <= sim::MBps{0}) return p;
   sim::MegaBytes to_send = memory;
   while (p.rounds < cal_.migration_max_rounds &&
-         to_send > sim::MegaBytes{cal_.migration_stop_threshold_mb}) {
+         to_send > cal_.migration_stop_threshold_mb) {
     const sim::Duration t = to_send / bw;
     p.precopy_seconds += t;
     p.transferred_mb += to_send;
@@ -30,7 +30,7 @@ MigrationPlan MigrationModel::plan(sim::MegaBytes memory, sim::MBps dirty_rate,
   // Both early exits — divergence and the round cap — leave more than that
   // behind and must report non-convergence (the round-cap exit used to slip
   // through as converged).
-  if (to_send > sim::MegaBytes{cal_.migration_stop_threshold_mb}) {
+  if (to_send > cal_.migration_stop_threshold_mb) {
     p.converged = false;
   }
   p.downtime_seconds =
@@ -45,8 +45,8 @@ sim::MBps MigrationModel::dirty_rate_mbps(const VirtualMachine& vm) const {
     active_mb += sim::MegaBytes{
         std::min(w->demand().memory, w->allocated().memory)};
   }
-  return sim::MBps{cal_.idle_dirty_rate_mbps +
-                   cal_.dirty_rate_per_active_mb * active_mb.value()};
+  return cal_.idle_dirty_rate_mbps +
+         cal_.dirty_rate_per_active_mb * active_mb;
 }
 
 double unit_mean_lognormal(sim::Rng& rng, double sigma) {
@@ -68,7 +68,7 @@ bool Migrator::migrate(VirtualMachine& vm, Machine& dest, DoneFn done) {
 
   const sim::MBps dirty = jittered_dirty_rate(vm);
   const MigrationPlan plan = model_.plan(vm.memory_mb(), dirty,
-                                         sim::MBps{cal_.migration_bw_mbps});
+                                         cal_.migration_bw_mbps);
 
   auto record = std::make_shared<MigrationRecord>();
   record->vm = vm.name();
@@ -94,7 +94,7 @@ bool Migrator::migrate(VirtualMachine& vm, Machine& dest, DoneFn done) {
   // nominal migration bandwidth it finishes in plan.precopy_seconds; under
   // network contention it stretches, like real pre-copy does.
   Resources stream_demand;
-  stream_demand.net = cal_.migration_bw_mbps;
+  stream_demand.net = cal_.migration_bw_mbps.value();
   auto out_stream = std::make_shared<Workload>(
       "migrate-out:" + vm.name(), stream_demand, plan.precopy_seconds);
   auto in_stream = std::make_shared<Workload>(

@@ -150,6 +150,8 @@ class Workload {
   sim::SimTime started_at_ = 0;
   sim::Duration cpu_seconds_;
   sim::MegaBytes io_mb_;
+  // hmr-state(back-reference: owner=HybridCluster::machines_/vms_; a fork
+  // re-points it when it clones the site tree)
   ExecutionSite* site_ = nullptr;
 };
 

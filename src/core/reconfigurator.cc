@@ -42,9 +42,9 @@ std::vector<VirtualMachine*> Reconfigurator::virtualize_node(
   std::vector<VirtualMachine*> vms;
   const auto& cal = cluster_->calibration();
   const sim::CoreShare vcpus{std::max(1.0, cal.pm_cores / vms_per_host)};
-  const sim::MegaBytes memory{vms_per_host <= 2
-                                  ? cal.pm_memory_mb / (2.0 * vms_per_host)
-                                  : cal.pm_memory_mb / vms_per_host};
+  const sim::MegaBytes memory = vms_per_host <= 2
+                                    ? cal.pm_memory_mb / (2.0 * vms_per_host)
+                                    : cal.pm_memory_mb / vms_per_host;
   for (int i = 0; i < vms_per_host; ++i) {
     VirtualMachine* vm = cluster_->add_vm(machine, "", vcpus, memory);
     hdfs_->add_datanode(*vm);

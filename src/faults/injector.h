@@ -92,9 +92,14 @@ class FaultInjector {
  private:
   /// Everything needed to undo a crash on reboot.
   struct DownMachine {
+    // hmr-state(back-reference: owner=HybridCluster::machines_)
     cluster::Machine* machine = nullptr;
+    // hmr-state(back-reference: owner=HybridCluster::vms_)
     std::vector<cluster::VirtualMachine*> vms;
+    // hmr-state(back-reference: owner=HybridCluster; roles to restore on
+    // reboot — re-point with the site tree on fork)
     std::vector<cluster::ExecutionSite*> tracker_sites;
+    // hmr-state(back-reference: owner=HybridCluster, same as tracker_sites)
     std::vector<cluster::ExecutionSite*> datanode_sites;
   };
 

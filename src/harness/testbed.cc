@@ -88,9 +88,9 @@ std::pair<sim::CoreShare, sim::MegaBytes> TestBed::partitioned_vm_shape(
   // guest (the rest stays with Dom-0 and the page cache): at 2 VMs per
   // dual-core 4 GB server this is exactly the paper's 1 vCPU / 1 GB
   // configuration. Denser packings squeeze Dom-0 instead (0.75 x slice).
-  const sim::MegaBytes memory{vms_per_host <= 2
-                                  ? cal.pm_memory_mb / (2.0 * vms_per_host)
-                                  : cal.pm_memory_mb / vms_per_host};
+  const sim::MegaBytes memory = vms_per_host <= 2
+                                    ? cal.pm_memory_mb / (2.0 * vms_per_host)
+                                    : cal.pm_memory_mb / vms_per_host;
   return {vcpus, memory};
 }
 
@@ -134,7 +134,7 @@ std::vector<cluster::ExecutionSite*> TestBed::add_dom0_nodes(int count) {
   for (auto* m : cluster_->add_machines(count, "dom0-host")) {
     auto* vm = cluster_->add_vm(*m, m->name() + "-dom0",
                                 sim::CoreShare{cal.pm_cores},
-                                sim::MegaBytes{cal.pm_memory_mb});
+                                cal.pm_memory_mb);
     vm->set_dom0(true);
     out.push_back(register_node(*vm, /*datanode=*/true, /*tracker=*/true));
   }

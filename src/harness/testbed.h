@@ -155,6 +155,8 @@ class TestBed {
   std::unique_ptr<storage::Hdfs> hdfs_;
   std::unique_ptr<mapred::MapReduceEngine> mr_;
   std::unique_ptr<faults::FaultInjector> faults_;
+  // hmr-state(back-reference: registration order over sites owned by
+  // cluster_; fork rebuilds it alongside the cloned site tree)
   std::vector<cluster::ExecutionSite*> nodes_;
 };
 

@@ -211,8 +211,13 @@ class MapReduceEngine {
   // whole cluster. The site map serves O(1) tracker_on() and the per-host
   // gate; it is only ever *looked up*, never iterated, so unordered is
   // determinism-safe.
+  // hmr-state(ephemeral: incrementally maintained dispatch index; a fork
+  // rebuilds it from trackers_ via update_offer() instead of copying)
   std::set<std::uint32_t> offer_map_;
+  // hmr-state(ephemeral: reduce-side twin of offer_map_)
   std::set<std::uint32_t> offer_reduce_;
+  // hmr-state(ephemeral: lookup memo over trackers_; rebuild after a fork
+  // re-points the site back-references)
   std::unordered_map<const cluster::ExecutionSite*, TaskTracker*>
       tracker_by_site_;
   std::vector<std::unique_ptr<Job>> jobs_;

@@ -85,7 +85,7 @@ void TaskAttempt::build_phases() {
     phases_.push_back({Phase::Kind::kRead, head_mb.value(), {}});
     const double cpu_s = (sim::MegaBytes{mb} * spec.map_cpu_s_per_mb).value();
     const double stream_s = std::max(
-        {0.05, cpu_s, body_mb.value() / cal.hdfs_stream_disk_mbps});
+        {0.05, cpu_s, (body_mb / cal.hdfs_stream_disk_mbps).value()});
     Phase stream{Phase::Kind::kStream, stream_s, {}};
     stream.demand.cpu = std::min(1.0, cpu_s / stream_s);
     stream.demand.disk = body_mb.value() / stream_s;
@@ -118,17 +118,18 @@ void TaskAttempt::build_phases() {
     switch (p.kind) {
       case Phase::Kind::kRead:
       case Phase::Kind::kLocalWrite:
-        est = p.amount / cal.hdfs_stream_disk_mbps;
+        est = (sim::MegaBytes{p.amount} / cal.hdfs_stream_disk_mbps).value();
         break;
       case Phase::Kind::kCompute:
       case Phase::Kind::kStream:
         est = p.amount;
         break;
       case Phase::Kind::kShuffle:
-        est = p.amount / cal.hdfs_stream_net_mbps;
+        est = (sim::MegaBytes{p.amount} / cal.hdfs_stream_net_mbps).value();
         break;
       case Phase::Kind::kWrite:
-        est = 2 * p.amount / cal.hdfs_stream_disk_mbps;  // replication
+        est = 2 * (sim::MegaBytes{p.amount} /
+                   cal.hdfs_stream_disk_mbps).value();  // replication
         break;
     }
     weights_.push_back(est);
@@ -191,11 +192,10 @@ void TaskAttempt::next_phase() {
     }
     case Phase::Kind::kLocalWrite: {
       Resources d;
-      d.disk = cal.hdfs_stream_disk_mbps;
+      d.disk = cal.hdfs_stream_disk_mbps.value();
       workload_ = std::make_shared<Workload>(
           label() + ":spill", d,
-          sim::MegaBytes{phase.amount} /
-              sim::MBps{cal.hdfs_stream_disk_mbps});
+          sim::MegaBytes{phase.amount} / cal.hdfs_stream_disk_mbps);
       workload_->set_caps(caps_);
       workload_->set_paused(paused_);
       workload_->on_complete = [this]() {

@@ -18,12 +18,12 @@ cluster::Resources TaskTracker::static_slot_share(TaskType /*type*/) const {
   cluster::Resources caps = cluster::Resources::unbounded();
   // Two concurrently active slots saturate a native node's disk exactly;
   // the rigidity shows up whenever fewer streams than slots are active.
-  caps.disk = cal.pm_disk_mbps / 2;
-  caps.net = cal.pm_net_mbps / 2;
+  caps.disk = cal.pm_disk_mbps.value() / 2;
+  caps.net = cal.pm_net_mbps.value() / 2;
   // Every task JVM runs with the stock fixed heap (mapred.child.java.opts)
   // no matter how much memory the node actually has — the rigidity
   // MROrchestrator reclaims.
-  caps.memory = cal.hadoop_child_heap_mb;
+  caps.memory = cal.hadoop_child_heap_mb.value();
   return caps;
 }
 

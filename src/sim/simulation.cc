@@ -98,6 +98,33 @@ std::size_t Simulation::run() {
   return processed_ - before;
 }
 
+Simulation::Snapshot Simulation::snapshot() const {
+  gate_.assert_held();
+  assert(!running_ && "snapshot() inside run() — stop() first");
+  return Snapshot{queue_.snapshot(),
+                  rng_,
+                  now_,
+                  processed_,
+                  clamped_past_events_,
+                  max_event_fanout_,
+                  flush_scheduled_events_};
+}
+
+void Simulation::restore(const Snapshot& snap) {
+  gate_.assert_held();
+  assert(!running_ && "restore() inside run() — stop() first");
+  queue_.restore(snap.queue);
+  rng_ = snap.rng;
+  now_ = snap.now;
+  processed_ = snap.processed;
+  clamped_past_events_ = snap.clamped_past_events;
+  max_event_fanout_ = snap.max_event_fanout;
+  flush_scheduled_events_ = snap.flush_scheduled_events;
+  stop_requested_ = false;
+  // flush_hooks_ and probe_ stay untouched: instrumentation and deferred-
+  // drain wiring belong to the hosting harness, not to simulation state.
+}
+
 std::size_t Simulation::run_until(SimTime t) {
   gate_.assert_held();
   const std::size_t before = processed_;

@@ -236,6 +236,37 @@ class Simulation {
 
   Rng& rng() { return rng_; }
 
+  /// Value snapshot of the sim core: clock, event queue (pending handlers,
+  /// lazy-deleted heap entries, deferred seats), Rng stream position and
+  /// the queue-mechanics counters. See docs/SNAPSHOT.md for the contract.
+  struct Snapshot {
+    EventQueue::Snapshot queue;
+    // hmr-state(owned-value: engine + distribution carry state, copied
+    // verbatim — the stream resumes exactly where the snapshot was taken)
+    Rng rng;
+    SimTime now = 0;
+    std::size_t processed = 0;
+    std::uint64_t clamped_past_events = 0;
+    std::uint64_t max_event_fanout = 0;
+    std::uint64_t flush_scheduled_events = 0;
+  };
+
+  /// Captures the sim core. Must not be called from inside run(): the
+  /// event boundary is the only consistent cut. Copied handlers alias
+  /// their pointer/shared_ptr captures (docs/SNAPSHOT.md): restoring into
+  /// the same object graph (rewind) is exact; restoring into a *fresh*
+  /// core is exact only when every pending handler reaches its state
+  /// through an indirection the caller re-points (the fork-equivalence
+  /// test demonstrates both). every() tickers capture `this` and are
+  /// rewind-safe but not fork-safe.
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Replaces the sim core with `snap`, as if the run had just reached the
+  /// snapshot point. Harness wiring — flush hooks, probe, log sink — is
+  /// deliberately untouched: a restored core keeps its own instrumentation.
+  /// Must not be called from inside run().
+  void restore(const Snapshot& snap);
+
  private:
   bool dispatch_one() HMR_REQUIRES(gate_);
 
@@ -253,6 +284,8 @@ class Simulation {
   std::uint64_t clamped_past_events_ = 0;
   std::uint64_t max_event_fanout_ = 0;
   std::uint64_t flush_scheduled_events_ = 0;
+  // hmr-state(back-reference: owner=harness/profiler wiring; snapshot()
+  // leaves it untouched — a restored core keeps its own probe)
   DispatchProbe* probe_ HMR_GUARDED_BY(gate_) = nullptr;
   bool stop_requested_ = false;
   bool running_ = false;

@@ -41,6 +41,7 @@ struct watts_tag;
 struct joules_tag;
 struct cores_tag;
 struct fraction_tag;
+struct per_second_tag;
 }  // namespace unit_detail
 
 /// One double, tagged with its dimension. Explicit construction only:
@@ -121,6 +122,10 @@ using Joules = Quantity<unit_detail::joules_tag>;
 using CoreShare = Quantity<unit_detail::cores_tag>;
 /// A dimensionless fraction (utilization, progress, tax).
 using Fraction = Quantity<unit_detail::fraction_tag>;
+/// An inverse-time density (1/s): rate produced per unit of stock, e.g. how
+/// many MB/s of page dirtying each MB of hot guest memory generates during
+/// Xen pre-copy (Calibration::dirty_rate_per_active_mb).
+using PerSecond = Quantity<unit_detail::per_second_tag>;
 
 // --- dimensional cross products ------------------------------------------
 
@@ -143,6 +148,16 @@ constexpr Duration operator*(MegaBytes size, SecondsPerMB cost) {
 }
 constexpr SecondsPerMB operator/(Duration t, MegaBytes size) {
   return SecondsPerMB{t.value() / size.value()};
+}
+
+constexpr MBps operator*(PerSecond density, MegaBytes stock) {
+  return MBps{density.value() * stock.value()};
+}
+constexpr MBps operator*(MegaBytes stock, PerSecond density) {
+  return density * stock;
+}
+constexpr PerSecond operator/(MBps rate, MegaBytes stock) {
+  return PerSecond{rate.value() / stock.value()};
 }
 
 constexpr Joules operator*(Watts p, Duration t) {

@@ -219,7 +219,7 @@ Hdfs::FileId Hdfs::stage_file(const std::string& name, sim::MegaBytes size_mb,
   file.size_mb = size_mb;
   file.block_mb = block_mb > sim::MegaBytes{0}
                       ? block_mb
-                      : sim::MegaBytes{cal_.hdfs_block_mb};
+                      : cal_.hdfs_block_mb;
   const int blocks = std::max(
       1, static_cast<int>(std::ceil(file.size_mb / file.block_mb)));
   file.block_replicas.reserve(static_cast<std::size_t>(blocks));
@@ -379,8 +379,8 @@ FlowHandle Hdfs::read_block(FileId file, int block, ExecutionSite& reader,
     chosen = reps[sim_.rng().index(reps.size())];
   }
 
-  const sim::MBps disk_rate{cal_.hdfs_stream_disk_mbps};
-  const sim::MBps net_rate{cal_.hdfs_stream_net_mbps};
+  const sim::MBps disk_rate = cal_.hdfs_stream_disk_mbps;
+  const sim::MBps net_rate = cal_.hdfs_stream_net_mbps;
 
   switch (locality) {
     case Locality::kNodeLocal: {
@@ -461,8 +461,8 @@ FlowHandle Hdfs::write(ExecutionSite& writer, sim::MegaBytes mb, DoneFn done,
       std::min<int>(replicas > 0 ? replicas : cal_.hdfs_replicas,
                     std::max<int>(1, datanodes_.size()));
   const auto reps = pick_replicas(&writer, want);
-  const sim::MBps disk_rate{cal_.hdfs_stream_disk_mbps};
-  const sim::MBps net_rate{cal_.hdfs_stream_net_mbps};
+  const sim::MBps disk_rate = cal_.hdfs_stream_disk_mbps;
+  const sim::MBps net_rate = cal_.hdfs_stream_net_mbps;
   written_mb_ += mb;
   for (DataNode* dn : reps) dn->add_stored(mb);
 
@@ -502,8 +502,8 @@ FlowHandle Hdfs::transfer(ExecutionSite& src, ExecutionSite& dst,
   if (prof_ != nullptr) {
     prof_->add(telemetry::WorkCounter::kShuffleTransfers);
   }
-  const sim::MBps disk_rate{cal_.hdfs_stream_disk_mbps};
-  const sim::MBps net_rate{cal_.hdfs_stream_net_mbps};
+  const sim::MBps disk_rate = cal_.hdfs_stream_disk_mbps;
+  const sim::MBps net_rate = cal_.hdfs_stream_net_mbps;
   if (&src == &dst) {
     // Local fetch: just the disk read.
     Resources d;
@@ -515,7 +515,7 @@ FlowHandle Hdfs::transfer(ExecutionSite& src, ExecutionSite& dst,
   }
   if (same_host(src, dst)) {
     // Loopback: disk at the source paces it, capped by the loopback rate.
-    const sim::MBps rate = std::min(disk_rate, sim::MBps{cal_.loopback_mbps});
+    const sim::MBps rate = std::min(disk_rate, cal_.loopback_mbps);
     Resources d;
     d.disk = disk_rate.value();
     d.cpu = cal_.hdfs_serve_cpu_per_stream;
@@ -553,7 +553,7 @@ FlowHandle Hdfs::transfer_batch(
   for (const auto& [src, mb] : sources) total += mb;
   const double streams = std::min<double>(
       max_streams, static_cast<double>(sources.size()));
-  const sim::MBps net_rate{cal_.hdfs_stream_net_mbps};
+  const sim::MBps net_rate = cal_.hdfs_stream_net_mbps;
   const sim::MBps rate = net_rate * streams;
 
   Resources dst_d;

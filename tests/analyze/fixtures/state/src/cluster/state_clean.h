@@ -1,0 +1,25 @@
+// Clean state fixture: every field classifiable without annotation,
+// nothing fires. Exercises the TestBed root, the shared primary/observer
+// roles, and a back-reference satisfied by an owning edge (pool_ owns
+// Widget, so into_pool_ needs no annotation).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace fx {
+
+struct Widget {
+  double mass = 0;
+};
+
+class TestBed {
+ private:
+  std::vector<Widget> pool_;
+  std::shared_ptr<Widget> primary_;
+  std::weak_ptr<Widget> observer_;
+  Widget* into_pool_ = nullptr;
+  unsigned long seed_ = 42;
+};
+
+}  // namespace fx

@@ -1,0 +1,28 @@
+// Impl sibling of state_bad.h: the new/delete ownership evidence for
+// gadget_, plus the hidden-state callback sites (violation, suppressed,
+// annotated sanction). The blank lines between at() calls matter: the
+// scanner reads a three-line window per call site, so adjacent sites
+// must not bleed into each other's windows.
+#include "sim/state_bad.h"
+
+namespace fx {
+
+Simulation::~Simulation() {
+  delete gadget_;
+}
+
+void Simulation::tick() {}
+
+void Simulation::schedule() {
+  at(1.0, [this] { tick(); });  // clean: no captured-by-value mutable state
+
+
+  at(5.0, [n = 0]() mutable { ++n; });  // line 20: state-hidden-state
+
+  at(6.0, [k = 0]() mutable { ++k; });  // sim-lint: allow(state-hidden-state)
+
+  // hmr-state(ephemeral: fixture-sanctioned counter, discarded on fork)
+  at(7.0, [j = 0]() mutable { ++j; });
+}
+
+}  // namespace fx

@@ -1,0 +1,39 @@
+// State-group fixture: each rule fires exactly once, with suppressed and
+// annotated decoys that must stay silent. Line numbers are pinned in
+// tests/analyze/analyze_driver.py — keep the `line N:` markers in sync.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+namespace fx {
+
+struct Orphan {
+  int x = 0;
+};
+
+struct Owned {
+  int y = 0;
+};
+
+class Simulation {
+ public:
+  void at(double t, std::function<void()> fn);
+  void tick();
+  void schedule();
+  ~Simulation();
+
+ private:
+  UnknownHandle handle_;  // line 27: state-unclassified-field
+  Gadget* gadget_;        // line 28: state-raw-owner (delete in the .cc)
+  Orphan* orphan_;        // line 29: state-backref-cycle (nobody owns Orphan)
+  std::unique_ptr<Owned> owned_;  // clean: owned-heap
+  double clock_ = 0;              // clean: owned-value
+  MysteryState quiet_;  // sim-lint: allow(state-unclassified-field)
+  // hmr-state(ephemeral: memo rebuilt on first use after a fork)
+  ScratchBlob scratch_;
+  // hmr-state(back-reference: owner=the embedding harness)
+  Orphan* harness_orphan_;
+};
+
+}  // namespace fx

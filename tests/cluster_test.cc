@@ -181,7 +181,7 @@ TEST_F(ClusterTest, Dom0NearNative) {
   Machine* m = cluster.add_machine();
   VirtualMachine* vm =
       cluster.add_vm(*m, "dom0", sim::CoreShare{cal().pm_cores},
-                     sim::MegaBytes{cal().pm_memory_mb});
+                     cal().pm_memory_mb);
   vm->set_dom0(true);
   auto w = make_cpu_work(1.0, 100.0);
   vm->add(w);
@@ -251,7 +251,7 @@ TEST_F(ClusterTest, EnergyIdleIntegratesIdlePower) {
   Machine* m = cluster.add_machine();
   sim.at(100.0, [] {});
   sim.run();
-  EXPECT_NEAR(m->energy().joules(0, 100).value(), cal().pm_idle_watts * 100,
+  EXPECT_NEAR(m->energy().joules(0, 100).value(), cal().pm_idle_watts.value() * 100,
               1e-6);
 }
 
@@ -397,8 +397,8 @@ TEST(MigrationModel, RoundCapExitReportsNonConvergence) {
   EXPECT_LT(fine.rounds, cal().migration_max_rounds);
   EXPECT_TRUE(fine.converged);
   EXPECT_LE(fine.downtime_seconds,
-            sim::Duration{cal().migration_stop_threshold_mb / 10 +
-                          cal().migration_downtime_overhead_s + 1e-9});
+            cal().migration_stop_threshold_mb / sim::MBps{10} +
+                sim::Duration{cal().migration_downtime_overhead_s + 1e-9});
 }
 
 TEST(MigrationModel, DirtyRateJitterIsUnitMean) {

@@ -294,8 +294,8 @@ TEST_P(EnergySweep, EnergyBoundedByIdleAndPeak) {
   const double end = bed.sim().now();
   const double joules = bed.cluster().energy_joules(0, end).value();
   const auto& cal = bed.calibration();
-  const double idle_floor = GetParam() * cal.pm_idle_watts * end;
-  const double peak_ceiling = GetParam() * cal.pm_peak_watts * end;
+  const double idle_floor = GetParam() * cal.pm_idle_watts.value() * end;
+  const double peak_ceiling = GetParam() * cal.pm_peak_watts.value() * end;
   EXPECT_GE(joules, idle_floor - 1e-6);
   EXPECT_LE(joules, peak_ceiling + 1e-6);
 }

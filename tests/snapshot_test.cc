@@ -1,0 +1,288 @@
+// Fork-equivalence proof for Simulation::snapshot()/restore().
+//
+// The state census (scripts/analyze/state.py, docs/SNAPSHOT.md) claims the
+// sim core's full state is: clock, event queue (pending handlers, stale
+// lazy-deleted heap items, deferred seats, conservation counters), and the
+// Rng stream. These tests prove the census is *correct, not just complete*:
+//
+//   1. Fork: snapshot at t, run the original to completion, restore the
+//      snapshot into a FRESH core, run that to completion — the two
+//      RunReports must match byte for byte. Handlers reach all mutable
+//      state through a stable Env* indirection the test re-points between
+//      runs (the snapshot contract: copied closures alias their captures).
+//   2. Rewind: snapshot, run ahead, restore IN PLACE, run again — byte
+//      identical. this-capturing every() tickers are legal here.
+//
+// The scenario deliberately exercises the queue states a naive copy would
+// get wrong: an event cancelled before t whose stale heap item is still
+// buried in the heap at t, a defer() postpone (stale seat surfaces after
+// t), a defer() advance (duplicate heap item), a repush() with inherited
+// FIFO seq, a same-time collision straddling t, a flush-hook-scheduled
+// event, and Rng draws on both sides of the cut.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/simulation.h"
+
+namespace hybridmr::sim {
+namespace {
+
+// Full round-trip precision: the whole point is byte-for-byte equality, so
+// the report must not round away a divergence.
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// All mutable scenario state, copyable by value at the snapshot point.
+struct World {
+  std::vector<std::string> trace;
+  EventId victim;     // cancelled before the snapshot (stale heap item)
+  EventId postponed;  // defer()ed later: stale seat buried at t
+  EventId advanced;   // defer()ed earlier: duplicate heap item
+  EventId repushed;   // repush()ed: fresh slot, inherited seq
+  int chain_hops = 0;
+  bool flush_request = false;
+};
+
+// The stable indirection every handler captures. Re-pointing sim/world
+// re-targets every closure the snapshot copied — this is the documented
+// fork protocol for state reached from inside pending callbacks.
+struct Env {
+  Simulation* sim = nullptr;
+  World* world = nullptr;
+};
+
+void chain(Env* env) {
+  World& w = *env->world;
+  const double u = env->sim->rng().uniform();
+  w.trace.push_back("chain@" + num(env->sim->now()) + " u=" + num(u));
+  if (++w.chain_hops < 14) {
+    env->sim->after(6.0 + 4.0 * u, [env] { chain(env); });
+  }
+}
+
+// Schedules the whole scenario at absolute times (called with now() == 0).
+void arm(Env* env) {
+  Simulation& sim = *env->sim;
+  sim.after(5.0, [env] { chain(env); });
+  sim.at(20.0, [env] {
+    env->world->victim = env->sim->at(80.0, [env] {
+      env->world->trace.push_back("victim fired (MUST NOT HAPPEN)");
+    });
+  });
+  sim.at(30.0, [env] {
+    const bool ok = env->sim->cancel(env->world->victim);
+    env->world->trace.push_back(std::string("cancel victim ") +
+                                (ok ? "ok" : "miss"));
+  });
+  // Same-time FIFO collision at 52.0 (after the cut), pushed before it.
+  sim.at(35.0, [env] {
+    for (int i = 0; i < 3; ++i) {
+      env->sim->at(52.0, [env, i] {
+        env->world->trace.push_back("collision#" + std::to_string(i) + "@" +
+                                    num(env->sim->now()));
+      });
+    }
+  });
+  sim.at(40.0, [env] {
+    env->world->postponed = env->sim->at(60.0, [env] {
+      env->world->trace.push_back("postponed fired@" + num(env->sim->now()));
+    });
+  });
+  sim.at(42.0, [env] {
+    env->world->advanced = env->sim->at(70.0, [env] {
+      env->world->trace.push_back("advanced fired@" + num(env->sim->now()));
+    });
+  });
+  sim.at(44.0, [env] {
+    env->world->repushed = env->sim->at(65.0, [env] {
+      env->world->trace.push_back("repushed fired@" + num(env->sim->now()));
+    });
+  });
+  sim.at(45.0, [env] {
+    env->sim->defer(env->world->postponed, 90.0);
+    env->world->trace.push_back("defer postpone -> 90");
+  });
+  sim.at(47.0, [env] {
+    env->world->repushed = env->sim->repush(env->world->repushed, 58.0);
+    env->world->trace.push_back("repush -> 58");
+  });
+  sim.at(48.0, [env] {
+    env->sim->defer(env->world->advanced, 55.0);
+    env->world->trace.push_back("defer advance -> 55");
+  });
+  sim.at(49.0, [env] { env->world->flush_request = true; });
+}
+
+// Flush hooks are harness wiring (not snapshotted); the harness installs
+// the same hook on every core it drives.
+void wire_flush_hook(Env* env) {
+  env->sim->add_flush_hook([env] {
+    if (env->world->flush_request) {
+      env->world->flush_request = false;
+      env->sim->after(2.5, [env] {
+        env->world->trace.push_back("flush-spawned@" + num(env->sim->now()));
+      });
+    }
+  });
+}
+
+// The RunReport: every queue-mechanics counter, the full trace, and a
+// post-run Rng fingerprint (three draws — byte-equal only if the stream
+// position matches exactly at the end of the run).
+std::string run_report(Simulation& sim, const World& world) {
+  std::string out = "{\"now\":" + num(sim.now());
+  out += ",\"processed\":" + std::to_string(sim.events_processed());
+  out += ",\"scheduled\":" + std::to_string(sim.events_scheduled());
+  out += ",\"cancelled\":" + std::to_string(sim.events_cancelled());
+  out += ",\"deferred\":" + std::to_string(sim.events_deferred());
+  out += ",\"pending\":" + std::to_string(sim.pending_events());
+  out += ",\"max_depth\":" + std::to_string(sim.max_queue_depth());
+  out += ",\"max_fanout\":" + std::to_string(sim.max_event_fanout());
+  out += ",\"flush_scheduled\":" + std::to_string(sim.flush_scheduled_events());
+  out += ",\"clamped\":" + std::to_string(sim.clamped_past_events());
+  out += ",\"trace\":[";
+  for (std::size_t i = 0; i < world.trace.size(); ++i) {
+    out += (i ? ",\"" : "\"") + world.trace[i] + "\"";
+  }
+  out += "],\"rng\":[" + num(sim.rng().uniform()) + "," +
+         num(sim.rng().uniform()) + "," + num(sim.rng().uniform()) + "]}";
+  return out;
+}
+
+TEST(SnapshotFork, RestoredFreshCoreMatchesUninterruptedRunByteForByte) {
+  constexpr double kCut = 50.0;
+
+  Simulation sim_a(1234);
+  World world_a;
+  Env env{&sim_a, &world_a};
+  wire_flush_hook(&env);
+  arm(&env);
+  sim_a.run_until(kCut);
+
+  // The cut: core snapshot + value copy of the world at t.
+  const Simulation::Snapshot snap = sim_a.snapshot();
+  const World world_at_cut = world_a;
+  ASSERT_GT(sim_a.pending_events(), 0u) << "scenario must straddle the cut";
+
+  // Run the original, uninterrupted, to completion.
+  sim_a.run();
+  const std::string report_a = run_report(sim_a, world_a);
+
+  // Fork: fresh core, restored queue/clock/rng, world copied from the cut,
+  // and the Env re-pointed so every closure the snapshot copied — and
+  // every closure those will schedule — lands on the fork.
+  Simulation sim_b(999);  // seed is irrelevant: restore() overwrites rng
+  World world_b = world_at_cut;
+  env.sim = &sim_b;
+  env.world = &world_b;
+  wire_flush_hook(&env);
+  sim_b.restore(snap);
+  EXPECT_EQ(sim_b.pending_events(), snap.queue.live);
+  sim_b.run();
+  const std::string report_b = run_report(sim_b, world_b);
+
+  EXPECT_EQ(report_a, report_b);
+  // The scenario's tripwires actually armed before the cut:
+  const std::string joined = report_a;
+  EXPECT_NE(joined.find("cancel victim ok"), std::string::npos);
+  EXPECT_NE(joined.find("defer postpone -> 90"), std::string::npos);
+  EXPECT_NE(joined.find("defer advance -> 55"), std::string::npos);
+  EXPECT_NE(joined.find("repush -> 58"), std::string::npos);
+  EXPECT_NE(joined.find("flush-spawned"), std::string::npos);
+  EXPECT_EQ(joined.find("MUST NOT HAPPEN"), std::string::npos);
+}
+
+TEST(SnapshotRewind, InPlaceRestoreReplaysTickersByteForByte) {
+  Simulation sim(7);
+  std::vector<std::string> trace;
+  // every() tickers capture `this` — legal for in-place rewind (the same
+  // Simulation receives the replay), never for a fresh-core fork.
+  sim.every(3.0, [&] {
+    trace.push_back("tick@" + num(sim.now()) + " u=" +
+                    num(sim.rng().uniform()));
+  });
+  sim.run_until(10.0);
+
+  const Simulation::Snapshot snap = sim.snapshot();
+  const std::vector<std::string> trace_at_cut = trace;
+
+  sim.run_until(40.0);
+  std::string first = "[";
+  for (const auto& s : trace) first += s + ";";
+  first += "]n=" + num(sim.now()) +
+           " p=" + std::to_string(sim.events_processed()) +
+           " u=" + num(sim.rng().uniform());
+
+  sim.restore(snap);
+  trace = trace_at_cut;
+  sim.run_until(40.0);
+  std::string second = "[";
+  for (const auto& s : trace) second += s + ";";
+  second += "]n=" + num(sim.now()) +
+            " p=" + std::to_string(sim.events_processed()) +
+            " u=" + num(sim.rng().uniform());
+
+  EXPECT_EQ(first, second);
+}
+
+TEST(Snapshot, PreSnapshotEventIdsAreValidAgainAfterRestore) {
+  Simulation sim(3);
+  int fired = 0;
+  const EventId id = sim.at(5.0, [&] { ++fired; });
+  const Simulation::Snapshot snap = sim.snapshot();
+
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.cancel(id));  // consumed
+
+  sim.restore(snap);
+  // The restored queue reproduces slots and generations, so the old id
+  // names the pending event again — cancel it this time.
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.events_cancelled(), 1u);
+}
+
+TEST(Snapshot, IsImmutableWhileTheOriginalKeepsRunning) {
+  Simulation sim(11);
+  sim.at(1.0, [] {});
+  const Simulation::Snapshot snap = sim.snapshot();
+  sim.at(2.0, [] {});
+  sim.at(3.0, [] {});
+  EXPECT_EQ(sim.pending_events(), 3u);
+  EXPECT_EQ(snap.queue.live, 1u);
+
+  sim.restore(snap);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_EQ(sim.events_scheduled(), 1u);
+}
+
+TEST(Snapshot, CountersRoundTripExactly) {
+  Simulation sim(5);
+  const EventId a = sim.at(1.0, [] {});
+  sim.at(2.0, [] {});
+  sim.cancel(a);
+  sim.run_until(1.5);
+  const Simulation::Snapshot snap = sim.snapshot();
+
+  Simulation fresh(0);
+  fresh.restore(snap);
+  EXPECT_DOUBLE_EQ(fresh.now(), 1.5);
+  EXPECT_EQ(fresh.events_processed(), sim.events_processed());
+  EXPECT_EQ(fresh.events_scheduled(), sim.events_scheduled());
+  EXPECT_EQ(fresh.events_cancelled(), sim.events_cancelled());
+  EXPECT_EQ(fresh.pending_events(), sim.pending_events());
+  EXPECT_EQ(fresh.max_queue_depth(), sim.max_queue_depth());
+}
+
+}  // namespace
+}  // namespace hybridmr::sim
