@@ -1,0 +1,232 @@
+// Capacity planner on the what-if engine: sweep many forked scenarios from
+// ONE warmed simulation and compare against re-running each scenario from a
+// cold start. The point of the whole-engine fork (docs/WHATIF.md): the
+// expensive part of a what-if — building the cluster, ingesting HDFS
+// blocks, warming the schedulers into a representative mid-chaos state —
+// is paid once; every scenario after that is a copy-on-write fork(2) that
+// only pays for its own lookahead horizon.
+//
+// Each scenario perturbs the warmed engine by index (which machine to
+// crash, which extra job to inject, when) and reports the horizon outcome
+// (batch progress, app response, makespan damage) through the fork pipe.
+// The same scenario function drives the cold baseline, so the wall-clock
+// comparison is like for like. Everything a child reports is simulated
+// state — no PIDs, no wall clock — so the sweep fingerprint printed by
+// --fingerprint is identical for identical seeds; ci.sh diffs two
+// same-seed sweeps in its whatif stage.
+//
+// Emits google-benchmark-shaped JSON (--out) with mean per-scenario wall
+// times for "whatif/forked" and "whatif/cold"; BENCH_whatif.json gates
+// cold/forked >= 5x via a perf_gate.py ratio rule (hardware-independent:
+// both sides run in this same process on this same machine).
+//
+// Usage: bench_whatif [--seed N] [--scenarios N] [--cold K] [--out FILE]
+//                     [--fingerprint]
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/hybridmr.h"
+#include "faults/injector.h"
+#include "harness/table.h"
+#include "harness/testbed.h"
+#include "interactive/presets.h"
+#include "workload/benchmarks.h"
+
+namespace {
+
+using namespace hybridmr;
+
+// A benchmark harness is the one place where wall-clock time is the
+// measurand rather than a determinism hazard: nothing inside the simulation
+// ever sees these readings.
+using WallClock = std::chrono::steady_clock;  // sim-lint: allow(wall-clock)
+
+constexpr double kWarmUntil = 240.0;   // shared prefix every scenario reuses
+constexpr double kHorizon = 30.0;      // simulated seconds per scenario
+
+// The warmed engine: a fig8-class virtual cluster mid-chaos, with a
+// collocated interactive app and a heterogeneous batch in flight.
+struct Engine {
+  explicit Engine(std::uint64_t seed) {
+    harness::TestBed::Options o;
+    o.seed = seed;
+    o.telemetry = false;
+    o.calibration.hdfs_replicas = 3;
+    o.faults.one_shot.push_back({faults::FaultSpec::Kind::kMachineCrash,
+                                 /*at=*/30.0, "vhost1", sim::Duration{60.0}});
+    o.faults.task_failure_rate = 0.02;
+    o.faults.rate_horizon_s = 400;
+    o.faults.seed = seed ^ 0x9e3779b9;
+    bed = std::make_unique<harness::TestBed>(o);
+    sites = bed->add_virtual_nodes(/*hosts=*/24, /*vms_per_host=*/2);
+
+    core::HybridMROptions options;
+    options.enable_phase1 = false;
+    hybrid = std::make_unique<core::HybridMRScheduler>(
+        bed->sim(), bed->cluster(), bed->hdfs(), bed->mr(), options);
+    hybrid->start();
+    hybrid->deploy_interactive(interactive::olio_params(), 1100, sites[0]);
+    // One fig8-class wave per 8 hosts, as in bench_scale: the warmed
+    // prefix carries real batch state worth amortizing.
+    for (int w = 0; w < 3; ++w) {
+      bed->mr().submit(workload::sort_job().with_input_gb(2.0));
+      bed->mr().submit(workload::dist_grep().with_input_gb(4.0));
+      bed->mr().submit(workload::wcount().with_input_gb(2.0));
+    }
+  }
+
+  // One capacity-planning scenario, perturbed by index: crash a machine,
+  // inject an extra job, then run the horizon and report what happened.
+  // Runs identically in a forked child and in a cold replica.
+  std::string scenario(int i) {
+    const int victim = 1 + i % 5;  // vhost1..vhost5 (vhost0 hosts the app)
+    const double crash_at = bed->sim().now() + 2.0 + (i % 4);
+    if (bed->faults() != nullptr && i % 7 != 0) {  // some scenarios: no crash
+      auto* m = bed->cluster().machine("vhost" + std::to_string(victim));
+      bed->sim().at(crash_at, [this, m] {
+        if (m != nullptr) bed->faults()->crash_machine(*m, sim::Duration{40.0});
+      });
+    }
+    switch (i % 3) {
+      case 0: bed->mr().submit(workload::sort_job().with_input_gb(0.5)); break;
+      case 1: bed->mr().submit(workload::pi_est()); break;
+      default: break;  // pure capacity probe: no extra load
+    }
+    bed->run_until(bed->sim().now() + kHorizon);
+
+    double done = 0;
+    double makespan = 0;
+    int finished = 0;
+    for (const auto& job : bed->mr().jobs()) {
+      done += job->maps_done() + job->reduces_done();
+      if (job->finished()) {
+        ++finished;
+        makespan = std::max(makespan, job->finish_time());
+      }
+    }
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "i=%d done=%.17g finished=%d makespan=%.17g resp=%.17g",
+                  i, done, finished, makespan,
+                  hybrid->apps().front()->response_time_s());
+    return buf;
+  }
+
+  std::unique_ptr<harness::TestBed> bed;
+  std::unique_ptr<core::HybridMRScheduler> hybrid;
+  std::vector<cluster::ExecutionSite*> sites;
+};
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+double ms_since(WallClock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(WallClock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 42;
+  int scenarios = 120;
+  int cold = 8;
+  const char* out_path = nullptr;
+  bool fingerprint = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--scenarios") == 0 && i + 1 < argc) {
+      scenarios = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--cold") == 0 && i + 1 < argc) {
+      cold = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--fingerprint") == 0) {
+      fingerprint = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_whatif [--seed N] [--scenarios N] [--cold K] "
+                   "[--out FILE] [--fingerprint]\n");
+      return 2;
+    }
+  }
+
+  harness::banner("What-if capacity sweep: warmed forks vs cold starts");
+
+  // --- warmed sweep: one engine, `scenarios` forks --------------------
+  const auto warm_t0 = WallClock::now();
+  Engine engine(seed);
+  engine.bed->run_until(kWarmUntil);
+  const double warm_ms = ms_since(warm_t0);
+
+  std::uint64_t sweep_hash = 1469598103934665603ull;
+  int failed = 0;
+  const auto fork_t0 = WallClock::now();
+  for (int i = 0; i < scenarios; ++i) {
+    const whatif::ForkResult r = engine.bed->whatif().run_isolated(
+        [&engine, i] { return engine.scenario(i); });
+    if (!r.ok) ++failed;
+    sweep_hash ^= fnv1a(r.payload);
+    sweep_hash *= 1099511628211ull;
+  }
+  const double forked_ms = ms_since(fork_t0) / std::max(1, scenarios);
+
+  // --- cold baseline: rebuild + rewarm + same scenario, per scenario --
+  const auto cold_t0 = WallClock::now();
+  for (int i = 0; i < cold; ++i) {
+    Engine replica(seed);
+    replica.bed->run_until(kWarmUntil);
+    const std::string payload = replica.scenario(i);
+    if (payload.empty()) ++failed;
+  }
+  const double cold_ms = ms_since(cold_t0) / std::max(1, cold);
+
+  harness::Table table({"mode", "scenarios", "per_scenario_ms", "notes"});
+  char warm_note[64];
+  std::snprintf(warm_note, sizeof(warm_note), "one-time warmup %.0f ms",
+                warm_ms);
+  table.row({"forked", std::to_string(scenarios),
+             std::to_string(forked_ms), warm_note});
+  table.row({"cold", std::to_string(cold), std::to_string(cold_ms),
+             "build + warm + horizon each"});
+  table.print();
+  std::printf("speedup: %.1fx per scenario (%d child failures)\n",
+              forked_ms > 0 ? cold_ms / forked_ms : 0.0, failed);
+  if (fingerprint) {
+    std::printf("sweep_fingerprint: %016llx\n",
+                static_cast<unsigned long long>(sweep_hash));
+  }
+
+  if (out_path != nullptr) {
+    std::FILE* f = std::fopen(out_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_whatif: cannot write %s\n", out_path);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"benchmarks\": [\n");
+    std::fprintf(f,
+                 "    {\"name\": \"whatif/forked\", \"real_time\": %.3f, "
+                 "\"time_unit\": \"ms\", \"scenarios\": %d, "
+                 "\"child_failures\": %d, \"warmup_ms\": %.3f},\n",
+                 forked_ms, scenarios, failed, warm_ms);
+    std::fprintf(f,
+                 "    {\"name\": \"whatif/cold\", \"real_time\": %.3f, "
+                 "\"time_unit\": \"ms\", \"scenarios\": %d}\n",
+                 cold_ms, cold);
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("bench_whatif: wrote %s\n", out_path);
+  }
+  return failed == 0 ? 0 : 1;
+}

@@ -32,6 +32,7 @@ ALLOWED_DEPS: dict[str, set[str]] = {
     "audit": set(),
     "stats": set(),
     "sim": {"audit"},
+    "whatif": {"sim"},
     "telemetry": {"sim"},
     "cluster": {"telemetry", "sim", "stats", "audit"},
     "storage": {"cluster"},
@@ -39,9 +40,9 @@ ALLOWED_DEPS: dict[str, set[str]] = {
     "mapred": {"storage", "cluster"},
     "faults": {"mapred", "storage", "cluster"},
     "workload": {"mapred", "interactive"},
-    "core": {"workload", "mapred", "interactive"},
+    "core": {"workload", "mapred", "interactive", "whatif"},
     "harness": {"core", "workload", "mapred", "faults", "interactive",
-                "storage"},
+                "storage", "whatif"},
 }
 
 # Anchored at line start and matched against the RAW line: the quoted

@@ -87,8 +87,11 @@ RULES = {
 KINDS = ("owned-value", "owned-heap", "shared", "back-reference", "ephemeral")
 
 # The ownership roots: a run *is* a Simulation; a TestBed is the harness
-# hub every engine object hangs off.
-ROOTS = ("Simulation", "TestBed")
+# hub every engine object hangs off; a HybridMRScheduler owns the Phase
+# I/II control stack (profiler, DRM, IPS, SLA monitor, deployed apps) the
+# what-if engine must fork along with the testbed; the WhatIfEngine itself
+# is the fork mechanism's state.
+ROOTS = ("Simulation", "TestBed", "HybridMRScheduler", "WhatIfEngine")
 
 STATE_MARKER_RE = re.compile(r"//\s*hmr-state\(([^)]*)\)")
 # For joined comment blocks (the // prefixes are stripped by the join).

@@ -37,6 +37,12 @@
 #                checkpoint compiled in and exercised by the suite
 #   chaos        bench_faults seeded chaos scenario in the sanitize and
 #                audit trees, determinism-diffed across two same-seed runs
+#   whatif       whole-engine fork suite: chaos fork-equivalence,
+#                fork-isolation and the IPS regressions under ASan/UBSan,
+#                the snapshot/fork audit guards in the audit tree, a
+#                same-seed bench_whatif sweep-fingerprint diff, and the
+#                warmed-vs-cold capacity sweep gated by perf_gate.py
+#                against BENCH_whatif.json (cold/forked >= 5x)
 #   determinism  two same-seed quickstart runs; telemetry artifacts must be
 #                byte-identical — once plain and once with HYBRIDMR_PROFILE=1
 #                (the profiler's wall-clock data must never leak into the
@@ -288,6 +294,66 @@ for tree in sanitize audit; do
   fi
 done
 note_stage chaos "$chaos_result"
+
+# --- whatif: whole-engine fork suite ------------------------------------------
+# The fork-equivalence oracle (tests/whatif_test) and the IPS restore-path
+# regressions (tests/ips_regression_test) run in the sanitize tree — the
+# fork/pipe/waitpid plumbing and the forked children themselves must be
+# ASan/UBSan-clean — and in the audit tree, where the snapshot honesty
+# guards (registered state domains, uncaptured named Rng streams) become
+# live death tests. bench_whatif then sweeps forked capacity scenarios
+# from one warmed engine: two same-seed sweeps must report the same
+# deterministic fingerprint, and perf_gate.py holds the headline claim
+# (a forked scenario >= 5x cheaper than a cold start) via BENCH_whatif.json.
+echo "=== [whatif] whole-engine fork suite ==="
+whatif_result=PASS
+whatif_dir="$root/whatif"
+mkdir -p "$whatif_dir"
+for tree in sanitize audit; do
+  for t in whatif_test ips_regression_test; do
+    tb="$root/$tree/tests/$t"
+    if [ ! -x "$tb" ]; then
+      echo "whatif: $tb missing ($tree build failed?)"
+      whatif_result=FAIL
+      continue
+    fi
+    if ! "$tb" > /dev/null; then
+      echo "whatif: $t failed in the $tree tree"
+      whatif_result=FAIL
+    fi
+  done
+done
+wb="$root/release/bench/bench_whatif"
+if [ -x "$wb" ]; then
+  if "$wb" --seed 7 --scenarios 40 --cold 2 --fingerprint \
+        > "$whatif_dir/sweep-a.txt" &&
+      "$wb" --seed 7 --scenarios 40 --cold 2 --fingerprint \
+        > "$whatif_dir/sweep-b.txt"; then
+    fp_a="$(grep sweep_fingerprint "$whatif_dir/sweep-a.txt")"
+    fp_b="$(grep sweep_fingerprint "$whatif_dir/sweep-b.txt")"
+    if [ -z "$fp_a" ] || [ "$fp_a" != "$fp_b" ]; then
+      echo "whatif: same-seed sweep fingerprints differ"
+      echo "  a: $fp_a"
+      echo "  b: $fp_b"
+      whatif_result=FAIL
+    fi
+  else
+    echo "whatif: bench_whatif sweep run failed"
+    whatif_result=FAIL
+  fi
+  if ! ("$wb" --seed 42 --scenarios 120 --cold 8 \
+          --out "$whatif_dir/whatif.json" > /dev/null &&
+        python3 "$repo/scripts/perf_gate.py" check \
+          --baseline "$repo/BENCH_whatif.json" \
+          --run "$whatif_dir/whatif.json"); then
+    echo "whatif: warmed-vs-cold gate failed"
+    whatif_result=FAIL
+  fi
+else
+  echo "whatif: $wb missing (release build failed?)"
+  whatif_result=FAIL
+fi
+note_stage whatif "$whatif_result"
 
 # --- determinism: same seed => byte-identical telemetry artifacts ------------
 echo "=== [determinism] two same-seed quickstart runs ==="

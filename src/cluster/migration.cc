@@ -57,9 +57,12 @@ sim::MBps Migrator::jittered_dirty_rate(const VirtualMachine& vm) {
   // Page-dirtying is bursty; the paper's Fig. 10(c) shows wide per-VM
   // downtime variation. Unit-mean lognormal jitter reproduces that spread
   // without running every migration ~13 % hotter than the calibrated model
-  // (the mean of exp(N(0, 0.5))).
+  // (the mean of exp(N(0, 0.5))). The jitter draws from its own named
+  // stream (snapshot/restore carries its position, and migrations no
+  // longer perturb the main stream's sequence for everyone else).
   const sim::MBps base = model_.dirty_rate_mbps(vm);
-  return base * unit_mean_lognormal(sim_.rng(), kDirtyRateJitterSigma);
+  return base * unit_mean_lognormal(sim_.named_rng("cluster.dirty_jitter"),
+                                    kDirtyRateJitterSigma);
 }
 
 bool Migrator::migrate(VirtualMachine& vm, Machine& dest, DoneFn done) {

@@ -84,6 +84,8 @@ class Estimator {
   [[nodiscard]] std::size_t tracked() const { return models_.size(); }
 
  private:
+  // hmr-state(owned-heap: the TaskModels live here; the keys are
+  // back-references into Task::attempts_, dropped by retain_only())
   std::map<const mapred::TaskAttempt*, TaskModel> models_;
   std::map<const mapred::TaskAttempt*, double> last_progress_;
   std::map<const mapred::TaskAttempt*, double> last_time_;

@@ -25,6 +25,10 @@ HybridMRScheduler::HybridMRScheduler(sim::Simulation& sim,
   // The DRM must not override IPS throttles/pauses.
   drm_.set_exempt(
       [this](const mapred::TaskAttempt& a) { return ips_.owns(a); });
+  if (options_.ips.model_predictive) {
+    whatif_ = std::make_unique<whatif::WhatIfEngine>(sim_);
+    ips_.set_whatif(whatif_.get());
+  }
 }
 
 int HybridMRScheduler::native_nodes() const {

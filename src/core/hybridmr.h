@@ -27,6 +27,7 @@
 #include "interactive/sla.h"
 #include "mapred/engine.h"
 #include "storage/hdfs.h"
+#include "whatif/fork.h"
 
 namespace hybridmr::core {
 
@@ -80,6 +81,9 @@ class HybridMRScheduler {
   [[nodiscard]] PhaseOneScheduler& phase1() { return phase1_; }
   [[nodiscard]] DynamicResourceManager& drm() { return drm_; }
   [[nodiscard]] InterferencePreventionSystem& ips() { return ips_; }
+  /// The what-if engine backing model-predictive IPS arbitration; present
+  /// whenever `options.ips.model_predictive` is set (docs/WHATIF.md).
+  [[nodiscard]] whatif::WhatIfEngine* whatif() { return whatif_.get(); }
   [[nodiscard]] interactive::SlaMonitor& sla_monitor() { return monitor_; }
   [[nodiscard]] Estimator& estimator() { return estimator_; }
   [[nodiscard]] const HybridMROptions& options() const { return options_; }
@@ -108,6 +112,7 @@ class HybridMRScheduler {
   DynamicResourceManager drm_;
   interactive::SlaMonitor monitor_;
   InterferencePreventionSystem ips_;
+  std::unique_ptr<whatif::WhatIfEngine> whatif_;
   PhaseOneScheduler::Decision last_decision_;
   std::vector<std::unique_ptr<interactive::InteractiveApp>> apps_;
   telemetry::Hub* tel_ = nullptr;

@@ -1,10 +1,12 @@
 #include "core/ips.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 
 #include "sim/log.h"
 #include "telemetry/telemetry.h"
+#include "whatif/fork.h"
 
 namespace hybridmr::core {
 
@@ -80,12 +82,62 @@ InterferencePreventionSystem::InterferencePreventionSystem(
       monitor_(monitor),
       estimator_(estimator),
       options_(options),
-      arbiter_(estimator) {}
+      arbiter_(estimator) {
+  // Event-driven action cleanup: every attempt death funnels through
+  // TaskTracker::release, so the action map never holds a dead attempt
+  // past the instant it dies — owns() answers correctly between epochs
+  // (the DRM consults it mid-epoch) and a chaos teardown cannot leave
+  // throttle/pause state behind.
+  release_observer_token_ = mr_.add_release_observer(
+      [this](const TaskAttempt& attempt) {
+        actions_.erase(const_cast<TaskAttempt*>(&attempt));
+      });
+}
 
-void InterferencePreventionSystem::prune_dead_actions() {
-  std::erase_if(actions_, [](const auto& kv) {
-    return !kv.first->running();
+InterferencePreventionSystem::~InterferencePreventionSystem() {
+  mr_.remove_release_observer(release_observer_token_);
+}
+
+void InterferencePreventionSystem::prune_stale_state() {
+  // Backstop only: the release observer erases these the moment an
+  // attempt dies. Kept because an epoch must never arbitrate over a dead
+  // attempt even if observer wiring is bypassed.
+  std::erase_if(actions_,
+                [](const auto& kv) { return !kv.first->running(); });
+  // A crashed (powered-off) machine keeps no hysteresis: its streaks and
+  // flap ratchet describe a colocation that no longer exists, and a
+  // reboot starts clean. Without this the per-host maps grow without
+  // bound under chaos schedules.
+  const auto host_down = [](const auto& kv) {
+    return kv.first == nullptr || !kv.first->powered();
+  };
+  std::erase_if(healthy_streak_, host_down);
+  std::erase_if(required_streak_, host_down);
+  std::erase_if(last_restore_, [&](const auto& kv) {
+    if (kv.first == nullptr || !kv.first->powered()) return true;
+    // Restores old enough to be outside the flap window are inert for the
+    // ratchet check; drop them so the map stays bounded on long runs.
+    return sim_.now() - kv.second >= 6 * options_.epoch_s &&
+           !required_streak_.contains(kv.first);
   });
+}
+
+int InterferencePreventionSystem::required_streak(const Machine& host) const {
+  const auto it = required_streak_.find(&host);
+  return it == required_streak_.end() ? options_.restore_streak : it->second;
+}
+
+bool InterferencePreventionSystem::tracks_host(const Machine& host) const {
+  return healthy_streak_.contains(&host) ||
+         required_streak_.contains(&host) || last_restore_.contains(&host);
+}
+
+double InterferencePreventionSystem::batch_progress() const {
+  double done = 0;
+  for (const auto& job : mr_.jobs()) {
+    done += job->maps_done() + job->reduces_done();
+  }
+  return done;
 }
 
 void InterferencePreventionSystem::escalate(TaskAttempt& attempt) {
@@ -162,20 +214,122 @@ void InterferencePreventionSystem::migrate_batch_vm(
   }
 }
 
-void InterferencePreventionSystem::mitigate(interactive::InteractiveApp& app) {
-  Machine* host = app.site().host_machine();
-  if (host == nullptr) return;
-  // Violating again shortly after a restore: require a longer healthy
-  // streak before backing off next time (exponential, capped).
-  auto last = last_restore_.find(host);
-  if (last != last_restore_.end() &&
-      sim_.now() - last->second < 6 * options_.epoch_s) {
-    int& required = required_streak_[host];
-    required = std::min(64, std::max(options_.restore_streak, required) * 2);
-  }
-  const auto running = mr_.running_attempts();
-  const auto ranked = arbiter_.rank_interferers(*host, running);
+namespace {
 
+/// What one candidate's lookahead child reported from the horizon.
+struct Prediction {
+  bool ok = false;
+  double viol_frac = 1.0;
+  double resp_s = std::numeric_limits<double>::infinity();
+  double done = 0;
+};
+
+Prediction parse_prediction(const std::string& payload) {
+  Prediction p;
+  p.ok = std::sscanf(payload.c_str(), "viol=%lf resp=%lf done=%lf",
+                     &p.viol_frac, &p.resp_s, &p.done) == 3;
+  return p;
+}
+
+}  // namespace
+
+InterferencePreventionSystem::PredictiveOutcome
+InterferencePreventionSystem::mitigate_predictive(
+    interactive::InteractiveApp& app, const Machine& host,
+    const std::vector<TaskAttempt*>& ranked) {
+  // Candidates ordered cheapest first: equally-good predictions resolve
+  // toward the least invasive action ("hold" wins when acting buys
+  // nothing — the advantage a closed-form policy cannot have).
+  std::vector<std::pair<const char*, std::function<void()>>> candidates;
+  candidates.emplace_back("hold", []() {});
+  const int escalations =
+      std::min<int>(options_.max_actions_per_epoch,
+                    static_cast<int>(ranked.size()));
+  if (escalations >= 1) {
+    candidates.emplace_back("escalate", [this, &ranked]() {
+      escalate(*ranked[0]);
+    });
+  }
+  if (escalations >= 2) {
+    candidates.emplace_back("escalate2", [this, &ranked]() {
+      escalate(*ranked[0]);
+      escalate(*ranked[1]);
+    });
+  }
+  if (options_.allow_vm_migration) {
+    candidates.emplace_back("migrate", [this, &host]() {
+      migrate_batch_vm(host);
+    });
+  }
+  if (escalations >= 1 && options_.allow_vm_migration) {
+    candidates.emplace_back("escalate+migrate", [this, &ranked, &host]() {
+      escalate(*ranked[0]);
+      migrate_batch_vm(host);
+    });
+  }
+
+  // The child reports the app's SLA trajectory over the horizon window
+  // plus total batch progress — recovery and makespan cost in one line.
+  // Captures: `app` and `this` are stable addresses the forked child
+  // shares; `t0` rides by value inside the copied closure.
+  const double t0 = sim_.now();
+  const interactive::InteractiveApp* app_ptr = &app;
+  const auto score = [this, app_ptr, t0]() {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "viol=%.17g resp=%.17g done=%.17g",
+                  interactive::SlaMonitor::violation_fraction(*app_ptr, t0,
+                                                              sim_.now()),
+                  app_ptr->response_time_s(), batch_progress());
+    return std::string(buf);
+  };
+
+  const sim::Duration horizon{options_.lookahead_horizon_s};
+  std::vector<Prediction> preds;
+  preds.reserve(candidates.size());
+  for (const auto& [name, apply] : candidates) {
+    const auto la = whatif_->lookahead_in_event(apply, horizon, score);
+    if (la.is_child) return PredictiveOutcome::kChild;
+    ++stats_.lookaheads;
+    preds.push_back(la.ok ? parse_prediction(la.payload) : Prediction{});
+  }
+
+  const auto recovered = [&](const Prediction& p) {
+    return p.ok && sim::Duration{p.resp_s} <=
+                       app.params().sla_s * options_.restore_margin;
+  };
+  // Lexicographic ranking: recover the SLA first; among recovering
+  // candidates maximize batch progress (minimal makespan damage); among
+  // non-recovering ones minimize the violation fraction, then the final
+  // response time, then batch damage. Ties keep the cheaper candidate.
+  const auto better = [&](const Prediction& x, const Prediction& y) {
+    const bool rx = recovered(x);
+    const bool ry = recovered(y);
+    if (rx != ry) return rx;
+    if (rx) return x.done > y.done;
+    if (x.viol_frac != y.viol_frac) return x.viol_frac < y.viol_frac;
+    if (x.resp_s != y.resp_s) return x.resp_s < y.resp_s;
+    return x.done > y.done;
+  };
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < preds.size(); ++i) {
+    if (better(preds[i], preds[best])) best = i;
+  }
+  if (!preds[best].ok) return PredictiveOutcome::kFallback;
+
+  sim::log_info(sim_.now(), "ips",
+                std::string("lookahead picks ") + candidates[best].first +
+                    " for " + app.name());
+  note_action("lookahead", candidates[best].first, host.name());
+  if (best == 0) {
+    ++stats_.lookahead_holds;
+    return PredictiveOutcome::kApplied;
+  }
+  candidates[best].second();
+  return PredictiveOutcome::kApplied;
+}
+
+void InterferencePreventionSystem::mitigate_classic(
+    const Machine& host, const std::vector<TaskAttempt*>& ranked) {
   int applied = 0;
   for (TaskAttempt* a : ranked) {
     if (applied >= options_.max_actions_per_epoch) break;
@@ -185,11 +339,41 @@ void InterferencePreventionSystem::mitigate(interactive::InteractiveApp& app) {
   if (ranked.empty()) {
     // Interference is coming from a neighbouring VM's batch work that is
     // not task-addressable from here; fall back to VM migration.
-    migrate_batch_vm(*host);
+    migrate_batch_vm(host);
   } else if (applied > 0 && ranked.size() > static_cast<std::size_t>(
                                 applied)) {
-    migrate_batch_vm(*host);
+    migrate_batch_vm(host);
   }
+}
+
+bool InterferencePreventionSystem::mitigate(interactive::InteractiveApp& app) {
+  Machine* host = app.site().host_machine();
+  if (host == nullptr) return true;
+  // Violating again shortly after a restore: require a longer healthy
+  // streak before backing off next time (exponential, capped; the decay
+  // in restore_where_healthy() unwinds it over sustained health).
+  auto last = last_restore_.find(host);
+  if (last != last_restore_.end() &&
+      sim_.now() - last->second < 6 * options_.epoch_s) {
+    int& required = required_streak_[host];
+    required = std::min(64, std::max(options_.restore_streak, required) * 2);
+  }
+  const auto running = mr_.running_attempts();
+  const auto ranked = arbiter_.rank_interferers(*host, running);
+
+  if (options_.model_predictive && whatif_ != nullptr &&
+      !whatif_->in_lookahead()) {
+    switch (mitigate_predictive(app, *host, ranked)) {
+      case PredictiveOutcome::kChild:
+        return false;
+      case PredictiveOutcome::kApplied:
+        return true;
+      case PredictiveOutcome::kFallback:
+        break;  // no usable prediction: Algorithm 3 below
+    }
+  }
+  mitigate_classic(*host, ranked);
+  return true;
 }
 
 void InterferencePreventionSystem::restore_where_healthy() {
@@ -201,6 +385,7 @@ void InterferencePreventionSystem::restore_where_healthy() {
   for (auto* app : monitor_.apps()) {
     if (!app->running()) continue;
     const Machine* host = app->site().host_machine();
+    if (host == nullptr) continue;  // site detached by a host crash
     const bool ok = sim::Duration{app->response_time_s()} <=
                     app->params().sla_s * options_.restore_margin;
     auto it = host_healthy.find(host);
@@ -211,6 +396,24 @@ void InterferencePreventionSystem::restore_where_healthy() {
       ++healthy_streak_[host];
     } else {
       healthy_streak_[host] = 0;
+    }
+  }
+
+  // Flap-guard decay: the ratchet doubles on re-offense but must not
+  // outlive the flapping it guards against — every `ratchet_decay_epochs`
+  // consecutive healthy epochs halves a host's requirement, and a
+  // requirement back at the configured floor is dropped entirely. (Order
+  // independent: each entry only consults its own host's streak.)
+  for (auto it = required_streak_.begin(); it != required_streak_.end();) {
+    const auto hs = healthy_streak_.find(it->first);
+    const int streak = hs == healthy_streak_.end() ? 0 : hs->second;
+    if (streak > 0 && streak % options_.ratchet_decay_epochs == 0) {
+      it->second /= 2;
+    }
+    if (it->second <= options_.restore_streak) {
+      it = required_streak_.erase(it);
+    } else {
+      ++it;
     }
   }
 
@@ -263,7 +466,7 @@ void InterferencePreventionSystem::note_action(const char* action,
 }
 
 void InterferencePreventionSystem::epoch() {
-  prune_dead_actions();
+  prune_stale_state();
   const auto violators = monitor_.violators();
   stats_.violations_seen += static_cast<int>(violators.size());
   // (Violation onsets are traced by the apps themselves; the IPS counts
@@ -272,7 +475,9 @@ void InterferencePreventionSystem::epoch() {
     tel_->registry.counter("ips.violations_seen")
         .add(static_cast<double>(violators.size()));
   }
-  for (auto* app : violators) mitigate(*app);
+  for (auto* app : violators) {
+    if (!mitigate(*app)) return;  // forked lookahead child: unwind now
+  }
   restore_where_healthy();
 }
 

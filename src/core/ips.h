@@ -12,6 +12,13 @@
 // violated host using a BestFit bin-packing choice of destination.
 // When latency falls back below a restore margin, actions are undone in
 // reverse order.
+//
+// Beyond the paper: an opt-in model-predictive mode
+// (IpsOptions::model_predictive, docs/WHATIF.md) ranks candidate
+// mitigations — hold, escalate, escalate two, migrate, escalate+migrate —
+// by forking short lookahead simulations through a whatif::WhatIfEngine
+// and comparing each candidate's predicted SLA recovery and batch
+// progress at the horizon, instead of trusting interference scores alone.
 #pragma once
 
 #include <map>
@@ -26,6 +33,10 @@
 namespace hybridmr::telemetry {
 struct Hub;
 }  // namespace hybridmr::telemetry
+
+namespace hybridmr::whatif {
+class WhatIfEngine;
+}  // namespace hybridmr::whatif
 
 namespace hybridmr::core {
 
@@ -44,6 +55,17 @@ struct IpsOptions {
   int max_actions_per_epoch = 2;
   bool allow_requeue = true;
   bool allow_vm_migration = true;
+  /// Healthy epochs between halvings of a host's flap-guard ratchet: a
+  /// host that re-violated soon after restores doubles its required
+  /// healthy streak (up to 64), and every `ratchet_decay_epochs`
+  /// consecutive healthy epochs halves it back toward `restore_streak`.
+  int ratchet_decay_epochs = 6;
+  /// Rank candidate mitigations by forked-lookahead prediction instead of
+  /// interference scores alone. Requires set_whatif(); see docs/WHATIF.md.
+  bool model_predictive = false;
+  /// Simulated seconds of lookahead per candidate fork. Must stay inside
+  /// the driver's run_until window (TestBed drives in 600 s slices).
+  double lookahead_horizon_s = 30.0;
 };
 
 /// Algorithm 3: picks victims and destinations.
@@ -64,6 +86,7 @@ class Arbiter {
       const std::vector<const cluster::Machine*>& excluded) const;
 
  private:
+  // hmr-state(back-reference: owner=HybridMRScheduler::estimator_)
   Estimator* estimator_;
 };
 
@@ -76,6 +99,10 @@ class InterferencePreventionSystem {
     int requeues = 0;
     int vm_migrations = 0;
     int restores = 0;
+    /// Candidate lookahead forks evaluated (model-predictive mode).
+    int lookaheads = 0;
+    /// Epochs where the lookahead chose "hold" (no action beats acting).
+    int lookahead_holds = 0;
   };
 
   InterferencePreventionSystem(sim::Simulation& sim,
@@ -83,6 +110,11 @@ class InterferencePreventionSystem {
                                cluster::HybridCluster& cluster,
                                interactive::SlaMonitor& monitor,
                                Estimator& estimator, IpsOptions options);
+  ~InterferencePreventionSystem();
+
+  InterferencePreventionSystem(const InterferencePreventionSystem&) = delete;
+  InterferencePreventionSystem& operator=(
+      const InterferencePreventionSystem&) = delete;
 
   /// One control round: mitigate violations / restore when healthy.
   void epoch();
@@ -97,6 +129,19 @@ class InterferencePreventionSystem {
     return actions_.contains(const_cast<mapred::TaskAttempt*>(&attempt));
   }
 
+  /// Live managed attempts (throttled or paused).
+  [[nodiscard]] int action_count() const {
+    return static_cast<int>(actions_.size());
+  }
+
+  /// The flap-guard's current required healthy streak for `host`
+  /// (restore_streak when no ratchet is active).
+  [[nodiscard]] int required_streak(const cluster::Machine& host) const;
+
+  /// True while any per-host map (healthy streak, flap ratchet, last
+  /// restore time) still carries state for `host`.
+  [[nodiscard]] bool tracks_host(const cluster::Machine& host) const;
+
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const IpsOptions& options() const { return options_; }
   [[nodiscard]] Arbiter& arbiter() { return arbiter_; }
@@ -104,14 +149,37 @@ class InterferencePreventionSystem {
   /// Attaches the IPS to a telemetry hub (null detaches).
   void set_telemetry(telemetry::Hub* hub) { tel_ = hub; }
 
+  /// Attaches the what-if engine model-predictive mode forks through
+  /// (null detaches; without one the IPS falls back to Algorithm 3).
+  void set_whatif(whatif::WhatIfEngine* whatif) { whatif_ = whatif; }
+
  private:
   enum class ActionLevel { kThrottled = 1, kPaused = 2 };
+  /// Outcome of the model-predictive arbitration for one violator.
+  enum class PredictiveOutcome {
+    kApplied,   ///< a candidate was chosen and applied in this process
+    kChild,     ///< this is a forked lookahead child — unwind the epoch
+    kFallback,  ///< no usable prediction — run Algorithm 3 instead
+  };
 
-  void mitigate(interactive::InteractiveApp& app);
+  /// Returns false only in a forked lookahead child (the caller must
+  /// unwind out of the epoch so the child's event loop runs the horizon).
+  bool mitigate(interactive::InteractiveApp& app);
+  void mitigate_classic(const cluster::Machine& host,
+                        const std::vector<mapred::TaskAttempt*>& ranked);
+  PredictiveOutcome mitigate_predictive(
+      interactive::InteractiveApp& app, const cluster::Machine& host,
+      const std::vector<mapred::TaskAttempt*>& ranked);
   void restore_where_healthy();
   void escalate(mapred::TaskAttempt& attempt);
   void migrate_batch_vm(const cluster::Machine& violated_host);
-  void prune_dead_actions();
+  /// Drops stale control state: actions whose attempt died between epochs
+  /// (backstop — the release observer erases them event-driven), and
+  /// per-host hysteresis entries for crashed (unpowered) machines.
+  void prune_stale_state();
+  /// Sum of finished map+reduce tasks across all jobs (the lookahead's
+  /// batch-progress / makespan-cost proxy).
+  [[nodiscard]] double batch_progress() const;
 
   sim::Simulation& sim_;
   mapred::MapReduceEngine& mr_;
@@ -128,7 +196,13 @@ class InterferencePreventionSystem {
   // exponentially longer healthy streak before the next restore.
   std::map<const cluster::Machine*, int> required_streak_;
   std::map<const cluster::Machine*, double> last_restore_;
+  // hmr-state(back-reference: owner=TestBed::tel_ / example harness)
   telemetry::Hub* tel_ = nullptr;
+  // hmr-state(back-reference: owner=HybridMRScheduler::whatif_)
+  whatif::WhatIfEngine* whatif_ = nullptr;
+  /// Token for the engine release observer registered in the constructor
+  /// (erases actions_ entries the moment their attempt leaves its tracker).
+  std::size_t release_observer_token_ = 0;
 
   /// Counter bump + kIpsAction trace instant for one arbitration action.
   void note_action(const char* action, const std::string& target,

@@ -43,7 +43,7 @@ class FaultInjector {
         hdfs_(hdfs),
         mr_(mr),
         schedule_(std::move(schedule)),
-        rng_(schedule_.seed) {}
+        rng_(sim.named_rng("faults.injector", schedule_.seed)) {}
 
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
@@ -114,7 +114,10 @@ class FaultInjector {
   storage::Hdfs& hdfs_;
   mapred::MapReduceEngine& mr_;
   FaultSchedule schedule_;
-  sim::Rng rng_;
+  // hmr-state(back-reference: owner=Simulation::named_rngs_ — the
+  // injector's failure clocks live in the core's named-stream registry so
+  // snapshot/restore carries their positions)
+  sim::Rng& rng_;
   Stats stats_;
   std::vector<DownMachine> down_;
   telemetry::Hub* tel_ = nullptr;

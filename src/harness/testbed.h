@@ -17,6 +17,7 @@
 #include "sim/simulation.h"
 #include "storage/hdfs.h"
 #include "telemetry/telemetry.h"
+#include "whatif/fork.h"
 #include "workload/benchmarks.h"
 
 namespace hybridmr::harness {
@@ -76,6 +77,11 @@ class TestBed {
 
   /// The run's telemetry hub; null when disabled or compiled out.
   [[nodiscard]] telemetry::Hub* telemetry() const { return tel_.get(); }
+
+  /// The what-if engine over this testbed's simulation, built on first
+  /// use. Forked scenarios and lookaheads clone the entire wired engine
+  /// (docs/WHATIF.md); sweep hundreds of them from one warmed state.
+  [[nodiscard]] whatif::WhatIfEngine& whatif();
 
   /// The run's profiler; null unless profiling is live (Options::profile /
   /// HYBRIDMR_PROFILE with telemetry compiled in).
@@ -155,6 +161,7 @@ class TestBed {
   std::unique_ptr<storage::Hdfs> hdfs_;
   std::unique_ptr<mapred::MapReduceEngine> mr_;
   std::unique_ptr<faults::FaultInjector> faults_;
+  std::unique_ptr<whatif::WhatIfEngine> whatif_;
   // hmr-state(back-reference: registration order over sites owned by
   // cluster_; fork rebuilds it alongside the cloned site tree)
   std::vector<cluster::ExecutionSite*> nodes_;

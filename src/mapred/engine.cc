@@ -816,8 +816,20 @@ void MapReduceEngine::note_task_started(const TaskAttempt& attempt) {
                       attempt.label(), attempt.site().name());
 }
 
+std::size_t MapReduceEngine::add_release_observer(
+    std::function<void(const TaskAttempt&)> fn) {
+  release_observers_.push_back(std::move(fn));
+  return release_observers_.size() - 1;
+}
+
+void MapReduceEngine::remove_release_observer(std::size_t token) {
+  if (token < release_observers_.size()) release_observers_[token] = nullptr;
+}
+
 void MapReduceEngine::note_attempt_released(const TaskAttempt& attempt) {
-  (void)attempt;
+  for (const auto& fn : release_observers_) {
+    if (fn) fn(attempt);
+  }
   if (tel_ == nullptr) return;
   tel_running_->add(-1);
 }

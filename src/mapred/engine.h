@@ -138,6 +138,17 @@ class MapReduceEngine {
   /// called from TaskTracker::launch/release and the blacklist paths so the
   /// offer set is never stale when dispatch() reads it.
   void update_offer(TaskTracker& tracker);
+  /// Registers `fn` to run whenever an attempt leaves its tracker — every
+  /// death path funnels through TaskTracker::release (normal finish, kill,
+  /// IPS requeue, bounded-retry failure, tracker loss, crash teardown), so
+  /// this is the one event-driven signal controllers keyed by TaskAttempt*
+  /// (the IPS action map) need to drop state the moment it goes stale
+  /// instead of polling at their next epoch. Returns a token for
+  /// remove_release_observer(); slots are never erased (tokens stay
+  /// stable), removal nulls the entry.
+  std::size_t add_release_observer(std::function<void(const TaskAttempt&)> fn);
+  void remove_release_observer(std::size_t token);
+
   /// Telemetry hooks (no-ops without a hub).
   void note_task_started(const TaskAttempt& attempt);
   void note_attempt_released(const TaskAttempt& attempt);
@@ -229,6 +240,10 @@ class MapReduceEngine {
   int attempt_failures_ = 0;
   int maps_reexecuted_ = 0;
   bool dispatching_ = false;
+  // Attempt-release observer slots (see add_release_observer); the
+  // closures hold back-references to their controllers (IPS), which
+  // deregister on destruction.
+  std::vector<std::function<void(const TaskAttempt&)>> release_observers_;
   // Telemetry hub plus cached metric handles (all null when detached).
   telemetry::Hub* tel_ = nullptr;
   telemetry::Counter* tel_jobs_submitted_ = nullptr;

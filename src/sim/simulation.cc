@@ -98,11 +98,65 @@ std::size_t Simulation::run() {
   return processed_ - before;
 }
 
-Simulation::Snapshot Simulation::snapshot() const {
+namespace {
+
+// FNV-1a: stable, dependency-free name hash for deriving per-stream seeds
+// from the main seed. Collisions only correlate two streams' seeds, never
+// their draws, so the cheap hash is fine.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Rng& Simulation::named_rng(const std::string& name) {
+  return named_rng(name, seed_ ^ fnv1a(name));
+}
+
+Rng& Simulation::named_rng(const std::string& name, std::uint64_t seed) {
+  auto it = named_rngs_.find(name);
+  if (it == named_rngs_.end()) {
+    it = named_rngs_.emplace(name, Rng(seed)).first;
+  }
+  return it->second;
+}
+
+std::vector<std::string> Simulation::named_rng_streams() const {
+  std::vector<std::string> out;
+  out.reserve(named_rngs_.size());
+  for (const auto& [name, rng] : named_rngs_) out.push_back(name);
+  return out;
+}
+
+void Simulation::register_state_domain(const std::string& name) {
+  for (const auto& d : state_domains_) {
+    if (d == name) return;
+  }
+  state_domains_.push_back(name);
+}
+
+Simulation::Snapshot Simulation::snapshot(SnapshotScope scope) const {
   gate_.assert_held();
   assert(!running_ && "snapshot() inside run() — stop() first");
+  // A full-scope capture while engine domains are registered would be a
+  // partial snapshot masquerading as a fork source: the cluster, HDFS and
+  // JobTracker state it excludes would silently alias between "forks".
+  HYBRIDMR_AUDIT_CHECK(
+      scope == SnapshotScope::kCoreOnly || state_domains_.empty(),
+      "sim.snapshot", "uncaptured_state_domain", now_,
+      {{"registered_domains",
+        audit::num(static_cast<double>(state_domains_.size()))},
+       {"first_domain",
+        state_domains_.empty() ? std::string() : state_domains_.front()}});
+  (void)scope;
   return Snapshot{queue_.snapshot(),
                   rng_,
+                  named_rngs_,
                   now_,
                   processed_,
                   clamped_past_events_,
@@ -113,8 +167,29 @@ Simulation::Snapshot Simulation::snapshot() const {
 void Simulation::restore(const Snapshot& snap) {
   gate_.assert_held();
   assert(!running_ && "restore() inside run() — stop() first");
+  // Every stream alive now must have been captured: a stream created after
+  // the snapshot would otherwise keep its current position across the
+  // restore, silently decorrelating "identical" replays.
+  for (const auto& [name, rng] : named_rngs_) {
+    HYBRIDMR_AUDIT_CHECK(snap.named_rngs.contains(name), "sim.snapshot",
+                         "named_rng_stream_uncaptured", now_,
+                         {{"stream", name}});
+  }
   queue_.restore(snap.queue);
   rng_ = snap.rng;
+  // Restore named streams IN PLACE, never by whole-map assignment: map
+  // assignment may reuse tree nodes under different keys, which would
+  // silently re-point long-lived references (FaultInjector's rng_) at a
+  // *different* stream. Value-assigning through find() keeps every node —
+  // and therefore every outstanding Rng& — exactly where it was.
+  for (const auto& [name, rng] : snap.named_rngs) {
+    auto it = named_rngs_.find(name);
+    if (it != named_rngs_.end()) {
+      it->second = rng;
+    } else {
+      named_rngs_.emplace(name, rng);
+    }
+  }
   now_ = snap.now;
   processed_ = snap.processed;
   clamped_past_events_ = snap.clamped_past_events;

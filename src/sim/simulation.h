@@ -8,6 +8,7 @@
 #include <cassert>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -44,7 +45,7 @@ class PeriodicHandle {
 /// Single-threaded discrete-event simulation.
 class Simulation {
  public:
-  explicit Simulation(std::uint64_t seed = 42) : rng_(seed) {}
+  explicit Simulation(std::uint64_t seed = 42) : rng_(seed), seed_(seed) {}
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
@@ -236,14 +237,56 @@ class Simulation {
 
   Rng& rng() { return rng_; }
 
+  /// A named auxiliary Rng stream owned by this simulation. Streams are
+  /// created on first use; an explicit `seed` wins, otherwise the stream
+  /// seeds deterministically from the main seed mixed with the name (so
+  /// two same-seed simulations that create the same streams agree draw for
+  /// draw). Subsequent calls return the existing stream unchanged — the
+  /// seed argument is ignored once a stream exists, which is what lets a
+  /// freshly-wired engine restore() a snapshot over its streams. Every
+  /// named stream is captured by snapshot() and written back by restore();
+  /// components with private randomness (FaultInjector's failure clocks,
+  /// the migration dirty-rate jitter) register here instead of owning a
+  /// bare Rng the core cannot see.
+  Rng& named_rng(const std::string& name);
+  Rng& named_rng(const std::string& name, std::uint64_t seed);
+
+  /// Names of the registered auxiliary streams, in deterministic order.
+  [[nodiscard]] std::vector<std::string> named_rng_streams() const;
+
+  /// Declares engine state the sim-core snapshot does NOT capture (the
+  /// cluster's machines, HDFS blocks, the JobTracker's queues, ...). The
+  /// harness registers one domain per subsystem it wires up; a full-scope
+  /// snapshot() taken while any domain is registered is a *partial*
+  /// capture masquerading as a fork source, and hard-fails under
+  /// HYBRIDMR_AUDIT. Process-level forking (src/whatif/) is the sanctioned
+  /// full-engine mechanism; callers that genuinely want a core-only
+  /// capture acknowledge the exclusion with SnapshotScope::kCoreOnly.
+  void register_state_domain(const std::string& name);
+
+  /// Registered engine state domains, in deterministic order.
+  [[nodiscard]] const std::vector<std::string>& state_domains() const {
+    return state_domains_;
+  }
+
+  /// Scope acknowledgement for snapshot() — see register_state_domain().
+  enum class SnapshotScope {
+    kFull,      ///< capture must cover everything (audit-checked)
+    kCoreOnly,  ///< caller acknowledges engine domains are excluded
+  };
+
   /// Value snapshot of the sim core: clock, event queue (pending handlers,
-  /// lazy-deleted heap entries, deferred seats), Rng stream position and
-  /// the queue-mechanics counters. See docs/SNAPSHOT.md for the contract.
+  /// lazy-deleted heap entries, deferred seats), the main Rng stream, every
+  /// named Rng stream, and the queue-mechanics counters. See
+  /// docs/SNAPSHOT.md for the contract.
   struct Snapshot {
     EventQueue::Snapshot queue;
     // hmr-state(owned-value: engine + distribution carry state, copied
     // verbatim — the stream resumes exactly where the snapshot was taken)
     Rng rng;
+    // hmr-state(owned-heap: every named auxiliary stream, by value — a
+    // restore resumes each stream exactly where the snapshot was taken)
+    std::map<std::string, Rng> named_rngs;
     SimTime now = 0;
     std::size_t processed = 0;
     std::uint64_t clamped_past_events = 0;
@@ -258,13 +301,19 @@ class Simulation {
   /// core is exact only when every pending handler reaches its state
   /// through an indirection the caller re-points (the fork-equivalence
   /// test demonstrates both). every() tickers capture `this` and are
-  /// rewind-safe but not fork-safe.
-  [[nodiscard]] Snapshot snapshot() const;
+  /// rewind-safe but not fork-safe. Under HYBRIDMR_AUDIT a kFull snapshot
+  /// hard-fails while engine state domains are registered (the capture
+  /// would silently exclude them); pass kCoreOnly to acknowledge.
+  [[nodiscard]] Snapshot snapshot(
+      SnapshotScope scope = SnapshotScope::kFull) const;
 
   /// Replaces the sim core with `snap`, as if the run had just reached the
-  /// snapshot point. Harness wiring — flush hooks, probe, log sink — is
-  /// deliberately untouched: a restored core keeps its own instrumentation.
-  /// Must not be called from inside run().
+  /// snapshot point. Every named Rng stream is written back; under
+  /// HYBRIDMR_AUDIT a stream that exists now but was not captured by
+  /// `snap` is a hard failure (its position would silently survive the
+  /// restore). Harness wiring — flush hooks, probe, log sink — is
+  /// deliberately untouched: a restored core keeps its own
+  /// instrumentation. Must not be called from inside run().
   void restore(const Snapshot& snap);
 
  private:
@@ -277,6 +326,13 @@ class Simulation {
 
   EventQueue queue_;
   Rng rng_;
+  std::uint64_t seed_;
+  // Ordered by name so snapshot/restore and the audit census walk the
+  // streams in a reproducible order.
+  std::map<std::string, Rng> named_rngs_;
+  // hmr-state(owned-heap: declaration-only — names engine state the core
+  // snapshot excludes; the set itself is harness wiring, not run state)
+  std::vector<std::string> state_domains_;
   // Slots are never erased (tokens stay stable); removal nulls the entry.
   std::vector<std::function<void()>> flush_hooks_ HMR_GUARDED_BY(gate_);
   SimTime now_ = 0;

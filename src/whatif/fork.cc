@@ -1,0 +1,144 @@
+#include "whatif/fork.h"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/log.h"
+
+namespace hybridmr::whatif {
+
+namespace {
+
+// A lookahead child that outlives its horizon (the driver's run_until
+// window ended first) unwinds into driver code it must never execute —
+// most of which ends in a normal exit() that would report success for a
+// run that never happened. The backstop turns that escape into a loud
+// failure; _Exit skips the remaining handlers and any atexit side effects.
+void escape_backstop() { std::_Exit(98); }
+
+void write_all(int fd, const std::string& payload) {
+  const char* p = payload.data();
+  std::size_t left = payload.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // reader died; the parent will see a failed child anyway
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+std::string read_to_eof(int fd) {
+  std::string out;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+}  // namespace
+
+// Common parent half: drain the pipe before reaping — a child with more
+// than a pipe buffer of payload blocks in write() and would deadlock
+// against waitpid.
+ForkResult WhatIfEngine::collect(int read_fd, int pid) {
+  ++stats_.forks;
+  ForkResult result;
+  result.payload = read_to_eof(read_fd);
+  ::close(read_fd);
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  result.ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  if (!result.ok) ++stats_.child_failures;
+  return result;
+}
+
+// Common child half, run immediately after fork() returns 0.
+void WhatIfEngine::enter_child(int read_fd) {
+  ::close(read_fd);
+  in_lookahead_ = true;
+  std::atexit(&escape_backstop);
+  if (options_.silence_child_logs) {
+    sim::Log::threshold() = sim::LogLevel::kOff;
+  }
+}
+
+ForkResult WhatIfEngine::run_isolated(
+    const std::function<std::string()>& scenario) {
+  assert(!sim_.running() &&
+         "run_isolated() inside run() — use lookahead_in_event()");
+  if (in_lookahead_) return {};  // children never fork again
+  int fds[2];
+  if (::pipe(fds) != 0) return {};
+  // Flush stdio so buffered output is not duplicated into the child.
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return {};
+  }
+  if (pid == 0) {
+    enter_child(fds[0]);
+    write_all(fds[1], scenario());
+    ::close(fds[1]);
+    // _exit, not exit: the child shares the parent's atexit stack and
+    // stdio, and under ASan must skip the leak check (a forked scenario
+    // leaks the whole engine by design).
+    ::_exit(0);
+  }
+  ::close(fds[1]);
+  return collect(fds[0], pid);
+}
+
+WhatIfEngine::Lookahead WhatIfEngine::lookahead_in_event(
+    const std::function<void()>& apply, sim::Duration horizon,
+    const std::function<std::string()>& score) {
+  assert(horizon.value() >= 0 && "negative lookahead horizon");
+  if (in_lookahead_) return {};  // children never fork again
+  int fds[2];
+  if (::pipe(fds) != 0) return {};
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return {};
+  }
+  if (pid == 0) {
+    enter_child(fds[0]);
+    apply();
+    // The score event both bounds the lookahead and keeps the child's
+    // queue non-empty until then; its handler never returns. The caller
+    // must now unwind out of the current event handler so the child's
+    // event loop can run the horizon down.
+    sim_.after(horizon, [fd = fds[1], score]() {
+      write_all(fd, score());
+      ::_exit(0);
+    });
+    return Lookahead{/*is_child=*/true, false, {}};
+  }
+  ::close(fds[1]);
+  const ForkResult fr = collect(fds[0], pid);
+  return Lookahead{/*is_child=*/false, fr.ok, fr.payload};
+}
+
+}  // namespace hybridmr::whatif
